@@ -1,0 +1,42 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! The design is define-by-run, mirroring PyTorch's autograd at a much
+//! smaller scale: a [`Graph`] is an arena of nodes, each op records the
+//! cached state its vector–Jacobian product needs, and [`Graph::backward`]
+//! is a single reverse sweep over the arena (indices are created in
+//! topological order by construction, so no sort is needed).
+//!
+//! A fresh `Graph` is built for every training step and dropped afterwards;
+//! parameters live outside the graph (see `matsciml-nn`) and are inserted as
+//! leaves tagged with a parameter id, from which gradients are extracted
+//! after the sweep. Because a `Graph` owns all of its state, each simulated
+//! DDP rank can run its own graph on its own thread.
+//!
+//! Every differentiable op is verified against central finite differences in
+//! this crate's test-suite (see [`gradcheck`]).
+
+//! # Example
+//!
+//! ```
+//! use matsciml_autograd::Graph;
+//! use matsciml_tensor::Tensor;
+//!
+//! // loss = mean((w·x)²) for w = [1, 2]; d loss/d w = x²·w (here x = 3).
+//! let mut g = Graph::new();
+//! let w = g.param(0, Tensor::from_vec(&[2], vec![1.0, 2.0]).unwrap());
+//! let wx = g.scale(w, 3.0);
+//! let sq = g.mul(wx, wx);
+//! let loss = g.mean_all(sq);
+//! g.backward(loss);
+//! let grad = g.grad(w).unwrap();
+//! assert_eq!(grad.as_slice(), &[9.0, 18.0]);
+//! ```
+
+#![warn(missing_docs)]
+
+mod backward;
+pub mod gradcheck;
+mod graph;
+mod ops;
+
+pub use graph::{Graph, Var};

@@ -1,0 +1,339 @@
+//! Exhaustive finite-difference verification: every differentiable op in the
+//! tape is checked against central differences, alone and in composition.
+
+use std::sync::Arc;
+
+use matsciml_autograd::gradcheck::assert_gradients_close;
+use matsciml_autograd::Graph;
+use matsciml_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn seeded(shape: &[usize], seed: u64) -> Tensor {
+    Tensor::randn(shape, 0.0, 1.0, &mut StdRng::seed_from_u64(seed))
+}
+
+const EPS: f32 = 1e-2;
+const TOL: f64 = 2e-2;
+
+#[test]
+fn grad_add_sub_mul_neg_scale() {
+    let params = vec![seeded(&[3, 4], 1), seeded(&[3, 4], 2)];
+    assert_gradients_close(&params, EPS, TOL, |g, ps| {
+        let a = g.param(0, ps[0].clone());
+        let b = g.param(1, ps[1].clone());
+        let s = g.add(a, b);
+        let d = g.sub(s, b);
+        let m = g.mul(d, b);
+        let n = g.neg(m);
+        let sc = g.scale(n, 0.7);
+        g.sum_all(sc)
+    });
+}
+
+#[test]
+fn grad_matmul_chain() {
+    let params = vec![seeded(&[4, 3], 3), seeded(&[3, 5], 4), seeded(&[5, 2], 5)];
+    assert_gradients_close(&params, EPS, TOL, |g, ps| {
+        let a = g.param(0, ps[0].clone());
+        let b = g.param(1, ps[1].clone());
+        let c = g.param(2, ps[2].clone());
+        let ab = g.matmul(a, b);
+        let abc = g.matmul(ab, c);
+        g.mean_all(abc)
+    });
+}
+
+#[test]
+fn grad_row_and_col_broadcasts() {
+    let params = vec![seeded(&[4, 3], 6), seeded(&[3], 7), seeded(&[3], 8), seeded(&[4, 1], 9)];
+    assert_gradients_close(&params, EPS, TOL, |g, ps| {
+        let x = g.param(0, ps[0].clone());
+        let bias = g.param(1, ps[1].clone());
+        let gain = g.param(2, ps[2].clone());
+        let col = g.param(3, ps[3].clone());
+        let a = g.add_row(x, bias);
+        let b = g.mul_row(a, gain);
+        let c = g.mul_col(b, col);
+        g.sum_all(c)
+    });
+}
+
+#[test]
+fn grad_activations() {
+    // Offset away from relu's kink at 0 to keep finite differences honest.
+    let mut base = seeded(&[5, 3], 10);
+    base.map_inplace(|v| if v.abs() < 0.2 { v + 0.5 } else { v });
+    let params = vec![base];
+    assert_gradients_close(&params, 1e-3, TOL, |g, ps| {
+        let x = g.param(0, ps[0].clone());
+        let a = g.silu(x);
+        let b = g.selu(a);
+        let c = g.tanh(b);
+        let d = g.sigmoid(c);
+        let e = g.relu(d);
+        g.sum_all(e)
+    });
+}
+
+#[test]
+fn grad_rms_norm() {
+    let params = vec![seeded(&[4, 6], 11)];
+    assert_gradients_close(&params, 1e-3, TOL, |g, ps| {
+        let x = g.param(0, ps[0].clone());
+        let y = g.rms_norm(x, 1e-6);
+        // Weight rows unevenly so the per-row coupling in the vjp is exercised.
+        let w = g.input(Tensor::from_fn(&[4, 6], |i| ((i % 5) as f32) * 0.3 - 0.6));
+        let wy = g.mul(y, w);
+        g.sum_all(wy)
+    });
+}
+
+#[test]
+fn grad_row_sum_and_mean() {
+    let params = vec![seeded(&[3, 4], 12)];
+    assert_gradients_close(&params, EPS, TOL, |g, ps| {
+        let x = g.param(0, ps[0].clone());
+        let rs = g.row_sum(x);
+        let sq = g.mul(rs, rs);
+        g.mean_all(sq)
+    });
+}
+
+#[test]
+fn grad_gather_scatter_segment() {
+    let params = vec![seeded(&[5, 3], 13)];
+    let idx = Arc::new(vec![0u32, 2, 2, 4, 1, 0]);
+    let seg = Arc::new(vec![0u32, 0, 1, 1, 2, 2]);
+    assert_gradients_close(&params, EPS, TOL, move |g, ps| {
+        let x = g.param(0, ps[0].clone());
+        let gathered = g.gather_rows(x, idx.clone());
+        let scattered = g.scatter_add_rows(gathered, seg.clone(), 3);
+        let sq = g.mul(scattered, scattered);
+        g.sum_all(sq)
+    });
+}
+
+#[test]
+fn grad_concat_cols() {
+    let params = vec![seeded(&[3, 2], 14), seeded(&[3, 4], 15)];
+    assert_gradients_close(&params, EPS, TOL, |g, ps| {
+        let a = g.param(0, ps[0].clone());
+        let b = g.param(1, ps[1].clone());
+        let cat = g.concat_cols(&[a, b]);
+        let act = g.silu(cat);
+        g.mean_all(act)
+    });
+}
+
+#[test]
+fn grad_clamp_interior() {
+    // Values away from the clamp edges so finite differences are smooth.
+    let params = vec![seeded(&[4, 2], 16).scale(0.3)];
+    assert_gradients_close(&params, 1e-3, TOL, |g, ps| {
+        let x = g.param(0, ps[0].clone());
+        let c = g.clamp(x, -2.0, 2.0);
+        let sq = g.mul(c, c);
+        g.sum_all(sq)
+    });
+}
+
+#[test]
+fn grad_mse_and_l1_losses() {
+    let target = seeded(&[6], 100);
+    let mask = Tensor::from_vec(&[6], vec![1.0, 1.0, 0.0, 1.0, 0.0, 1.0]).unwrap();
+    // Keep predictions away from target so |.|' is smooth for L1.
+    let params = vec![seeded(&[6], 17).add_scalar(3.0)];
+    let t2 = target.clone();
+    assert_gradients_close(&params, 1e-3, TOL, move |g, ps| {
+        let p = g.param(0, ps[0].clone());
+        let mse = g.mse_loss(p, &target, None);
+        let mse_m = g.mse_loss(p, &target, Some(&mask));
+        let l1 = g.l1_loss(p, &t2, None);
+        let a = g.add(mse, mse_m);
+        g.add(a, l1)
+    });
+}
+
+#[test]
+fn grad_bce_with_logits() {
+    let targets = Tensor::from_vec(&[5], vec![1.0, 0.0, 1.0, 1.0, 0.0]).unwrap();
+    let mask = Tensor::from_vec(&[5], vec![1.0, 1.0, 0.0, 1.0, 1.0]).unwrap();
+    let params = vec![seeded(&[5], 18)];
+    assert_gradients_close(&params, 1e-3, TOL, move |g, ps| {
+        let z = g.param(0, ps[0].clone());
+        let plain = g.bce_with_logits(z, &targets, None);
+        let masked = g.bce_with_logits(z, &targets, Some(&mask));
+        g.add(plain, masked)
+    });
+}
+
+#[test]
+fn grad_softmax_cross_entropy() {
+    let labels = Arc::new(vec![2u32, 0, 1, 2]);
+    let params = vec![seeded(&[4, 3], 19)];
+    assert_gradients_close(&params, 1e-3, TOL, move |g, ps| {
+        let z = g.param(0, ps[0].clone());
+        g.softmax_cross_entropy(z, labels.clone())
+    });
+}
+
+#[test]
+fn grad_mlp_like_composition() {
+    // A realistic two-layer MLP with bias, activation, norm and loss —
+    // checks that chained vjps compose correctly end to end.
+    let params = vec![
+        seeded(&[4, 8], 20).scale(0.5),
+        seeded(&[8], 21).scale(0.1),
+        seeded(&[8, 2], 22).scale(0.5),
+        seeded(&[2], 23).scale(0.1),
+    ];
+    let x = seeded(&[6, 4], 24);
+    let target = seeded(&[6, 2], 25);
+    // Larger step: the deep composition amplifies f32 roundoff in the
+    // central-difference quotient at eps = 1e-3.
+    assert_gradients_close(&params, 5e-3, TOL, move |g, ps| {
+        let input = g.input(x.clone());
+        let w1 = g.param(0, ps[0].clone());
+        let b1 = g.param(1, ps[1].clone());
+        let w2 = g.param(2, ps[2].clone());
+        let b2 = g.param(3, ps[3].clone());
+        let h = g.matmul(input, w1);
+        let h = g.add_row(h, b1);
+        let h = g.silu(h);
+        let h = g.rms_norm(h, 1e-6);
+        let y = g.matmul(h, w2);
+        let y = g.add_row(y, b2);
+        g.mse_loss(y, &target, None)
+    });
+}
+
+#[test]
+fn grad_mul_scalar_var() {
+    let params = vec![seeded(&[3, 4], 36), seeded(&[1], 37)];
+    assert_gradients_close(&params, 1e-3, TOL, |g, ps| {
+        let x = g.param(0, ps[0].clone());
+        let s = g.param(1, ps[1].clone());
+        let y = g.mul_scalar_var(x, s);
+        let sq = g.mul(y, y);
+        g.sum_all(sq)
+    });
+}
+
+#[test]
+fn grad_batch_norm() {
+    let params = vec![seeded(&[6, 4], 34)];
+    assert_gradients_close(&params, 1e-3, TOL, |g, ps| {
+        let x = g.param(0, ps[0].clone());
+        let y = g.batch_norm(x, 1e-5);
+        // Uneven weighting exercises the within-column coupling.
+        let w = g.input(Tensor::from_fn(&[6, 4], |i| ((i * 5 % 7) as f32 - 3.0) * 0.3));
+        let wy = g.mul(y, w);
+        g.sum_all(wy)
+    });
+}
+
+#[test]
+fn batch_norm_standardizes_columns() {
+    let mut g = Graph::new();
+    let x = g.input(seeded(&[64, 3], 35).scale(4.0).add_scalar(2.0));
+    let y = g.batch_norm(x, 1e-6);
+    let out = g.value(y);
+    for c in 0..3 {
+        let col: Vec<f32> = (0..64).map(|r| out.at2(r, c)).collect();
+        let mean: f32 = col.iter().sum::<f32>() / 64.0;
+        let var: f32 = col.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 64.0;
+        assert!(mean.abs() < 1e-4, "column {c} mean {mean}");
+        assert!((var - 1.0).abs() < 1e-3, "column {c} var {var}");
+    }
+}
+
+#[test]
+fn grad_sqrt() {
+    let params = vec![seeded(&[4, 2], 33).map(|v| 1.0 + v.abs())];
+    assert_gradients_close(&params, 1e-3, TOL, |g, ps| {
+        let x = g.param(0, ps[0].clone());
+        let r = g.sqrt(x);
+        let sq = g.mul(r, r);
+        let sum = g.sum_all(sq);
+        let r2 = g.sum_all(r);
+        g.add(sum, r2)
+    });
+}
+
+#[test]
+fn grad_edge_softmax() {
+    let params = vec![seeded(&[7, 1], 30)];
+    let seg = Arc::new(vec![0u32, 0, 0, 1, 1, 2, 2]);
+    assert_gradients_close(&params, 1e-3, TOL, move |g, ps| {
+        let logits = g.param(0, ps[0].clone());
+        let alpha = g.edge_softmax(logits, seg.clone(), 3);
+        // Weight unevenly so within-group coupling is exercised.
+        let w = g.input(Tensor::from_fn(&[7, 1], |i| (i as f32 + 1.0) * 0.3));
+        let weighted = g.mul(alpha, w);
+        g.sum_all(weighted)
+    });
+}
+
+#[test]
+fn edge_softmax_groups_sum_to_one() {
+    let mut g = Graph::new();
+    let logits = g.input(seeded(&[6, 1], 31).scale(3.0));
+    let seg = Arc::new(vec![0u32, 1, 0, 1, 0, 1]);
+    let alpha = g.edge_softmax(logits, seg.clone(), 2);
+    let a = g.value(alpha);
+    let mut sums = [0.0f32; 2];
+    for i in 0..6 {
+        assert!(a.at(i) > 0.0 && a.at(i) <= 1.0);
+        sums[seg[i] as usize] += a.at(i);
+    }
+    assert!((sums[0] - 1.0).abs() < 1e-5);
+    assert!((sums[1] - 1.0).abs() < 1e-5);
+}
+
+#[test]
+fn grad_rbf_expand() {
+    // Positive distances, away from zero.
+    let params = vec![seeded(&[5, 1], 32).map(|v| 1.5 + 0.5 * v.tanh())];
+    let centers = Arc::new(vec![0.5f32, 1.0, 1.5, 2.0, 2.5]);
+    assert_gradients_close(&params, 1e-3, TOL, move |g, ps| {
+        let d = g.param(0, ps[0].clone());
+        let rbf = g.rbf_expand(d, centers.clone(), 4.0);
+        let w = g.input(Tensor::from_fn(&[5, 5], |i| ((i % 3) as f32 - 1.0) * 0.4));
+        let weighted = g.mul(rbf, w);
+        g.sum_all(weighted)
+    });
+}
+
+#[test]
+fn rbf_peaks_at_matching_center() {
+    let mut g = Graph::new();
+    let d = g.input(Tensor::from_vec(&[1, 1], vec![1.5]).unwrap());
+    let centers = Arc::new(vec![0.5f32, 1.5, 3.0]);
+    let rbf = g.rbf_expand(d, centers, 10.0);
+    let v = g.value(rbf);
+    assert!((v.at2(0, 1) - 1.0).abs() < 1e-6, "exact center match gives 1");
+    assert!(v.at2(0, 0) < 0.01 && v.at2(0, 2) < 0.01);
+}
+
+#[test]
+fn grad_egnn_style_coordinate_update() {
+    // The E(n)-GNN coordinate path: x_i' = x_i + Σ_j (x_i − x_j)·φ(m_ij)
+    // exercised as gather → sub → mul_col → scatter_add with a downstream
+    // invariant loss.
+    let params = vec![seeded(&[4, 3], 26), seeded(&[6, 1], 27)];
+    let src = Arc::new(vec![0u32, 1, 2, 3, 0, 2]);
+    let dst = Arc::new(vec![1u32, 0, 3, 2, 2, 0]);
+    assert_gradients_close(&params, 1e-3, TOL, move |g, ps| {
+        let coords = g.param(0, ps[0].clone());
+        let edge_scalar = g.param(1, ps[1].clone());
+        let xi = g.gather_rows(coords, src.clone());
+        let xj = g.gather_rows(coords, dst.clone());
+        let rel = g.sub(xi, xj);
+        let weighted = g.mul_col(rel, edge_scalar);
+        let update = g.scatter_add_rows(weighted, src.clone(), 4);
+        let newx = g.add(coords, update);
+        let sq = g.mul(newx, newx);
+        g.sum_all(sq)
+    });
+}

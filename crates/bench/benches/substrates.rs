@@ -1,0 +1,212 @@
+//! Criterion microbenchmarks for the substrates underneath the figure
+//! binaries: matmul, E(n)-GNN forward/backward, graph construction,
+//! symmetry generation, UMAP k-NN — plus the two design-choice ablations
+//! from DESIGN.md §5 that are microbenchmark-shaped (equivariant vs plain
+//! encoder cost, AdamW vs SGD step cost).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use matsciml::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tensor/matmul");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    for &n in &[64usize, 128, 256] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Tensor::randn(&[n, n], 0.0, 1.0, &mut rng);
+        let b = Tensor::randn(&[n, n], 0.0, 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| std::hint::black_box(a.matmul(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn egnn_setup(hidden: usize) -> (TaskModel, Vec<Sample>) {
+    let ds = SymmetryDataset::new(64, 2);
+    let model = TaskModel::egnn(
+        EgnnConfig::small(hidden),
+        &[TaskHeadConfig::symmetry(hidden, 2, 32)],
+        1,
+    );
+    let pipeline = Compose::standard(1.2, Some(16));
+    let loader = DataLoader::new(&ds, Some(&pipeline), Split::Train, 0.0, 16, 0);
+    let samples = loader.load(&(0..16).collect::<Vec<_>>());
+    (model, samples)
+}
+
+fn bench_egnn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("egnn");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    let (model, samples) = egnn_setup(24);
+    group.bench_function("forward_b16", |b| {
+        b.iter(|| std::hint::black_box(model.evaluate_batch(&samples)))
+    });
+    group.bench_function("forward_backward_b16", |b| {
+        b.iter(|| {
+            let batch = collate(&samples);
+            let mut ctx = ForwardCtx::train(0);
+            let (mut g, loss, _m) = model.forward(&batch, &mut ctx);
+            g.backward(loss);
+            std::hint::black_box(g.param_grads().count())
+        })
+    });
+    group.finish();
+}
+
+fn bench_encoder_ablation(c: &mut Criterion) {
+    // DESIGN.md §5.3: equivariant vs plain encoder at matched width.
+    let mut group = c.benchmark_group("ablation/encoder");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    let (egnn, samples) = egnn_setup(24);
+    let mpnn = TaskModel::mpnn(
+        MpnnConfig::small(24),
+        &[TaskHeadConfig::symmetry(24, 2, 32)],
+        1,
+    );
+    group.bench_function("egnn_b16", |b| {
+        b.iter(|| std::hint::black_box(egnn.evaluate_batch(&samples)))
+    });
+    group.bench_function("mpnn_b16", |b| {
+        b.iter(|| std::hint::black_box(mpnn.evaluate_batch(&samples)))
+    });
+    group.finish();
+}
+
+fn bench_graph_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph/build");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
+    let ds = SyntheticOc20::new(64, 3);
+    let clouds: Vec<Sample> = (0..32).map(|i| ds.sample(i)).collect();
+    group.bench_function("radius_32_slabs", |b| {
+        b.iter(|| {
+            for s in &clouds {
+                std::hint::black_box(radius_graph(
+                    s.graph.species.clone(),
+                    s.graph.positions.clone(),
+                    4.0,
+                    Some(12),
+                ));
+            }
+        })
+    });
+    group.bench_function("knn_32_slabs", |b| {
+        b.iter(|| {
+            for s in &clouds {
+                std::hint::black_box(knn_graph(
+                    s.graph.species.clone(),
+                    s.graph.positions.clone(),
+                    8,
+                ));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_reordering(c: &mut Criterion) {
+    // The paper's §2.1 cache-reuse observation: gather/scatter over a
+    // batched graph with shuffled node ids vs RCM-reordered ids.
+    let mut group = c.benchmark_group("graph/reorder");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
+    use rand::seq::SliceRandom;
+    // One large batched slab graph (~1.9k nodes) with shuffled numbering.
+    let ds = SyntheticOc20::new(128, 9);
+    let t = GraphTransform::radius(4.0, Some(12));
+    let graphs: Vec<_> = (0..128).map(|i| t.apply(ds.sample(i)).graph).collect();
+    let batch = BatchedGraph::from_graphs(&graphs);
+    let n = batch.merged.num_nodes();
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    perm.shuffle(&mut StdRng::seed_from_u64(3));
+    let shuffled = permute_graph(&batch.merged, &perm);
+    let (reordered, _) = reorder_for_locality(&shuffled);
+
+    let feats = Tensor::randn(&[n, 64], 0.0, 1.0, &mut StdRng::seed_from_u64(4));
+    let run = |g: &MaterialGraph| {
+        let gathered = feats.gather_rows(&g.src);
+        std::hint::black_box(gathered.scatter_add_rows(&g.dst, n))
+    };
+    group.bench_function("scatter_gather_shuffled", |b| b.iter(|| run(&shuffled)));
+    group.bench_function("scatter_gather_rcm", |b| b.iter(|| run(&reordered)));
+    group.finish();
+}
+
+fn bench_symmetry_gen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("symmetry/generate");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
+    let ds = SymmetryDataset::new(1_000_000, 4);
+    group.bench_function("sample_100_clouds", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            for _ in 0..100 {
+                std::hint::black_box(ds.sample(i % 1_000_000));
+                i += 1;
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_umap_knn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("umap/knn");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    let mut rng = StdRng::seed_from_u64(5);
+    let data = Tensor::randn(&[1000, 24], 0.0, 1.0, &mut rng);
+    group.bench_function("exact_knn_n1000_k15", |b| {
+        b.iter(|| std::hint::black_box(exact_knn(&data, 15)))
+    });
+    group.finish();
+}
+
+fn bench_optimizers(c: &mut Criterion) {
+    // DESIGN.md §5.2-adjacent: optimizer step cost AdamW vs SGD on the
+    // experiment model's parameter count.
+    let mut group = c.benchmark_group("ablation/optimizer_step");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
+    let (mut model, samples) = egnn_setup(24);
+    // Populate gradients once.
+    {
+        let batch = collate(&samples);
+        let mut ctx = ForwardCtx::train(0);
+        let (mut g, loss, _m) = model.forward(&batch, &mut ctx);
+        g.backward(loss);
+        model.params.absorb_grads(&g, 1.0);
+    }
+    let mut adamw = AdamW::new(&model.params, AdamWConfig::default());
+    let mut sgd = Sgd::new(&model.params, 1e-3, 0.9);
+    group.bench_function("adamw", |b| b.iter(|| adamw.step(&mut model.params)));
+    group.bench_function("sgd", |b| b.iter(|| sgd.step(&mut model.params)));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_egnn,
+    bench_encoder_ablation,
+    bench_graph_build,
+    bench_reordering,
+    bench_symmetry_gen,
+    bench_umap_knn,
+    bench_optimizers,
+);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! **Figure 6 reproduction** — the training curve of the final pretrained
+//! E(n)-GNN used by every downstream experiment, together with the
+//! monitored learning-rate trace (linear warmup to η_base·N, then
+//! exponential decay with γ = 0.8) and the early-training loss spikes the
+//! paper attributes to Adam's large-batch instability.
+//!
+//! This binary *is* the shared pretraining run: its cached parameters feed
+//! Fig. 4 (dataset exploration), Fig. 5 (fine-tuning) and Table 1 — the
+//! same single-pretrained-model topology as the paper.
+
+use matsciml_bench::{experiment_dir, pretrained_model, render_table, write_artifact, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let dir = experiment_dir("fig6_pretrain_curve");
+
+    let (_model, log) = pretrained_model(scale);
+
+    println!("Figure 6 — pretraining curve (train CE + learning-rate trace)");
+    // Print ~12 evenly spaced rows of the curve.
+    let n = log.records.len();
+    let stride = (n / 12).max(1);
+    let rows: Vec<Vec<String>> = log
+        .records
+        .iter()
+        .step_by(stride)
+        .map(|r| {
+            vec![
+                r.step.to_string(),
+                r.epoch.to_string(),
+                format!("{:.2e}", r.lr),
+                format!("{:.3}", r.train.get("symmetry/sym/ce").unwrap_or(f32::NAN)),
+                format!("{:.3}", r.train.get("symmetry/sym/acc").unwrap_or(f32::NAN)),
+                format!("{:.2}", r.grad_norm),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["step", "epoch", "lr", "train CE", "train acc", "grad norm"],
+            &rows
+        )
+    );
+
+    println!("loss spikes flagged: {:?}", log.spike_steps);
+    println!(
+        "mean gradient time-correlation: {:.3} (Molybog et al.: sustained positive correlation marks the non-Markovian large-batch regime)",
+        log.mean_grad_time_correlation
+    );
+    if let Some(v) = log.final_val() {
+        println!("final validation: {}", v.render());
+    }
+
+    // Shape checks: warmup ramps, then decays; training CE falls overall.
+    let max_lr_step = log
+        .records
+        .iter()
+        .max_by(|a, b| a.lr.total_cmp(&b.lr))
+        .map(|r| r.step)
+        .unwrap_or(0);
+    let first_ce = log
+        .records
+        .first()
+        .and_then(|r| r.train.get("symmetry/sym/ce"))
+        .unwrap_or(f32::NAN);
+    let last_ce = log
+        .records
+        .last()
+        .and_then(|r| r.train.get("symmetry/sym/ce"))
+        .unwrap_or(f32::NAN);
+    println!("shape checks:");
+    println!(
+        "  lr peaks mid-run then decays (peak at step {max_lr_step} of {n}): {}",
+        max_lr_step > 0 && (max_lr_step as usize) < n - 1
+    );
+    println!(
+        "  training CE decreases overall ({first_ce:.3} → {last_ce:.3}): {}",
+        last_ce < first_ce
+    );
+
+    let mut csv = String::from("step,epoch,lr,train_ce,train_acc,grad_norm\n");
+    for r in &log.records {
+        csv.push_str(&format!(
+            "{},{},{},{},{},{}\n",
+            r.step,
+            r.epoch,
+            r.lr,
+            r.train.get("symmetry/sym/ce").unwrap_or(f32::NAN),
+            r.train.get("symmetry/sym/acc").unwrap_or(f32::NAN),
+            r.grad_norm
+        ));
+    }
+    write_artifact(&dir, "fig6.csv", &csv);
+    println!("\nartifacts: {}", dir.display());
+}

@@ -1,0 +1,158 @@
+//! A small dependency-free flag parser for the CLI.
+//!
+//! Supports `--key value`, `--key=value`, bare positionals, and typed
+//! accessors with defaults. Unknown flags are collected and reported so
+//! typos fail loudly instead of silently using defaults.
+
+use std::collections::BTreeMap;
+
+/// Parsed command-line arguments: positionals plus `--key value` flags.
+#[derive(Debug, Default)]
+pub struct Args {
+    positionals: Vec<String>,
+    flags: BTreeMap<String, String>,
+    consumed: std::cell::RefCell<Vec<String>>,
+}
+
+impl Args {
+    /// Parse from an iterator of raw arguments (excluding `argv[0]`).
+    pub fn parse(raw: impl IntoIterator<Item = String>) -> Result<Self, String> {
+        let mut positionals = Vec::new();
+        let mut flags = BTreeMap::new();
+        let mut iter = raw.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(stripped) = arg.strip_prefix("--") {
+                if stripped.is_empty() {
+                    return Err("stray `--`".into());
+                }
+                if let Some((k, v)) = stripped.split_once('=') {
+                    flags.insert(k.to_string(), v.to_string());
+                } else {
+                    // `--flag value` or boolean `--flag`.
+                    match iter.peek() {
+                        Some(next) if !next.starts_with("--") => {
+                            let v = iter.next().expect("peeked");
+                            flags.insert(stripped.to_string(), v);
+                        }
+                        _ => {
+                            flags.insert(stripped.to_string(), "true".to_string());
+                        }
+                    }
+                }
+            } else {
+                positionals.push(arg);
+            }
+        }
+        Ok(Args {
+            positionals,
+            flags,
+            consumed: Default::default(),
+        })
+    }
+
+    /// Positional argument `i`.
+    pub fn positional(&self, i: usize) -> Option<&str> {
+        self.positionals.get(i).map(String::as_str)
+    }
+
+    /// Raw flag value.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.consumed.borrow_mut().push(key.to_string());
+        self.flags.get(key).map(String::as_str)
+    }
+
+    /// String flag with default.
+    pub fn str_or(&self, key: &str, default: &str) -> String {
+        self.get(key).unwrap_or(default).to_string()
+    }
+
+    /// Typed flag with default; errors on unparseable values.
+    pub fn num_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key}: cannot parse `{v}`")),
+        }
+    }
+
+    /// Boolean flag (present or `--key true/false`).
+    pub fn flag(&self, key: &str) -> bool {
+        matches!(self.get(key), Some("true") | Some("1") | Some("yes"))
+    }
+
+    /// Error on any flag that no accessor ever looked at (catches typos).
+    pub fn reject_unknown(&self) -> Result<(), String> {
+        let seen = self.consumed.borrow();
+        let unknown: Vec<&String> = self
+            .flags
+            .keys()
+            .filter(|k| !seen.contains(k))
+            .collect();
+        if unknown.is_empty() {
+            Ok(())
+        } else {
+            Err(format!(
+                "unknown flag(s): {}",
+                unknown
+                    .iter()
+                    .map(|k| format!("--{k}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &[&str]) -> Args {
+        Args::parse(s.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn positionals_and_flags() {
+        let a = parse(&["train", "--steps", "100", "--lr=0.001", "--verbose"]);
+        assert_eq!(a.positional(0), Some("train"));
+        assert_eq!(a.num_or("steps", 0u64).unwrap(), 100);
+        assert_eq!(a.num_or("lr", 0.0f32).unwrap(), 0.001);
+        assert!(a.flag("verbose"));
+        assert!(!a.flag("quiet"));
+    }
+
+    #[test]
+    fn defaults_apply_when_missing() {
+        let a = parse(&["x"]);
+        assert_eq!(a.num_or("steps", 42u64).unwrap(), 42);
+        assert_eq!(a.str_or("out", "default.csv"), "default.csv");
+    }
+
+    #[test]
+    fn bad_number_is_an_error() {
+        let a = parse(&["--steps", "many"]);
+        assert!(a.num_or("steps", 0u64).is_err());
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        let a = parse(&["--stesp", "100"]);
+        let _ = a.num_or("steps", 0u64);
+        let err = a.reject_unknown().unwrap_err();
+        assert!(err.contains("--stesp"));
+    }
+
+    #[test]
+    fn consumed_flags_pass_rejection() {
+        let a = parse(&["--steps", "100"]);
+        let _ = a.num_or("steps", 0u64);
+        assert!(a.reject_unknown().is_ok());
+    }
+
+    #[test]
+    fn negative_numbers_as_values() {
+        let a = parse(&["--offset=-3.5"]);
+        assert_eq!(a.num_or("offset", 0.0f32).unwrap(), -3.5);
+    }
+}

@@ -1,0 +1,34 @@
+//! `matsciml` — command-line front-end for the toolkit.
+
+mod args;
+mod commands;
+
+use args::Args;
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = match Args::parse(raw) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let result = match args.positional(0) {
+        Some("info") => commands::cmd_info(&args),
+        Some("groups") => commands::cmd_groups(&args),
+        Some("generate") => commands::cmd_generate(&args),
+        Some("train") => commands::cmd_train(&args),
+        Some("embed") => commands::cmd_embed(&args),
+        Some("bench") => commands::cmd_bench(&args),
+        Some("help") | None => {
+            commands::usage(&mut std::io::stdout());
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}` (try `matsciml help`)")),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

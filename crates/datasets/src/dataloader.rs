@@ -1,0 +1,183 @@
+//! Splitting, shuffling, and batched loading.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::sample::{Dataset, Sample};
+use crate::transform::Transform;
+
+/// Train/validation split role.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Split {
+    /// Training partition.
+    Train,
+    /// Validation partition.
+    Val,
+}
+
+/// A shuffling, transforming batch loader over a [`Dataset`] partition.
+///
+/// The split is index-striped deterministically from the dataset seed-space
+/// (every `k`-th index is validation), and each epoch's shuffle derives
+/// from `(seed, epoch)` so runs are reproducible.
+pub struct DataLoader<'d> {
+    dataset: &'d dyn Dataset,
+    transform: Option<&'d dyn Transform>,
+    indices: Vec<usize>,
+    batch_size: usize,
+    seed: u64,
+}
+
+impl<'d> DataLoader<'d> {
+    /// Build a loader over one split. `val_fraction` of indices (striped,
+    /// not contiguous) go to validation.
+    pub fn new(
+        dataset: &'d dyn Dataset,
+        transform: Option<&'d dyn Transform>,
+        split: Split,
+        val_fraction: f32,
+        batch_size: usize,
+        seed: u64,
+    ) -> Self {
+        assert!((0.0..1.0).contains(&val_fraction), "val_fraction in [0,1)");
+        assert!(batch_size > 0, "batch_size must be positive");
+        let stride = if val_fraction > 0.0 {
+            (1.0 / val_fraction).round().max(2.0) as usize
+        } else {
+            usize::MAX
+        };
+        let indices: Vec<usize> = (0..dataset.len())
+            .filter(|i| match split {
+                Split::Val => stride != usize::MAX && i % stride == 0,
+                Split::Train => stride == usize::MAX || i % stride != 0,
+            })
+            .collect();
+        DataLoader {
+            dataset,
+            transform,
+            indices,
+            batch_size,
+            seed,
+        }
+    }
+
+    /// Number of samples in this split.
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// True when the split is empty.
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// Number of full batches per epoch (trailing partial batch dropped,
+    /// matching the DDP convention of equal per-rank shards).
+    pub fn batches_per_epoch(&self) -> usize {
+        self.len() / self.batch_size
+    }
+
+    /// Materialize one sample by position within the split (unshuffled).
+    pub fn get(&self, pos: usize) -> Sample {
+        let s = self.dataset.sample(self.indices[pos]);
+        match self.transform {
+            Some(t) => t.apply(s),
+            None => s,
+        }
+    }
+
+    /// The shuffled batch schedule for `epoch`: a vector of index-vectors.
+    pub fn epoch_batches(&self, epoch: u64) -> Vec<Vec<usize>> {
+        let mut order = self.indices.clone();
+        let mut rng = StdRng::seed_from_u64(self.seed ^ epoch.wrapping_mul(0x9E37_79B9));
+        order.shuffle(&mut rng);
+        order
+            .chunks_exact(self.batch_size)
+            .map(|c| c.to_vec())
+            .collect()
+    }
+
+    /// Materialize a batch of dataset indices (from [`Self::epoch_batches`]).
+    pub fn load(&self, batch: &[usize]) -> Vec<Sample> {
+        batch
+            .iter()
+            .map(|&i| {
+                let s = self.dataset.sample(i);
+                match self.transform {
+                    Some(t) => t.apply(s),
+                    None => s,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::SyntheticMaterialsProject;
+    use crate::transform::Compose;
+
+    #[test]
+    fn split_partitions_without_overlap() {
+        let ds = SyntheticMaterialsProject::new(100, 1);
+        let train = DataLoader::new(&ds, None, Split::Train, 0.2, 8, 0);
+        let val = DataLoader::new(&ds, None, Split::Val, 0.2, 8, 0);
+        assert_eq!(train.len() + val.len(), 100);
+        assert_eq!(val.len(), 20);
+        let tset: std::collections::HashSet<_> = train.indices.iter().collect();
+        assert!(val.indices.iter().all(|i| !tset.contains(i)));
+    }
+
+    #[test]
+    fn zero_val_fraction_gives_everything_to_train() {
+        let ds = SyntheticMaterialsProject::new(50, 1);
+        let train = DataLoader::new(&ds, None, Split::Train, 0.0, 5, 0);
+        assert_eq!(train.len(), 50);
+        let val = DataLoader::new(&ds, None, Split::Val, 0.0, 5, 0);
+        assert_eq!(val.len(), 0);
+    }
+
+    #[test]
+    fn epoch_shuffles_are_reproducible_and_distinct() {
+        let ds = SyntheticMaterialsProject::new(64, 1);
+        let dl = DataLoader::new(&ds, None, Split::Train, 0.0, 8, 42);
+        let a = dl.epoch_batches(0);
+        let b = dl.epoch_batches(0);
+        assert_eq!(a, b, "same epoch must shuffle identically");
+        let c = dl.epoch_batches(1);
+        assert_ne!(a, c, "different epochs must shuffle differently");
+        assert_eq!(a.len(), 8);
+        assert!(a.iter().all(|batch| batch.len() == 8));
+    }
+
+    #[test]
+    fn batches_cover_each_index_once_per_epoch() {
+        let ds = SyntheticMaterialsProject::new(32, 1);
+        let dl = DataLoader::new(&ds, None, Split::Train, 0.0, 4, 9);
+        let mut seen: Vec<usize> = dl.epoch_batches(3).into_iter().flatten().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn transform_is_applied_on_load() {
+        let ds = SyntheticMaterialsProject::new(20, 1);
+        let pipeline = Compose::standard(6.0, Some(12));
+        let dl = DataLoader::new(&ds, Some(&pipeline), Split::Train, 0.0, 4, 0);
+        let batch = dl.load(&[0, 1, 2, 3]);
+        assert_eq!(batch.len(), 4);
+        assert!(batch.iter().all(|s| s.graph.num_edges() > 0), "graphs must be wired");
+        let raw = dl.dataset.sample(0);
+        assert_eq!(raw.graph.num_edges(), 0, "dataset itself stays point-cloud");
+    }
+
+    #[test]
+    fn trailing_partial_batch_is_dropped() {
+        let ds = SyntheticMaterialsProject::new(10, 1);
+        let dl = DataLoader::new(&ds, None, Split::Train, 0.0, 4, 0);
+        assert_eq!(dl.batches_per_epoch(), 2);
+        assert_eq!(dl.epoch_batches(0).len(), 2);
+    }
+}

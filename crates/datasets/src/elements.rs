@@ -1,0 +1,163 @@
+//! A compact element-property table.
+//!
+//! Species are identified by their index into [`ELEMENTS`] (the embedding
+//! vocabulary), not by atomic number. Properties are approximate literature
+//! values — Pauling electronegativity, covalent radius in Å, and valence
+//! electron count — and drive the synthetic property functionals, so the
+//! learning tasks have real chemical texture.
+
+/// Static properties of one element.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Element {
+    /// Chemical symbol.
+    pub symbol: &'static str,
+    /// Atomic number.
+    pub z: u32,
+    /// Pauling electronegativity.
+    pub electronegativity: f32,
+    /// Covalent radius (Å).
+    pub radius: f32,
+    /// Valence electron count.
+    pub valence: u32,
+}
+
+macro_rules! el {
+    ($sym:literal, $z:literal, $en:literal, $r:literal, $val:literal) => {
+        Element {
+            symbol: $sym,
+            z: $z,
+            electronegativity: $en,
+            radius: $r,
+            valence: $val,
+        }
+    };
+}
+
+/// The embedding vocabulary: 48 elements spanning the main group and the
+/// common transition metals found in the paper's datasets.
+pub const ELEMENTS: &[Element] = &[
+    el!("H", 1, 2.20, 0.31, 1),
+    el!("Li", 3, 0.98, 1.28, 1),
+    el!("B", 5, 2.04, 0.84, 3),
+    el!("C", 6, 2.55, 0.76, 4),
+    el!("N", 7, 3.04, 0.71, 5),
+    el!("O", 8, 3.44, 0.66, 6),
+    el!("F", 9, 3.98, 0.57, 7),
+    el!("Na", 11, 0.93, 1.66, 1),
+    el!("Mg", 12, 1.31, 1.41, 2),
+    el!("Al", 13, 1.61, 1.21, 3),
+    el!("Si", 14, 1.90, 1.11, 4),
+    el!("P", 15, 2.19, 1.07, 5),
+    el!("S", 16, 2.58, 1.05, 6),
+    el!("Cl", 17, 3.16, 1.02, 7),
+    el!("K", 19, 0.82, 2.03, 1),
+    el!("Ca", 20, 1.00, 1.76, 2),
+    el!("Ti", 22, 1.54, 1.60, 4),
+    el!("V", 23, 1.63, 1.53, 5),
+    el!("Cr", 24, 1.66, 1.39, 6),
+    el!("Mn", 25, 1.55, 1.39, 7),
+    el!("Fe", 26, 1.83, 1.32, 8),
+    el!("Co", 27, 1.88, 1.26, 9),
+    el!("Ni", 28, 1.91, 1.24, 10),
+    el!("Cu", 29, 1.90, 1.32, 11),
+    el!("Zn", 30, 1.65, 1.22, 12),
+    el!("Ga", 31, 1.81, 1.22, 3),
+    el!("Ge", 32, 2.01, 1.20, 4),
+    el!("As", 33, 2.18, 1.19, 5),
+    el!("Se", 34, 2.55, 1.20, 6),
+    el!("Br", 35, 2.96, 1.20, 7),
+    el!("Sr", 38, 0.95, 1.95, 2),
+    el!("Y", 39, 1.22, 1.90, 3),
+    el!("Zr", 40, 1.33, 1.75, 4),
+    el!("Nb", 41, 1.60, 1.64, 5),
+    el!("Mo", 42, 2.16, 1.54, 6),
+    el!("Ru", 44, 2.20, 1.46, 8),
+    el!("Rh", 45, 2.28, 1.42, 9),
+    el!("Pd", 46, 2.20, 1.39, 10),
+    el!("Ag", 47, 1.93, 1.45, 11),
+    el!("Cd", 48, 1.69, 1.44, 12),
+    el!("In", 49, 1.78, 1.42, 3),
+    el!("Sn", 50, 1.96, 1.39, 4),
+    el!("Sb", 51, 2.05, 1.39, 5),
+    el!("Te", 52, 2.10, 1.38, 6),
+    el!("I", 53, 2.66, 1.39, 7),
+    el!("Ba", 56, 0.89, 2.15, 2),
+    el!("W", 74, 2.36, 1.62, 6),
+    el!("Pt", 78, 2.28, 1.36, 10),
+];
+
+/// Embedding vocabulary size.
+pub const NUM_SPECIES: usize = ELEMENTS.len();
+
+/// Look up an element by species index.
+#[inline]
+pub fn element(species: u32) -> &'static Element {
+    &ELEMENTS[species as usize]
+}
+
+/// Species index of a symbol, if present.
+pub fn species_of(symbol: &str) -> Option<u32> {
+    ELEMENTS
+        .iter()
+        .position(|e| e.symbol == symbol)
+        .map(|i| i as u32)
+}
+
+/// Indices of elements commonly occupying the metal ("cation") sublattice
+/// in the synthetic generators.
+pub fn metal_species() -> Vec<u32> {
+    ELEMENTS
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| e.electronegativity < 2.0 && e.symbol != "H")
+        .map(|(i, _)| i as u32)
+        .collect()
+}
+
+/// Indices of elements commonly occupying the anion sublattice.
+pub fn anion_species() -> Vec<u32> {
+    ["N", "O", "F", "S", "Cl", "Se", "Br", "Te", "I"]
+        .iter()
+        .filter_map(|s| species_of(s))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_well_formed() {
+        assert_eq!(NUM_SPECIES, 48);
+        for e in ELEMENTS {
+            assert!(e.electronegativity > 0.5 && e.electronegativity < 4.5, "{}", e.symbol);
+            assert!(e.radius > 0.2 && e.radius < 2.5, "{}", e.symbol);
+            assert!(e.valence >= 1 && e.valence <= 12, "{}", e.symbol);
+        }
+        // Atomic numbers strictly increasing — catches table typos.
+        for w in ELEMENTS.windows(2) {
+            assert!(w[0].z < w[1].z, "{} before {}", w[0].symbol, w[1].symbol);
+        }
+    }
+
+    #[test]
+    fn lookup_by_symbol() {
+        let o = species_of("O").unwrap();
+        assert_eq!(element(o).symbol, "O");
+        assert_eq!(element(o).z, 8);
+        assert!(species_of("Xx").is_none());
+    }
+
+    #[test]
+    fn metal_anion_partition_is_sensible() {
+        let metals = metal_species();
+        let anions = anion_species();
+        assert!(metals.len() >= 20);
+        assert_eq!(anions.len(), 9);
+        // Disjoint.
+        assert!(metals.iter().all(|m| !anions.contains(m)));
+        // Fe is a metal, O an anion.
+        assert!(metals.contains(&species_of("Fe").unwrap()));
+        assert!(anions.contains(&species_of("O").unwrap()));
+    }
+}

@@ -1,0 +1,161 @@
+//! File-backed datasets.
+//!
+//! The original toolkit serves datasets from LMDB files; the equivalent
+//! here is a JSON-lines file of [`Sample`]s (one per line, the format the
+//! CLI's `generate` subcommand emits). Samples are parsed eagerly at open
+//! time — the synthetic datasets are small — and served by index like any
+//! other [`Dataset`].
+
+use std::io::{BufRead, BufReader};
+use std::path::Path;
+
+use crate::sample::{Dataset, DatasetId, Sample};
+
+/// A dataset loaded from a JSON-lines file.
+#[derive(Debug)]
+pub struct JsonlDataset {
+    samples: Vec<Sample>,
+    id: DatasetId,
+}
+
+impl JsonlDataset {
+    /// Open and parse a `.jsonl` file of samples. The dataset id is taken
+    /// from the first sample (mixed-provenance files report
+    /// [`DatasetId::Mixed`]).
+    pub fn open(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let file = std::fs::File::open(&path)?;
+        let reader = BufReader::new(file);
+        let mut samples = Vec::new();
+        for (lineno, line) in reader.lines().enumerate() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let sample: Sample = serde_json::from_str(&line).map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("{}:{}: {e}", path.as_ref().display(), lineno + 1),
+                )
+            })?;
+            samples.push(sample);
+        }
+        if samples.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "empty dataset file",
+            ));
+        }
+        let first = samples[0].dataset;
+        let id = if samples.iter().all(|s| s.dataset == first) {
+            first
+        } else {
+            DatasetId::Mixed
+        };
+        Ok(JsonlDataset { samples, id })
+    }
+
+    /// Write samples to a JSON-lines file (the inverse of [`Self::open`]).
+    pub fn write(path: impl AsRef<Path>, samples: &[Sample]) -> std::io::Result<()> {
+        use std::io::Write;
+        if let Some(dir) = path.as_ref().parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+        for s in samples {
+            let json = serde_json::to_string(s)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+            writeln!(out, "{json}")?;
+        }
+        Ok(())
+    }
+
+    /// Materialize any dataset to disk (the export path behind the CLI's
+    /// `generate --out`).
+    pub fn export(dataset: &dyn Dataset, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let samples: Vec<Sample> = (0..dataset.len()).map(|i| dataset.sample(i)).collect();
+        Self::write(path, &samples)
+    }
+}
+
+impl Dataset for JsonlDataset {
+    fn id(&self) -> DatasetId {
+        self.id
+    }
+
+    fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    fn sample(&self, index: usize) -> Sample {
+        self.samples[index].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{SyntheticCarolina, SyntheticLips, SyntheticMaterialsProject};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("matsciml-file-test-{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn export_and_reopen_roundtrips_samples() {
+        let src = SyntheticMaterialsProject::new(12, 7);
+        let path = tmp("roundtrip.jsonl");
+        JsonlDataset::export(&src, &path).unwrap();
+        let loaded = JsonlDataset::open(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(loaded.len(), 12);
+        assert_eq!(loaded.id(), DatasetId::MaterialsProject);
+        for i in 0..12 {
+            let a = src.sample(i);
+            let b = loaded.sample(i);
+            assert_eq!(a.targets, b.targets);
+            assert_eq!(a.graph.species, b.graph.species);
+            assert_eq!(a.graph.positions, b.graph.positions);
+        }
+    }
+
+    #[test]
+    fn forces_survive_the_file_format() {
+        let src = SyntheticLips::new(3, 1);
+        let path = tmp("forces.jsonl");
+        JsonlDataset::export(&src, &path).unwrap();
+        let loaded = JsonlDataset::open(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let f = loaded.sample(0).forces.expect("forces preserved");
+        assert_eq!(f.len(), 11);
+    }
+
+    #[test]
+    fn mixed_provenance_reports_mixed_id() {
+        let a = SyntheticMaterialsProject::new(2, 1);
+        let b = SyntheticCarolina::new(2, 2);
+        let samples: Vec<Sample> = vec![a.sample(0), b.sample(0)];
+        let path = tmp("mixed.jsonl");
+        JsonlDataset::write(&path, &samples).unwrap();
+        let loaded = JsonlDataset::open(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.id(), DatasetId::Mixed);
+    }
+
+    #[test]
+    fn corrupt_lines_error_with_location() {
+        let path = tmp("corrupt.jsonl");
+        std::fs::write(&path, "not json\n").unwrap();
+        let err = JsonlDataset::open(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(err.to_string().contains(":1:"), "error should cite the line: {err}");
+    }
+
+    #[test]
+    fn empty_file_is_an_error() {
+        let path = tmp("empty.jsonl");
+        std::fs::write(&path, "").unwrap();
+        assert!(JsonlDataset::open(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,262 @@
+//! Crystallographic structure prototypes.
+//!
+//! Each prototype lists the fractional coordinates of one conventional unit
+//! cell with symbolic sublattice slots (A/B/X); the synthetic generators
+//! assign real species to the slots and scale by a lattice constant derived
+//! from covalent radii. These are the textbook prototypes that dominate the
+//! Materials Project and Carolina databases.
+
+use matsciml_tensor::Vec3;
+
+/// Sublattice slot within a prototype cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Slot {
+    /// Electropositive ("cation") site.
+    A,
+    /// Second cation / covalent partner site.
+    B,
+    /// Anion site.
+    X,
+}
+
+/// A named prototype: fractional sites and the crystal-system tag used by
+/// dataset filters (the Carolina database is cubic-only).
+#[derive(Debug, Clone)]
+pub struct Prototype {
+    /// Conventional name (e.g. `"rocksalt"`).
+    pub name: &'static str,
+    /// `(slot, fractional coordinate)` for every site in the cell.
+    pub sites: Vec<(Slot, Vec3)>,
+    /// True when the conventional cell is cubic.
+    pub cubic: bool,
+    /// Aspect ratio `c/a` for non-cubic cells (1.0 when cubic).
+    pub c_over_a: f32,
+}
+
+fn v(x: f32, y: f32, z: f32) -> Vec3 {
+    Vec3::new(x, y, z)
+}
+
+/// Build the prototype catalogue.
+fn catalogue() -> Vec<Prototype> {
+    use Slot::*;
+    vec![
+        Prototype {
+            name: "rocksalt",
+            // NaCl: A on fcc, X on fcc offset by (1/2,0,0).
+            sites: vec![
+                (A, v(0.0, 0.0, 0.0)),
+                (A, v(0.5, 0.5, 0.0)),
+                (A, v(0.5, 0.0, 0.5)),
+                (A, v(0.0, 0.5, 0.5)),
+                (X, v(0.5, 0.0, 0.0)),
+                (X, v(0.0, 0.5, 0.0)),
+                (X, v(0.0, 0.0, 0.5)),
+                (X, v(0.5, 0.5, 0.5)),
+            ],
+            cubic: true,
+            c_over_a: 1.0,
+        },
+        Prototype {
+            name: "cesium-chloride",
+            sites: vec![(A, v(0.0, 0.0, 0.0)), (X, v(0.5, 0.5, 0.5))],
+            cubic: true,
+            c_over_a: 1.0,
+        },
+        Prototype {
+            name: "zincblende",
+            // ZnS: A on fcc, X on the tetrahedral quarter-diagonal sites.
+            sites: vec![
+                (A, v(0.0, 0.0, 0.0)),
+                (A, v(0.5, 0.5, 0.0)),
+                (A, v(0.5, 0.0, 0.5)),
+                (A, v(0.0, 0.5, 0.5)),
+                (X, v(0.25, 0.25, 0.25)),
+                (X, v(0.75, 0.75, 0.25)),
+                (X, v(0.75, 0.25, 0.75)),
+                (X, v(0.25, 0.75, 0.75)),
+            ],
+            cubic: true,
+            c_over_a: 1.0,
+        },
+        Prototype {
+            name: "perovskite",
+            // ABX3: A corner, B center, X face centers.
+            sites: vec![
+                (A, v(0.0, 0.0, 0.0)),
+                (B, v(0.5, 0.5, 0.5)),
+                (X, v(0.5, 0.5, 0.0)),
+                (X, v(0.5, 0.0, 0.5)),
+                (X, v(0.0, 0.5, 0.5)),
+            ],
+            cubic: true,
+            c_over_a: 1.0,
+        },
+        Prototype {
+            name: "fluorite",
+            // CaF2: A on fcc, X filling all eight tetrahedral holes.
+            sites: vec![
+                (A, v(0.0, 0.0, 0.0)),
+                (A, v(0.5, 0.5, 0.0)),
+                (A, v(0.5, 0.0, 0.5)),
+                (A, v(0.0, 0.5, 0.5)),
+                (X, v(0.25, 0.25, 0.25)),
+                (X, v(0.75, 0.25, 0.25)),
+                (X, v(0.25, 0.75, 0.25)),
+                (X, v(0.25, 0.25, 0.75)),
+                (X, v(0.75, 0.75, 0.25)),
+                (X, v(0.75, 0.25, 0.75)),
+                (X, v(0.25, 0.75, 0.75)),
+                (X, v(0.75, 0.75, 0.75)),
+            ],
+            cubic: true,
+            c_over_a: 1.0,
+        },
+        Prototype {
+            name: "rutile",
+            // TiO2 (tetragonal, c/a ≈ 0.64).
+            sites: vec![
+                (A, v(0.0, 0.0, 0.0)),
+                (A, v(0.5, 0.5, 0.5)),
+                (X, v(0.3, 0.3, 0.0)),
+                (X, v(0.7, 0.7, 0.0)),
+                (X, v(0.8, 0.2, 0.5)),
+                (X, v(0.2, 0.8, 0.5)),
+            ],
+            cubic: false,
+            c_over_a: 0.64,
+        },
+        Prototype {
+            name: "layered-cdi2",
+            // CdI2-type layered AX2 (trigonal, modelled in an orthogonal cell).
+            sites: vec![
+                (A, v(0.0, 0.0, 0.0)),
+                (X, v(1.0 / 3.0, 2.0 / 3.0, 0.25)),
+                (X, v(2.0 / 3.0, 1.0 / 3.0, 0.75)),
+            ],
+            cubic: false,
+            c_over_a: 1.61,
+        },
+        Prototype {
+            name: "wurtzite",
+            // Hexagonal AX, modelled in an orthogonal surrogate cell.
+            sites: vec![
+                (A, v(1.0 / 3.0, 2.0 / 3.0, 0.0)),
+                (A, v(2.0 / 3.0, 1.0 / 3.0, 0.5)),
+                (X, v(1.0 / 3.0, 2.0 / 3.0, 0.375)),
+                (X, v(2.0 / 3.0, 1.0 / 3.0, 0.875)),
+            ],
+            cubic: false,
+            c_over_a: 1.63,
+        },
+    ]
+}
+
+/// Every prototype (Materials Project surrogate draws from all of these).
+pub fn all_prototypes() -> &'static [Prototype] {
+    static ALL: std::sync::OnceLock<Vec<Prototype>> = std::sync::OnceLock::new();
+    ALL.get_or_init(catalogue)
+}
+
+/// Cubic prototypes only (the Carolina Materials Database is a catalogue
+/// of hypothetical *cubic* crystals).
+pub fn cubic_prototypes() -> Vec<&'static Prototype> {
+    all_prototypes().iter().filter(|p| p.cubic).collect()
+}
+
+/// Convenience handle mirroring `all_prototypes` for re-export.
+pub static ALL_PROTOTYPES: fn() -> &'static [Prototype] = all_prototypes;
+/// Convenience handle mirroring `cubic_prototypes` for re-export.
+pub static CUBIC_PROTOTYPES: fn() -> Vec<&'static Prototype> = cubic_prototypes;
+
+impl Prototype {
+    /// Count sites of a slot.
+    pub fn slot_count(&self, slot: Slot) -> usize {
+        self.sites.iter().filter(|(s, _)| *s == slot).count()
+    }
+
+    /// Realize Cartesian coordinates for lattice constant `a` (and the
+    /// prototype's `c/a`), returning `(slots, positions)`.
+    pub fn realize(&self, a: f32) -> (Vec<Slot>, Vec<Vec3>) {
+        let c = a * self.c_over_a;
+        let mut slots = Vec::with_capacity(self.sites.len());
+        let mut pos = Vec::with_capacity(self.sites.len());
+        for (slot, f) in &self.sites {
+            slots.push(*slot);
+            pos.push(Vec3::new(f.x * a, f.y * a, f.z * c));
+        }
+        (slots, pos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_contents() {
+        let all = all_prototypes();
+        assert_eq!(all.len(), 8);
+        let cubic = cubic_prototypes();
+        assert_eq!(cubic.len(), 5);
+        assert!(cubic.iter().all(|p| p.cubic && p.c_over_a == 1.0));
+    }
+
+    #[test]
+    fn stoichiometries_are_correct() {
+        let get = |n: &str| all_prototypes().iter().find(|p| p.name == n).unwrap();
+        let rs = get("rocksalt");
+        assert_eq!(rs.slot_count(Slot::A), 4);
+        assert_eq!(rs.slot_count(Slot::X), 4);
+        let pv = get("perovskite");
+        assert_eq!(pv.slot_count(Slot::A), 1);
+        assert_eq!(pv.slot_count(Slot::B), 1);
+        assert_eq!(pv.slot_count(Slot::X), 3);
+        let fl = get("fluorite");
+        assert_eq!(fl.slot_count(Slot::X), 2 * fl.slot_count(Slot::A));
+    }
+
+    #[test]
+    fn fractional_coordinates_are_in_cell() {
+        for p in all_prototypes() {
+            for (_, f) in &p.sites {
+                for c in [f.x, f.y, f.z] {
+                    assert!((0.0..1.0).contains(&c), "{}: coordinate {c} outside cell", p.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn realize_scales_by_lattice_constant() {
+        let pv = all_prototypes().iter().find(|p| p.name == "perovskite").unwrap();
+        let (slots, pos) = pv.realize(4.0);
+        assert_eq!(slots.len(), 5);
+        // B site at the cube center.
+        assert_eq!(pos[1], Vec3::new(2.0, 2.0, 2.0));
+    }
+
+    #[test]
+    fn rutile_respects_c_over_a() {
+        let rt = all_prototypes().iter().find(|p| p.name == "rutile").unwrap();
+        let (_, pos) = rt.realize(4.0);
+        // Second A site is at (1/2, 1/2, 1/2) of a cell with c = 0.64 a.
+        assert!((pos[1].z - 0.5 * 4.0 * 0.64).abs() < 1e-5);
+    }
+
+    #[test]
+    fn no_two_sites_coincide() {
+        for p in all_prototypes() {
+            let (_, pos) = p.realize(4.0);
+            for i in 0..pos.len() {
+                for j in i + 1..pos.len() {
+                    assert!(
+                        (pos[i] - pos[j]).norm() > 0.3,
+                        "{}: sites {i} and {j} overlap",
+                        p.name
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! The transform pipeline (the middle block of the paper's Figure 1):
+//! representation conversion and inductive-bias injection applied per
+//! sample as it is retrieved.
+
+use matsciml_graph::{complete_graph, knn_graph, radius_graph};
+use matsciml_tensor::Vec3;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::sample::Sample;
+
+/// A per-sample transformation. Transforms are stateless w.r.t. the data
+/// stream (any needed randomness is derived from the sample itself plus a
+/// fixed seed) so they commute with sharding.
+pub trait Transform: Send + Sync {
+    /// Apply to one sample, returning the transformed sample.
+    fn apply(&self, sample: Sample) -> Sample;
+    /// Diagnostic name.
+    fn name(&self) -> &'static str;
+}
+
+/// How [`GraphTransform`] wires edges.
+#[derive(Debug, Clone, Copy)]
+pub enum GraphRecipe {
+    /// All pairs within a cutoff radius, optionally degree-capped.
+    Radius {
+        /// Cutoff radius (Å).
+        radius: f32,
+        /// Per-node neighbor cap (closest first).
+        max_neighbors: Option<usize>,
+    },
+    /// k nearest neighbors per node.
+    Knn {
+        /// Neighbor count.
+        k: usize,
+    },
+    /// All ordered pairs — the dense point-cloud representation consumed
+    /// by attention models.
+    Complete,
+}
+
+/// Point cloud → graph conversion: attaches an edge list to the sample's
+/// (previously edgeless) graph. Positions and species are untouched.
+#[derive(Debug, Clone)]
+pub struct GraphTransform {
+    recipe: GraphRecipe,
+}
+
+impl GraphTransform {
+    /// Radius-graph construction.
+    pub fn radius(radius: f32, max_neighbors: Option<usize>) -> Self {
+        GraphTransform {
+            recipe: GraphRecipe::Radius {
+                radius,
+                max_neighbors,
+            },
+        }
+    }
+
+    /// k-NN construction.
+    pub fn knn(k: usize) -> Self {
+        GraphTransform {
+            recipe: GraphRecipe::Knn { k },
+        }
+    }
+
+    /// Complete (all-pairs) construction for point-cloud attention models.
+    pub fn complete() -> Self {
+        GraphTransform {
+            recipe: GraphRecipe::Complete,
+        }
+    }
+}
+
+impl Transform for GraphTransform {
+    fn apply(&self, mut sample: Sample) -> Sample {
+        let species = std::mem::take(&mut sample.graph.species);
+        let positions = std::mem::take(&mut sample.graph.positions);
+        sample.graph = match self.recipe {
+            GraphRecipe::Radius {
+                radius,
+                max_neighbors,
+            } => radius_graph(species, positions, radius, max_neighbors),
+            GraphRecipe::Knn { k } => knn_graph(species, positions, k),
+            GraphRecipe::Complete => complete_graph(species, positions),
+        };
+        sample
+    }
+
+    fn name(&self) -> &'static str {
+        "graph"
+    }
+}
+
+/// Center positions at the centroid (translation normalization).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CenterTransform;
+
+impl Transform for CenterTransform {
+    fn apply(&self, mut sample: Sample) -> Sample {
+        sample.graph.center();
+        sample
+    }
+
+    fn name(&self) -> &'static str {
+        "center"
+    }
+}
+
+/// Additive Gaussian position noise (denoising-style augmentation). The
+/// per-sample RNG is derived from the positions themselves plus a seed, so
+/// the transform stays deterministic under resharding.
+#[derive(Debug, Clone, Copy)]
+pub struct GaussianNoiseTransform {
+    /// Noise standard deviation (Å).
+    pub std: f32,
+    /// Stream seed.
+    pub seed: u64,
+}
+
+impl Transform for GaussianNoiseTransform {
+    fn apply(&self, mut sample: Sample) -> Sample {
+        // Hash the geometry into a seed.
+        let mut h = self.seed;
+        for p in &sample.graph.positions {
+            for c in p.to_array() {
+                h = h
+                    .rotate_left(13)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    ^ c.to_bits() as u64;
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(h);
+        for p in &mut sample.graph.positions {
+            let n = Vec3::new(
+                rng.gen_range(-1.0f32..1.0),
+                rng.gen_range(-1.0f32..1.0),
+                rng.gen_range(-1.0f32..1.0),
+            );
+            *p = *p + n * self.std;
+        }
+        sample
+    }
+
+    fn name(&self) -> &'static str {
+        "gaussian-noise"
+    }
+}
+
+/// A chain of transforms applied in order.
+pub struct Compose {
+    stages: Vec<Box<dyn Transform>>,
+}
+
+impl Compose {
+    /// Build from boxed stages.
+    pub fn new(stages: Vec<Box<dyn Transform>>) -> Self {
+        Compose { stages }
+    }
+
+    /// The standard pipeline used throughout the experiments: center, then
+    /// wire a radius graph.
+    pub fn standard(radius: f32, max_neighbors: Option<usize>) -> Self {
+        Compose::new(vec![
+            Box::new(CenterTransform),
+            Box::new(GraphTransform::radius(radius, max_neighbors)),
+        ])
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// True when no stages are present.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+}
+
+impl Transform for Compose {
+    fn apply(&self, sample: Sample) -> Sample {
+        self.stages.iter().fold(sample, |s, t| t.apply(s))
+    }
+
+    fn name(&self) -> &'static str {
+        "compose"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample::{DatasetId, Targets};
+    use matsciml_graph::MaterialGraph;
+
+    fn cloud() -> Sample {
+        Sample {
+            dataset: DatasetId::MaterialsProject,
+            graph: MaterialGraph::new(
+                vec![0, 1, 2, 3],
+                vec![
+                    Vec3::new(0.0, 0.0, 0.0),
+                    Vec3::new(1.0, 0.0, 0.0),
+                    Vec3::new(0.0, 1.0, 0.0),
+                    Vec3::new(4.0, 4.0, 4.0),
+                ],
+            ),
+            targets: Targets::default(),
+            forces: None,
+        }
+    }
+
+    #[test]
+    fn graph_transform_attaches_edges_and_keeps_atoms() {
+        let t = GraphTransform::radius(1.5, None);
+        let s = t.apply(cloud());
+        assert_eq!(s.graph.num_nodes(), 4);
+        // 0–1 (d=1), 0–2 (d=1), 1–2 (d=√2), each in both directions; the
+        // far atom at (4,4,4) stays isolated.
+        assert_eq!(s.graph.num_edges(), 6);
+        assert!(s.graph.is_symmetric());
+        assert_eq!(s.graph.species, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn knn_transform_connects_isolated_atoms() {
+        let t = GraphTransform::knn(2);
+        let s = t.apply(cloud());
+        // Every node, including the far one, has out-degree 2.
+        assert!(s.graph.out_degrees().iter().all(|&d| d == 2));
+    }
+
+    #[test]
+    fn complete_transform_wires_all_pairs() {
+        let t = GraphTransform::complete();
+        let s = t.apply(cloud());
+        assert_eq!(s.graph.num_edges(), 12);
+    }
+
+    #[test]
+    fn center_moves_centroid_to_origin() {
+        let s = CenterTransform.apply(cloud());
+        assert!(s.graph.centroid().norm() < 1e-6);
+    }
+
+    #[test]
+    fn noise_is_deterministic_per_sample() {
+        let t = GaussianNoiseTransform { std: 0.1, seed: 3 };
+        let a = t.apply(cloud());
+        let b = t.apply(cloud());
+        assert_eq!(a.graph.positions, b.graph.positions);
+        // And actually moves atoms.
+        assert_ne!(a.graph.positions, cloud().graph.positions);
+    }
+
+    #[test]
+    fn compose_runs_in_order() {
+        let pipeline = Compose::standard(1.5, None);
+        assert_eq!(pipeline.len(), 2);
+        let s = pipeline.apply(cloud());
+        assert!(s.graph.centroid().norm() < 1e-6, "centering ran");
+        assert!(s.graph.num_edges() > 0, "graph construction ran");
+    }
+}

@@ -1,0 +1,130 @@
+//! Disjoint-union batching of graphs (DGL's `batch` equivalent).
+
+use serde::{Deserialize, Serialize};
+
+use crate::material_graph::MaterialGraph;
+
+/// Many graphs merged into one: node/edge indices offset so the union is
+/// disjoint, plus a `graph_ids` segment vector mapping each node back to
+/// its source graph (used for per-graph pooling).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BatchedGraph {
+    /// The merged graph.
+    pub merged: MaterialGraph,
+    /// Source graph index of every node (segment ids for pooling).
+    pub graph_ids: Vec<u32>,
+    /// Number of graphs in the batch.
+    pub num_graphs: usize,
+}
+
+impl BatchedGraph {
+    /// Merge a slice of graphs. Panics on an empty slice.
+    pub fn from_graphs(graphs: &[MaterialGraph]) -> Self {
+        assert!(!graphs.is_empty(), "cannot batch zero graphs");
+        let total_nodes: usize = graphs.iter().map(MaterialGraph::num_nodes).sum();
+        let total_edges: usize = graphs.iter().map(MaterialGraph::num_edges).sum();
+
+        let mut species = Vec::with_capacity(total_nodes);
+        let mut positions = Vec::with_capacity(total_nodes);
+        let mut src = Vec::with_capacity(total_edges);
+        let mut dst = Vec::with_capacity(total_edges);
+        let mut graph_ids = Vec::with_capacity(total_nodes);
+
+        let mut offset = 0u32;
+        for (gi, g) in graphs.iter().enumerate() {
+            species.extend_from_slice(&g.species);
+            positions.extend_from_slice(&g.positions);
+            graph_ids.extend(std::iter::repeat_n(gi as u32, g.num_nodes()));
+            src.extend(g.src.iter().map(|&s| s + offset));
+            dst.extend(g.dst.iter().map(|&d| d + offset));
+            offset += g.num_nodes() as u32;
+        }
+
+        BatchedGraph {
+            merged: MaterialGraph {
+                species,
+                positions,
+                src,
+                dst,
+            },
+            graph_ids,
+            num_graphs: graphs.len(),
+        }
+    }
+
+    /// Total node count across the batch.
+    pub fn num_nodes(&self) -> usize {
+        self.merged.num_nodes()
+    }
+
+    /// Total edge count across the batch.
+    pub fn num_edges(&self) -> usize {
+        self.merged.num_edges()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matsciml_tensor::Vec3;
+
+    fn pair_graph(species: u32) -> MaterialGraph {
+        let mut g = MaterialGraph::new(
+            vec![species, species],
+            vec![Vec3::zero(), Vec3::new(1.0, 0.0, 0.0)],
+        );
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        g
+    }
+
+    #[test]
+    fn batch_offsets_edges_and_tracks_segments() {
+        let b = BatchedGraph::from_graphs(&[pair_graph(1), pair_graph(2), pair_graph(3)]);
+        assert_eq!(b.num_graphs, 3);
+        assert_eq!(b.num_nodes(), 6);
+        assert_eq!(b.num_edges(), 6);
+        assert_eq!(b.graph_ids, vec![0, 0, 1, 1, 2, 2]);
+        assert_eq!(b.merged.species, vec![1, 1, 2, 2, 3, 3]);
+        // Second graph's edges must connect nodes 2 and 3.
+        assert_eq!(b.merged.src[2], 2);
+        assert_eq!(b.merged.dst[2], 3);
+        assert_eq!(b.merged.src[4], 4);
+    }
+
+    #[test]
+    fn no_cross_graph_edges() {
+        let b = BatchedGraph::from_graphs(&[pair_graph(0), pair_graph(0)]);
+        for (&s, &d) in b.merged.src.iter().zip(&b.merged.dst) {
+            assert_eq!(
+                b.graph_ids[s as usize], b.graph_ids[d as usize],
+                "edge ({s},{d}) crosses graph boundary"
+            );
+        }
+    }
+
+    #[test]
+    fn singleton_batch_is_identity() {
+        let g = pair_graph(5);
+        let b = BatchedGraph::from_graphs(std::slice::from_ref(&g));
+        assert_eq!(b.merged.species, g.species);
+        assert_eq!(b.merged.src, g.src);
+        assert_eq!(b.graph_ids, vec![0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot batch zero graphs")]
+    fn empty_batch_panics() {
+        let _ = BatchedGraph::from_graphs(&[]);
+    }
+
+    #[test]
+    fn batch_with_edgeless_graph() {
+        let lone = MaterialGraph::new(vec![7], vec![Vec3::zero()]);
+        let b = BatchedGraph::from_graphs(&[lone, pair_graph(1)]);
+        assert_eq!(b.num_nodes(), 3);
+        assert_eq!(b.num_edges(), 2);
+        assert_eq!(b.graph_ids, vec![0, 1, 1]);
+        assert_eq!(b.merged.src, vec![1, 2]);
+    }
+}

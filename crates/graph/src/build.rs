@@ -1,0 +1,249 @@
+//! Graph construction from point clouds.
+//!
+//! Both recipes use a uniform spatial hash grid, giving O(n) expected
+//! construction for the bounded-density point clouds materials produce
+//! (atoms cannot overlap), instead of the naive O(n²) all-pairs scan.
+
+use std::collections::HashMap;
+
+use matsciml_tensor::Vec3;
+
+use crate::material_graph::MaterialGraph;
+
+/// Cells of side `cell` indexed by integer triple.
+struct SpatialGrid {
+    cell: f32,
+    bins: HashMap<(i32, i32, i32), Vec<u32>>,
+}
+
+impl SpatialGrid {
+    fn build(points: &[Vec3], cell: f32) -> Self {
+        let mut bins: HashMap<(i32, i32, i32), Vec<u32>> = HashMap::new();
+        for (i, p) in points.iter().enumerate() {
+            bins.entry(Self::key(p, cell)).or_default().push(i as u32);
+        }
+        SpatialGrid { cell, bins }
+    }
+
+    #[inline]
+    fn key(p: &Vec3, cell: f32) -> (i32, i32, i32) {
+        (
+            (p.x / cell).floor() as i32,
+            (p.y / cell).floor() as i32,
+            (p.z / cell).floor() as i32,
+        )
+    }
+
+    /// Visit every point in the 27-cell neighborhood of `p`.
+    fn for_neighborhood(&self, p: &Vec3, mut f: impl FnMut(u32)) {
+        let (kx, ky, kz) = Self::key(p, self.cell);
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                for dz in -1..=1 {
+                    if let Some(v) = self.bins.get(&(kx + dx, ky + dy, kz + dz)) {
+                        for &i in v {
+                            f(i);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Connect every pair of atoms closer than `radius`, both directions,
+/// optionally capping each node's neighbor count at `max_neighbors`
+/// (closest first), which is the OCP convention for dense slabs.
+pub fn radius_graph(
+    species: Vec<u32>,
+    positions: Vec<Vec3>,
+    radius: f32,
+    max_neighbors: Option<usize>,
+) -> MaterialGraph {
+    assert!(radius > 0.0, "radius must be positive");
+    let grid = SpatialGrid::build(&positions, radius);
+    let r2 = radius * radius;
+    let n = positions.len();
+    let mut graph = MaterialGraph::new(species, positions);
+
+    let mut scratch: Vec<(f32, u32)> = Vec::new();
+    for i in 0..n {
+        scratch.clear();
+        let pi = graph.positions[i];
+        grid.for_neighborhood(&pi, |j| {
+            if j as usize != i {
+                let d2 = (pi - graph.positions[j as usize]).norm_sq();
+                if d2 <= r2 {
+                    scratch.push((d2, j));
+                }
+            }
+        });
+        if let Some(cap) = max_neighbors {
+            if scratch.len() > cap {
+                scratch.sort_by(|a, b| a.0.total_cmp(&b.0));
+                scratch.truncate(cap);
+            }
+        }
+        for &(_, j) in scratch.iter() {
+            graph.src.push(i as u32);
+            graph.dst.push(j);
+        }
+    }
+    graph
+}
+
+/// Connect every ordered pair of distinct atoms (the dense point-cloud
+/// representation: attention-style models see all pairs and need no
+/// structural prior). O(n²) edges — intended for the small clouds
+/// (≲ 50 atoms) the toolkit's point-cloud models consume.
+pub fn complete_graph(species: Vec<u32>, positions: Vec<Vec3>) -> MaterialGraph {
+    let n = positions.len();
+    let mut graph = MaterialGraph::new(species, positions);
+    graph.src.reserve(n * n.saturating_sub(1));
+    graph.dst.reserve(n * n.saturating_sub(1));
+    for i in 0..n as u32 {
+        for j in 0..n as u32 {
+            if i != j {
+                graph.src.push(i);
+                graph.dst.push(j);
+            }
+        }
+    }
+    graph
+}
+
+/// Connect every atom to its `k` nearest neighbors (directed `i -> nbr`,
+/// so in-neighborhoods may exceed k). Falls back to all available
+/// neighbors when the cloud has fewer than `k + 1` atoms.
+pub fn knn_graph(species: Vec<u32>, positions: Vec<Vec3>, k: usize) -> MaterialGraph {
+    let n = positions.len();
+    let graph_k = k.min(n.saturating_sub(1));
+    let mut graph = MaterialGraph::new(species, positions);
+    if graph_k == 0 {
+        return graph;
+    }
+    // Exact k-NN via partial selection; n is tens of atoms for crystals, so
+    // the O(n²) scan is cheaper than a grid here — but keep allocation out
+    // of the inner loop.
+    let mut dists: Vec<(f32, u32)> = Vec::with_capacity(n);
+    for i in 0..n {
+        dists.clear();
+        let pi = graph.positions[i];
+        for (j, pj) in graph.positions.iter().enumerate() {
+            if j != i {
+                dists.push(((pi - *pj).norm_sq(), j as u32));
+            }
+        }
+        dists.select_nth_unstable_by(graph_k - 1, |a, b| a.0.total_cmp(&b.0));
+        for &(_, j) in &dists[..graph_k] {
+            graph.src.push(i as u32);
+            graph.dst.push(j);
+        }
+    }
+    graph
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: usize, spacing: f32) -> Vec<Vec3> {
+        (0..n).map(|i| Vec3::new(i as f32 * spacing, 0.0, 0.0)).collect()
+    }
+
+    #[test]
+    fn radius_graph_connects_only_within_cutoff() {
+        let g = radius_graph(vec![0; 4], line(4, 1.0), 1.5, None);
+        // Chain: each interior node sees 2 neighbors, ends see 1.
+        assert_eq!(g.num_edges(), 6);
+        assert!(g.is_symmetric());
+        assert!(g.edge_lengths_sq().iter().all(|&d| d <= 1.5 * 1.5));
+    }
+
+    #[test]
+    fn radius_graph_cap_keeps_closest() {
+        // Node 0 at origin with 3 neighbors at distances 1, 2, 3.
+        let pts = vec![
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(2.0, 0.0, 0.0),
+            Vec3::new(3.0, 0.0, 0.0),
+        ];
+        let g = radius_graph(vec![0; 4], pts, 10.0, Some(1));
+        // Every node keeps exactly one (closest) neighbor.
+        assert_eq!(g.num_edges(), 4);
+        for (e, (&s, &d)) in g.src.iter().zip(&g.dst).enumerate() {
+            let dist = (g.positions[s as usize] - g.positions[d as usize]).norm();
+            assert!(dist <= 1.0 + 1e-6, "edge {e} kept a non-closest neighbor");
+        }
+    }
+
+    #[test]
+    fn radius_graph_matches_bruteforce() {
+        // Hash-grid construction must agree with the O(n²) reference.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(9);
+        let pts: Vec<Vec3> = (0..60)
+            .map(|_| Vec3::new(rng.gen_range(-3.0..3.0), rng.gen_range(-3.0..3.0), rng.gen_range(-3.0..3.0)))
+            .collect();
+        let r = 1.2f32;
+        let g = radius_graph(vec![0; 60], pts.clone(), r, None);
+        let mut expected: Vec<(u32, u32)> = Vec::new();
+        for i in 0..pts.len() {
+            for j in 0..pts.len() {
+                if i != j && (pts[i] - pts[j]).norm_sq() <= r * r {
+                    expected.push((i as u32, j as u32));
+                }
+            }
+        }
+        let mut got: Vec<(u32, u32)> = g.src.iter().copied().zip(g.dst.iter().copied()).collect();
+        got.sort_unstable();
+        expected.sort_unstable();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn complete_graph_has_all_ordered_pairs() {
+        let g = complete_graph(vec![0; 4], line(4, 1.0));
+        assert_eq!(g.num_edges(), 12);
+        assert!(g.is_symmetric());
+        assert!(g.out_degrees().iter().all(|&d| d == 3));
+        // No self-loops.
+        assert!(g.src.iter().zip(&g.dst).all(|(a, b)| a != b));
+    }
+
+    #[test]
+    fn complete_graph_of_singleton_is_edgeless() {
+        let g = complete_graph(vec![0], line(1, 1.0));
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn knn_graph_has_exact_out_degree() {
+        let g = knn_graph(vec![0; 10], line(10, 1.0), 3);
+        assert!(g.out_degrees().iter().all(|&d| d == 3));
+        assert_eq!(g.num_edges(), 30);
+    }
+
+    #[test]
+    fn knn_on_tiny_clouds_degrades_gracefully() {
+        let g = knn_graph(vec![0; 2], line(2, 1.0), 5);
+        assert_eq!(g.num_edges(), 2);
+        let g1 = knn_graph(vec![0], line(1, 1.0), 5);
+        assert_eq!(g1.num_edges(), 0);
+    }
+
+    #[test]
+    fn knn_picks_nearest() {
+        let pts = vec![
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(5.0, 0.0, 0.0),
+        ];
+        let g = knn_graph(vec![0; 3], pts, 1);
+        // Node 0's single neighbor must be node 1, not node 2.
+        let e0 = g.src.iter().position(|&s| s == 0).unwrap();
+        assert_eq!(g.dst[e0], 1);
+    }
+}

@@ -1,0 +1,39 @@
+//! Graph data structures for atomistic systems.
+//!
+//! A [`MaterialGraph`] is a directed edge list over atoms (the layout GNN
+//! message passing consumes directly: `src`/`dst` index vectors feeding
+//! gather/scatter kernels). Construction from point clouds supports the two
+//! standard recipes — radius cutoff and k-nearest-neighbors — and
+//! [`BatchedGraph`] merges many graphs into one disjoint union with a
+//! `graph_ids` segment vector, mirroring DGL's `batch`.
+
+//! # Example
+//!
+//! ```
+//! use matsciml_graph::{radius_graph, BatchedGraph};
+//! use matsciml_tensor::Vec3;
+//!
+//! let g = radius_graph(
+//!     vec![0, 1],                                  // species
+//!     vec![Vec3::zero(), Vec3::new(1.0, 0.0, 0.0)], // positions
+//!     1.5,                                          // cutoff (Å)
+//!     None,
+//! );
+//! assert_eq!(g.num_edges(), 2); // both directions
+//!
+//! let batch = BatchedGraph::from_graphs(&[g.clone(), g]);
+//! assert_eq!(batch.num_nodes(), 4);
+//! assert_eq!(batch.graph_ids, vec![0, 0, 1, 1]);
+//! ```
+
+#![warn(missing_docs)]
+
+mod batch;
+mod csr;
+mod build;
+mod material_graph;
+
+pub use batch::BatchedGraph;
+pub use csr::{permute_graph, rcm_order, reorder_for_locality, CsrGraph};
+pub use build::{complete_graph, knn_graph, radius_graph};
+pub use material_graph::MaterialGraph;

@@ -1,0 +1,175 @@
+//! The core graph container.
+
+use matsciml_tensor::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// A directed graph over atoms, stored as parallel edge-index vectors.
+///
+/// Nodes carry a species index and a 3-D position; edges are directed
+/// (`src[e] -> dst[e]`) and, for the symmetric constructions in
+/// [`crate::radius_graph`] / [`crate::knn_graph`], come in both directions.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MaterialGraph {
+    /// Species index per node (row into the model's embedding table).
+    pub species: Vec<u32>,
+    /// Cartesian position per node.
+    pub positions: Vec<Vec3>,
+    /// Edge source node indices.
+    pub src: Vec<u32>,
+    /// Edge destination node indices.
+    pub dst: Vec<u32>,
+}
+
+impl MaterialGraph {
+    /// An edgeless graph over the given atoms. Panics unless `species` and
+    /// `positions` have equal length.
+    pub fn new(species: Vec<u32>, positions: Vec<Vec3>) -> Self {
+        assert_eq!(
+            species.len(),
+            positions.len(),
+            "species/positions length mismatch"
+        );
+        MaterialGraph {
+            species,
+            positions,
+            src: Vec::new(),
+            dst: Vec::new(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.species.len()
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.src.len()
+    }
+
+    /// Append a directed edge. Panics on out-of-range endpoints.
+    pub fn add_edge(&mut self, src: u32, dst: u32) {
+        let n = self.num_nodes() as u32;
+        assert!(src < n && dst < n, "edge ({src},{dst}) out of range for {n} nodes");
+        self.src.push(src);
+        self.dst.push(dst);
+    }
+
+    /// Out-degree of every node.
+    pub fn out_degrees(&self) -> Vec<u32> {
+        let mut deg = vec![0u32; self.num_nodes()];
+        for &s in &self.src {
+            deg[s as usize] += 1;
+        }
+        deg
+    }
+
+    /// True when for every edge `(u, v)` the reverse `(v, u)` also exists.
+    pub fn is_symmetric(&self) -> bool {
+        use std::collections::HashSet;
+        let set: HashSet<(u32, u32)> = self.src.iter().copied().zip(self.dst.iter().copied()).collect();
+        set.iter().all(|&(u, v)| set.contains(&(v, u)))
+    }
+
+    /// Squared Euclidean length of every edge.
+    pub fn edge_lengths_sq(&self) -> Vec<f32> {
+        self.src
+            .iter()
+            .zip(&self.dst)
+            .map(|(&s, &d)| (self.positions[s as usize] - self.positions[d as usize]).norm_sq())
+            .collect()
+    }
+
+    /// Flatten positions into a `[n, 3]` row-major buffer (model input).
+    pub fn positions_flat(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.num_nodes() * 3);
+        for p in &self.positions {
+            out.extend_from_slice(&p.to_array());
+        }
+        out
+    }
+
+    /// Centroid of the node positions.
+    pub fn centroid(&self) -> Vec3 {
+        if self.positions.is_empty() {
+            return Vec3::zero();
+        }
+        let mut c = Vec3::zero();
+        for p in &self.positions {
+            c = c + *p;
+        }
+        c * (1.0 / self.positions.len() as f32)
+    }
+
+    /// Translate every node so the centroid sits at the origin.
+    pub fn center(&mut self) {
+        let c = self.centroid();
+        for p in &mut self.positions {
+            *p = *p - c;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tri() -> MaterialGraph {
+        let mut g = MaterialGraph::new(
+            vec![0, 1, 2],
+            vec![
+                Vec3::new(0.0, 0.0, 0.0),
+                Vec3::new(1.0, 0.0, 0.0),
+                Vec3::new(0.0, 2.0, 0.0),
+            ],
+        );
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        g.add_edge(0, 2);
+        g
+    }
+
+    #[test]
+    fn construction_and_counts() {
+        let g = tri();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.out_degrees(), vec![2, 1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn add_edge_checks_bounds() {
+        tri().add_edge(0, 3);
+    }
+
+    #[test]
+    fn symmetry_detection() {
+        let mut g = tri();
+        assert!(!g.is_symmetric());
+        g.add_edge(2, 0);
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn edge_lengths_match_geometry() {
+        let g = tri();
+        let l = g.edge_lengths_sq();
+        assert_eq!(l, vec![1.0, 1.0, 4.0]);
+    }
+
+    #[test]
+    fn centering_moves_centroid_to_origin() {
+        let mut g = tri();
+        g.center();
+        assert!(g.centroid().norm() < 1e-6);
+    }
+
+    #[test]
+    fn positions_flat_is_row_major() {
+        let g = tri();
+        let flat = g.positions_flat();
+        assert_eq!(flat.len(), 9);
+        assert_eq!(&flat[3..6], &[1.0, 0.0, 0.0]);
+    }
+}

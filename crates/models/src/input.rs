@@ -1,0 +1,88 @@
+//! The batched model input: index vectors + coordinate matrix extracted
+//! from a [`BatchedGraph`].
+
+use std::sync::Arc;
+
+use matsciml_graph::BatchedGraph;
+use matsciml_tensor::Tensor;
+
+/// Everything an encoder needs from a batch, in tape-ready form: `Arc`'d
+/// index vectors (shared into gather/scatter ops without copying) and the
+/// `[total_nodes, 3]` coordinate matrix.
+#[derive(Debug, Clone)]
+pub struct ModelInput {
+    /// Species token per node.
+    pub species: Arc<Vec<u32>>,
+    /// Node coordinates, `[n, 3]`.
+    pub coords: Tensor,
+    /// Edge sources.
+    pub src: Arc<Vec<u32>>,
+    /// Edge destinations.
+    pub dst: Arc<Vec<u32>>,
+    /// Node → graph segment ids.
+    pub graph_ids: Arc<Vec<u32>>,
+    /// `1 / (in-degree + 1)` per node, `[n, 1]` — the mean-aggregation
+    /// normalizer for the E(n)-GNN coordinate update.
+    pub inv_degree: Tensor,
+    /// Number of graphs in the batch.
+    pub num_graphs: usize,
+}
+
+impl ModelInput {
+    /// Extract from a batched graph.
+    pub fn from_batched(batch: &BatchedGraph) -> Self {
+        let n = batch.num_nodes();
+        let coords = Tensor::from_vec(&[n, 3], batch.merged.positions_flat())
+            .expect("positions length consistent with node count");
+        let mut degree = vec![0u32; n];
+        for &s in &batch.merged.src {
+            degree[s as usize] += 1;
+        }
+        let inv_degree = Tensor::from_fn(&[n, 1], |i| 1.0 / (degree[i] + 1) as f32);
+        ModelInput {
+            species: Arc::new(batch.merged.species.clone()),
+            coords,
+            src: Arc::new(batch.merged.src.clone()),
+            dst: Arc::new(batch.merged.dst.clone()),
+            graph_ids: Arc::new(batch.graph_ids.clone()),
+            inv_degree,
+            num_graphs: batch.num_graphs,
+        }
+    }
+
+    /// Total node count.
+    pub fn num_nodes(&self) -> usize {
+        self.species.len()
+    }
+
+    /// Total edge count.
+    pub fn num_edges(&self) -> usize {
+        self.src.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matsciml_graph::MaterialGraph;
+    use matsciml_tensor::Vec3;
+
+    #[test]
+    fn extraction_matches_batch() {
+        let mut g1 = MaterialGraph::new(vec![1, 2], vec![Vec3::zero(), Vec3::new(1.0, 0.0, 0.0)]);
+        g1.add_edge(0, 1);
+        g1.add_edge(1, 0);
+        let g2 = MaterialGraph::new(vec![3], vec![Vec3::new(0.0, 2.0, 0.0)]);
+        let batch = BatchedGraph::from_graphs(&[g1, g2]);
+        let input = ModelInput::from_batched(&batch);
+        assert_eq!(input.num_nodes(), 3);
+        assert_eq!(input.num_edges(), 2);
+        assert_eq!(input.num_graphs, 2);
+        assert_eq!(input.coords.shape(), &[3, 3]);
+        assert_eq!(input.coords.at2(2, 1), 2.0);
+        // Degrees: nodes 0 and 1 have one out-edge, node 2 none.
+        assert_eq!(input.inv_degree.at(0), 0.5);
+        assert_eq!(input.inv_degree.at(2), 1.0);
+        assert_eq!(&*input.graph_ids, &[0, 0, 1]);
+    }
+}

@@ -1,0 +1,40 @@
+//! Model zoo: the E(n)-equivariant GNN encoder the paper trains
+//! (Satorras, Hoogeboom & Welling 2022; paper Appendix A), a
+//! non-equivariant MPNN baseline for the architecture ablation, and the
+//! batched input representation both consume.
+//!
+//! Encoders map a batch of atomic graphs to one embedding row per graph
+//! (sum-pooled over nodes — the paper's size-extensive readout); task heads
+//! from `matsciml-nn` then map embeddings to targets.
+
+#![warn(missing_docs)]
+
+mod attention;
+mod egnn;
+mod input;
+mod mpnn;
+
+pub use attention::{AttentionConfig, AttentionEncoder};
+pub use egnn::{EgnnConfig, EgnnEncoder, EgnnLayer};
+pub use input::ModelInput;
+pub use mpnn::{MpnnConfig, MpnnEncoder};
+
+use matsciml_autograd::{Graph, Var};
+use matsciml_nn::{ForwardCtx, ParamSet};
+
+/// Default species-embedding vocabulary, matching
+/// `matsciml_datasets::elements::NUM_SPECIES` (verified by an integration
+/// test; the crates are decoupled to keep the model zoo dataset-agnostic).
+pub fn input_vocab_default() -> usize {
+    48
+}
+
+/// A graph encoder: batched atomic graphs in, one embedding row per graph
+/// out (`[num_graphs, out_dim]`).
+pub trait Encoder: Send + Sync {
+    /// Embedding width.
+    fn out_dim(&self) -> usize;
+    /// Run the encoder on the tape.
+    fn encode(&self, g: &mut Graph, ps: &ParamSet, ctx: &mut ForwardCtx, input: &ModelInput)
+        -> Var;
+}

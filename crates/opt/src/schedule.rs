@@ -1,0 +1,132 @@
+//! Learning-rate schedules.
+//!
+//! The paper's recipe (Section 4.2 / Appendix B): the base rate η_base is
+//! scaled by the DDP world size N (Goyal et al. 2018), ramped linearly from
+//! zero over a warmup of several epochs, then decayed exponentially with
+//! γ = 0.8 per epoch.
+
+use serde::{Deserialize, Serialize};
+
+/// A deterministic mapping from optimizer step to learning rate.
+pub trait LrSchedule: Send + Sync {
+    /// Learning rate at (0-based) step `step`.
+    fn lr(&self, step: u64) -> f32;
+}
+
+/// A constant learning rate.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ConstantLr(
+    /// The rate.
+    pub f32,
+);
+
+impl LrSchedule for ConstantLr {
+    fn lr(&self, _step: u64) -> f32 {
+        self.0
+    }
+}
+
+/// Linear warmup to `peak_lr` over `warmup_steps`, then per-epoch
+/// exponential decay by `gamma`.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct WarmupExpDecay {
+    /// Rate reached at the end of warmup (η_base · N for DDP).
+    pub peak_lr: f32,
+    /// Number of warmup steps (paper: 8 epochs' worth).
+    pub warmup_steps: u64,
+    /// Steps per epoch — decay is applied per completed epoch after warmup.
+    pub steps_per_epoch: u64,
+    /// Per-epoch decay factor (paper: 0.8).
+    pub gamma: f32,
+}
+
+impl WarmupExpDecay {
+    /// The paper's configuration: η_base scaled by `world_size`, warmed up
+    /// over `warmup_epochs`, decayed by γ = 0.8 per epoch.
+    pub fn paper(base_lr: f32, world_size: usize, warmup_epochs: u64, steps_per_epoch: u64) -> Self {
+        WarmupExpDecay {
+            peak_lr: base_lr * world_size as f32,
+            warmup_steps: warmup_epochs * steps_per_epoch,
+            steps_per_epoch: steps_per_epoch.max(1),
+            gamma: 0.8,
+        }
+    }
+}
+
+impl LrSchedule for WarmupExpDecay {
+    fn lr(&self, step: u64) -> f32 {
+        if self.warmup_steps > 0 && step < self.warmup_steps {
+            // Linear ramp; step 0 gets 1/warmup of peak rather than zero so
+            // the very first update is non-trivial.
+            self.peak_lr * (step + 1) as f32 / self.warmup_steps as f32
+        } else {
+            let epochs_past = (step - self.warmup_steps) / self.steps_per_epoch;
+            self.peak_lr * self.gamma.powi(epochs_past as i32)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = ConstantLr(0.3);
+        assert_eq!(s.lr(0), 0.3);
+        assert_eq!(s.lr(1_000_000), 0.3);
+    }
+
+    #[test]
+    fn warmup_ramps_linearly_to_peak() {
+        let s = WarmupExpDecay {
+            peak_lr: 1.0,
+            warmup_steps: 10,
+            steps_per_epoch: 5,
+            gamma: 0.8,
+        };
+        assert!((s.lr(0) - 0.1).abs() < 1e-6);
+        assert!((s.lr(4) - 0.5).abs() < 1e-6);
+        assert!((s.lr(9) - 1.0).abs() < 1e-6);
+        // Monotone during warmup.
+        for t in 1..10 {
+            assert!(s.lr(t) > s.lr(t - 1));
+        }
+    }
+
+    #[test]
+    fn decay_applies_per_epoch_after_warmup() {
+        let s = WarmupExpDecay {
+            peak_lr: 1.0,
+            warmup_steps: 10,
+            steps_per_epoch: 5,
+            gamma: 0.8,
+        };
+        // First post-warmup epoch holds at peak.
+        assert!((s.lr(10) - 1.0).abs() < 1e-6);
+        assert!((s.lr(14) - 1.0).abs() < 1e-6);
+        // Next epoch decayed once, etc.
+        assert!((s.lr(15) - 0.8).abs() < 1e-6);
+        assert!((s.lr(20) - 0.64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn paper_constructor_scales_by_world_size() {
+        let s = WarmupExpDecay::paper(1e-5, 512, 8, 500);
+        assert!((s.peak_lr - 512.0 * 1e-5).abs() < 1e-9);
+        assert_eq!(s.warmup_steps, 4000);
+        assert_eq!(s.gamma, 0.8);
+    }
+
+    #[test]
+    fn zero_warmup_starts_at_peak() {
+        let s = WarmupExpDecay {
+            peak_lr: 0.5,
+            warmup_steps: 0,
+            steps_per_epoch: 10,
+            gamma: 0.5,
+        };
+        assert_eq!(s.lr(0), 0.5);
+        assert_eq!(s.lr(10), 0.25);
+    }
+}

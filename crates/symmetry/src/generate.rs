@@ -1,0 +1,267 @@
+//! Synthetic point-cloud generation from symmetry groups.
+
+use matsciml_tensor::{Mat3, Vec3};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::groups::all_point_groups;
+
+/// Configuration for the pretraining generator.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SymmetryConfig {
+    /// Target total point count per cloud; the seed count is derived as
+    /// `max(1, target / group_order)` so every group yields clouds of
+    /// comparable size.
+    pub target_points: usize,
+    /// Seed positions are drawn uniformly from a spherical shell with these
+    /// radii, keeping seeds away from the origin (where all orbits collapse).
+    pub radius_range: (f32, f32),
+    /// Standard deviation of the Gaussian jitter applied after replication.
+    pub noise_std: f32,
+    /// Apply a uniformly random global rotation so symmetry axes are not
+    /// world-aligned (forces the encoder to learn orientation-independent
+    /// symmetry, and makes the task honest for non-equivariant baselines).
+    pub random_orientation: bool,
+}
+
+impl Default for SymmetryConfig {
+    fn default() -> Self {
+        SymmetryConfig {
+            target_points: 24,
+            radius_range: (0.6, 1.4),
+            noise_std: 0.02,
+            random_orientation: true,
+        }
+    }
+}
+
+/// One pretraining sample: a point cloud and its point-group label.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SymmetrySample {
+    /// The jittered, replicated particle positions.
+    pub points: Vec<Vec3>,
+    /// Index into [`all_point_groups`].
+    pub label: u32,
+}
+
+impl SymmetryConfig {
+    /// Number of classes the generator emits (always 32).
+    pub fn num_classes(&self) -> usize {
+        all_point_groups().len()
+    }
+
+    /// Generate one sample for the given group index.
+    pub fn generate_for_group<R: Rng + ?Sized>(&self, group_idx: usize, rng: &mut R) -> SymmetrySample {
+        let groups = all_point_groups();
+        let group = &groups[group_idx];
+        let order = group.order();
+        let n_seeds = (self.target_points / order).max(1);
+
+        let mut points: Vec<Vec3> = Vec::with_capacity(n_seeds * order);
+        for _ in 0..n_seeds {
+            let seed = self.sample_seed(rng);
+            for op in &group.ops {
+                let img = op.apply(seed);
+                // Merge (near-)coincident images: a seed close to a
+                // symmetry element maps onto itself — the crystallographic
+                // "special position" case — so snap such orbits together.
+                if !points.iter().any(|p| (*p - img).norm_sq() < 1e-4) {
+                    points.push(img);
+                }
+            }
+        }
+
+        // Random global orientation before jitter.
+        if self.random_orientation {
+            let rot = random_rotation(rng);
+            for p in &mut points {
+                *p = rot.apply(*p);
+            }
+        }
+
+        if self.noise_std > 0.0 {
+            for p in &mut points {
+                *p = *p
+                    + Vec3::new(
+                        gauss(rng) * self.noise_std,
+                        gauss(rng) * self.noise_std,
+                        gauss(rng) * self.noise_std,
+                    );
+            }
+        }
+
+        SymmetrySample {
+            points,
+            label: group_idx as u32,
+        }
+    }
+
+    /// Generate one sample with a uniformly random group label — the
+    /// paper's key data property: classes can be sampled uniformly at
+    /// arbitrary scale, unlike selection-biased real datasets.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> SymmetrySample {
+        let idx = rng.gen_range(0..all_point_groups().len());
+        self.generate_for_group(idx, rng)
+    }
+
+    /// Uniform point in the configured spherical shell.
+    fn sample_seed<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec3 {
+        let (lo, hi) = self.radius_range;
+        // Uniform direction via normalized Gaussian triple.
+        let dir = Vec3::new(gauss(rng), gauss(rng), gauss(rng)).normalized();
+        // Uniform-in-volume radius within the shell.
+        let u: f32 = rng.gen();
+        let r = (lo.powi(3) + u * (hi.powi(3) - lo.powi(3))).cbrt();
+        dir * r
+    }
+}
+
+/// Uniformly random rotation (axis from a normalized Gaussian triple,
+/// angle uniform in [0, 2π) — adequate isotropy for data augmentation).
+pub(crate) fn random_rotation<R: Rng + ?Sized>(rng: &mut R) -> Mat3 {
+    let axis = Vec3::new(gauss(rng), gauss(rng), gauss(rng)).normalized();
+    let angle = rng.gen_range(0.0..(2.0 * std::f32::consts::PI));
+    Mat3::rotation(axis, angle)
+}
+
+#[inline]
+fn gauss<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+    // Box–Muller, matching matsciml-tensor's initializers.
+    let u1: f64 = loop {
+        let u: f64 = rng.gen();
+        if u > f64::EPSILON {
+            break u;
+        }
+    };
+    let u2: f64 = rng.gen();
+    ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::groups::group_by_name;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn noiseless() -> SymmetryConfig {
+        SymmetryConfig {
+            target_points: 24,
+            radius_range: (0.8, 1.2),
+            noise_std: 0.0,
+            random_orientation: false,
+        }
+    }
+
+    /// Check a cloud is invariant (as a set) under every group op.
+    fn invariant_under(points: &[Vec3], group: &crate::PointGroup, tol: f32) -> bool {
+        group.ops.iter().all(|op| {
+            points.iter().all(|&p| {
+                let img = op.apply(p);
+                points.iter().any(|&q| (q - img).norm() < tol)
+            })
+        })
+    }
+
+    #[test]
+    fn noiseless_clouds_are_exactly_symmetric() {
+        let cfg = noiseless();
+        let mut rng = StdRng::seed_from_u64(1);
+        for (idx, group) in all_point_groups().iter().enumerate() {
+            let s = cfg.generate_for_group(idx, &mut rng);
+            assert_eq!(s.label, idx as u32);
+            // Tolerance covers the generator's special-position merging
+            // (images within 0.01 snap together).
+            assert!(
+                invariant_under(&s.points, group, 2e-2),
+                "cloud for {} is not invariant under its own group",
+                group.name
+            );
+        }
+    }
+
+    #[test]
+    fn cloud_sizes_track_target() {
+        let cfg = noiseless();
+        let mut rng = StdRng::seed_from_u64(2);
+        for idx in 0..all_point_groups().len() {
+            let s = cfg.generate_for_group(idx, &mut rng);
+            let order = all_point_groups()[idx].order();
+            let seeds = (cfg.target_points / order).max(1);
+            // Generic seeds each contribute a full orbit; the rare seed
+            // near a symmetry element merges a few images.
+            assert!(
+                s.points.len() <= seeds * order && s.points.len() >= seeds * order / 2,
+                "group {}: {} points for {} seeds x order {}",
+                all_point_groups()[idx].name,
+                s.points.len(),
+                seeds,
+                order
+            );
+        }
+    }
+
+    #[test]
+    fn c1_cloud_is_generically_asymmetric() {
+        // A C1 cloud should NOT be invariant under, e.g., C4 — otherwise
+        // the classification task would be ill-posed.
+        let cfg = noiseless();
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = cfg.generate_for_group(0, &mut rng); // C1
+        let c4 = group_by_name("C4").unwrap();
+        assert!(!invariant_under(&s.points, c4, 1e-2));
+    }
+
+    #[test]
+    fn noise_perturbs_but_preserves_scale() {
+        let mut cfg = noiseless();
+        cfg.noise_std = 0.02;
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = cfg.generate_for_group(10, &mut rng);
+        for p in &s.points {
+            let r = p.norm();
+            assert!(r > 0.5 && r < 1.5, "radius {r} outside jittered shell");
+        }
+    }
+
+    #[test]
+    fn random_orientation_rotates_cloud_rigidly() {
+        let mut cfg = noiseless();
+        cfg.random_orientation = true;
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = cfg.generate_for_group(14, &mut rng); // D4h
+        // Pairwise distance multiset must still be invariant under the
+        // group in *some* orientation — cheap proxy: the cloud remains on
+        // the shell and pair distances match those of an unrotated twin
+        // generated from the same seed state. Instead we just verify rigid
+        // motion: all radii preserved within fp error.
+        for p in &s.points {
+            let r = p.norm();
+            assert!(r > 0.79 && r < 1.21);
+        }
+    }
+
+    #[test]
+    fn uniform_sampling_covers_all_classes() {
+        let cfg = SymmetryConfig::default();
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut seen = vec![false; cfg.num_classes()];
+        for _ in 0..2000 {
+            let s = cfg.generate(&mut rng);
+            seen[s.label as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "some classes never sampled");
+    }
+
+    #[test]
+    fn determinism_from_seed() {
+        let cfg = SymmetryConfig::default();
+        let a = cfg.generate(&mut StdRng::seed_from_u64(7));
+        let b = cfg.generate(&mut StdRng::seed_from_u64(7));
+        assert_eq!(a.label, b.label);
+        assert_eq!(a.points.len(), b.points.len());
+        for (p, q) in a.points.iter().zip(&b.points) {
+            assert_eq!(p, q);
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! The 32 crystallographic point groups, built by closing generator sets.
+
+use std::f32::consts::PI;
+use std::sync::OnceLock;
+
+use matsciml_tensor::{Mat3, Vec3};
+
+/// A finite point group: its Schoenflies name and complete operation list
+/// (orthogonal 3×3 matrices, identity included).
+#[derive(Debug, Clone)]
+pub struct PointGroup {
+    /// Schoenflies symbol, e.g. `"C4v"`, `"Oh"`.
+    pub name: &'static str,
+    /// Every group element.
+    pub ops: Vec<Mat3>,
+}
+
+impl PointGroup {
+    /// Group order (number of elements).
+    pub fn order(&self) -> usize {
+        self.ops.len()
+    }
+}
+
+const TOL: f32 = 1e-4;
+
+/// Entry values that occur in crystallographic point-group matrices when
+/// the principal axis is z and the C2'/σv elements are x-aligned:
+/// 0, ±1/2, ±√3/2, ±1. Snapping each product to this lattice keeps the
+/// closure exact despite f32 rounding in repeated multiplication.
+fn snap(m: Mat3) -> Mat3 {
+    const VALUES: [f32; 4] = [0.0, 0.5, 0.866_025_4, 1.0];
+    let mut rows = m.rows;
+    for row in &mut rows {
+        for v in row.iter_mut() {
+            let mag = v.abs();
+            let nearest = VALUES
+                .iter()
+                .copied()
+                .min_by(|a, b| (a - mag).abs().total_cmp(&(b - mag).abs()))
+                .unwrap();
+            assert!(
+                (nearest - mag).abs() < 1e-3,
+                "matrix entry {v} is not near the crystallographic value lattice"
+            );
+            *v = nearest.copysign(*v);
+        }
+    }
+    Mat3 { rows }
+}
+
+/// Close a generator set under multiplication. Orders here are ≤ 48, so the
+/// quadratic fixed-point iteration is instantaneous.
+fn close(generators: &[Mat3]) -> Vec<Mat3> {
+    let mut ops = vec![Mat3::IDENTITY];
+    let mut frontier: Vec<Mat3> = generators.iter().copied().map(snap).collect();
+    while let Some(m) = frontier.pop() {
+        if ops.iter().any(|o| o.max_abs_diff(&m) < TOL) {
+            continue;
+        }
+        // New element: record it, then seed products with everything known
+        // (both orders, including m·m) back onto the frontier.
+        ops.push(m);
+        for o in ops.clone() {
+            frontier.push(snap(o * m));
+            frontier.push(snap(m * o));
+        }
+        assert!(
+            ops.len() <= 48,
+            "group closure exceeded the crystallographic maximum of 48 — bad generators"
+        );
+    }
+    ops
+}
+
+fn rot_z(n: u32) -> Mat3 {
+    Mat3::rotation(Vec3::new(0.0, 0.0, 1.0), 2.0 * PI / n as f32)
+}
+
+fn s_z(n: u32) -> Mat3 {
+    Mat3::rotoreflection(Vec3::new(0.0, 0.0, 1.0), 2.0 * PI / n as f32)
+}
+
+fn c2_x() -> Mat3 {
+    Mat3::rotation(Vec3::new(1.0, 0.0, 0.0), PI)
+}
+
+fn sigma_h() -> Mat3 {
+    Mat3::reflection(Vec3::new(0.0, 0.0, 1.0))
+}
+
+fn sigma_v() -> Mat3 {
+    Mat3::reflection(Vec3::new(1.0, 0.0, 0.0))
+}
+
+fn c3_diag() -> Mat3 {
+    Mat3::rotation(Vec3::new(1.0, 1.0, 1.0), 2.0 * PI / 3.0)
+}
+
+fn inv() -> Mat3 {
+    Mat3::inversion()
+}
+
+/// All 32 crystallographic point groups, in a fixed label order shared by
+/// the pretraining dataset and the classifier head. Built once and cached.
+pub fn all_point_groups() -> &'static [PointGroup] {
+    static GROUPS: OnceLock<Vec<PointGroup>> = OnceLock::new();
+    GROUPS.get_or_init(|| {
+        let g = |name: &'static str, gens: &[Mat3]| PointGroup {
+            name,
+            ops: close(gens),
+        };
+        vec![
+            // Triclinic
+            g("C1", &[]),
+            g("Ci", &[inv()]),
+            // Monoclinic
+            g("C2", &[rot_z(2)]),
+            g("Cs", &[sigma_h()]),
+            g("C2h", &[rot_z(2), sigma_h()]),
+            // Orthorhombic
+            g("D2", &[rot_z(2), c2_x()]),
+            g("C2v", &[rot_z(2), sigma_v()]),
+            g("D2h", &[rot_z(2), c2_x(), sigma_h()]),
+            // Tetragonal
+            g("C4", &[rot_z(4)]),
+            g("S4", &[s_z(4)]),
+            g("C4h", &[rot_z(4), sigma_h()]),
+            g("D4", &[rot_z(4), c2_x()]),
+            g("C4v", &[rot_z(4), sigma_v()]),
+            g("D2d", &[s_z(4), c2_x()]),
+            g("D4h", &[rot_z(4), c2_x(), sigma_h()]),
+            // Trigonal
+            g("C3", &[rot_z(3)]),
+            g("S6", &[s_z(6)]),
+            g("D3", &[rot_z(3), c2_x()]),
+            g("C3v", &[rot_z(3), sigma_v()]),
+            g("D3d", &[s_z(6), c2_x()]),
+            // Hexagonal
+            g("C6", &[rot_z(6)]),
+            g("C3h", &[rot_z(3), sigma_h()]),
+            g("C6h", &[rot_z(6), sigma_h()]),
+            g("D6", &[rot_z(6), c2_x()]),
+            g("C6v", &[rot_z(6), sigma_v()]),
+            g("D3h", &[rot_z(3), sigma_h(), c2_x()]),
+            g("D6h", &[rot_z(6), c2_x(), sigma_h()]),
+            // Cubic
+            g("T", &[rot_z(2), c3_diag()]),
+            g("Th", &[rot_z(2), c3_diag(), inv()]),
+            g("O", &[rot_z(4), c3_diag()]),
+            g("Td", &[s_z(4), c3_diag()]),
+            g("Oh", &[rot_z(4), c3_diag(), inv()]),
+        ]
+    })
+}
+
+/// Look up a group by Schoenflies symbol.
+pub fn group_by_name(name: &str) -> Option<&'static PointGroup> {
+    all_point_groups().iter().find(|g| g.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Known orders of the 32 crystallographic point groups.
+    const EXPECTED_ORDERS: &[(&str, usize)] = &[
+        ("C1", 1),
+        ("Ci", 2),
+        ("C2", 2),
+        ("Cs", 2),
+        ("C2h", 4),
+        ("D2", 4),
+        ("C2v", 4),
+        ("D2h", 8),
+        ("C4", 4),
+        ("S4", 4),
+        ("C4h", 8),
+        ("D4", 8),
+        ("C4v", 8),
+        ("D2d", 8),
+        ("D4h", 16),
+        ("C3", 3),
+        ("S6", 6),
+        ("D3", 6),
+        ("C3v", 6),
+        ("D3d", 12),
+        ("C6", 6),
+        ("C3h", 6),
+        ("C6h", 12),
+        ("D6", 12),
+        ("C6v", 12),
+        ("D3h", 12),
+        ("D6h", 24),
+        ("T", 12),
+        ("Th", 24),
+        ("O", 24),
+        ("Td", 24),
+        ("Oh", 48),
+    ];
+
+    #[test]
+    fn there_are_exactly_32_groups() {
+        assert_eq!(all_point_groups().len(), 32);
+    }
+
+    #[test]
+    fn group_orders_match_crystallography() {
+        for &(name, order) in EXPECTED_ORDERS {
+            let g = group_by_name(name).unwrap_or_else(|| panic!("missing group {name}"));
+            assert_eq!(g.order(), order, "group {name} has wrong order");
+        }
+    }
+
+    #[test]
+    fn every_element_is_orthogonal() {
+        for g in all_point_groups() {
+            for (i, op) in g.ops.iter().enumerate() {
+                assert!(op.is_orthogonal(1e-4), "{}: element {i} not orthogonal", g.name);
+                let d = op.det().abs();
+                assert!((d - 1.0).abs() < 1e-4, "{}: |det| = {d}", g.name);
+            }
+        }
+    }
+
+    #[test]
+    fn groups_are_closed_under_multiplication() {
+        for g in all_point_groups() {
+            for a in &g.ops {
+                for b in &g.ops {
+                    let p = *a * *b;
+                    assert!(
+                        g.ops.iter().any(|o| o.max_abs_diff(&p) < 1e-3),
+                        "{} is not closed",
+                        g.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn groups_contain_inverses() {
+        // For orthogonal matrices the inverse is the transpose.
+        for g in all_point_groups() {
+            for a in &g.ops {
+                let inv = a.transpose();
+                assert!(
+                    g.ops.iter().any(|o| o.max_abs_diff(&inv) < 1e-3),
+                    "{} is missing an inverse",
+                    g.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn identity_is_always_first() {
+        for g in all_point_groups() {
+            assert!(g.ops[0].max_abs_diff(&Mat3::IDENTITY) < 1e-6, "{}", g.name);
+        }
+    }
+
+    #[test]
+    fn proper_subgroups_relate_correctly() {
+        // The rotation subgroup of Oh is O; check |Oh ∩ SO(3)| = 24.
+        let oh = group_by_name("Oh").unwrap();
+        let proper = oh.ops.iter().filter(|o| o.det() > 0.0).count();
+        assert_eq!(proper, 24);
+        // D4h's proper rotations form D4 (order 8).
+        let d4h = group_by_name("D4h").unwrap();
+        assert_eq!(d4h.ops.iter().filter(|o| o.det() > 0.0).count(), 8);
+    }
+
+    #[test]
+    fn unknown_name_returns_none() {
+        assert!(group_by_name("K7").is_none());
+    }
+}

@@ -1,0 +1,230 @@
+//! Elementwise kernels and broadcasting variants.
+//!
+//! Broadcasting is deliberately restricted to the two patterns the toolkit
+//! needs (mirroring what the autograd layer differentiates):
+//!
+//! * **row broadcast** — combine `[m, n]` with a `[n]` (or `[1, n]`) vector,
+//!   applied to every row; used for biases and per-feature gains.
+//! * **col broadcast** — combine `[m, n]` with a `[m, 1]` (or `[m]`) column,
+//!   applied across every column; used for per-edge scalars scaling relative
+//!   position vectors in the E(n)-GNN coordinate update.
+
+use crate::shape::assert_same_shape;
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Apply `f` to every element, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+        let mut out = self.clone();
+        out.as_mut_slice().iter_mut().for_each(|v| *v = f(*v));
+        out
+    }
+
+    /// Apply `f` in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        self.as_mut_slice().iter_mut().for_each(|v| *v = f(*v));
+    }
+
+    /// Combine two same-shaped tensors elementwise with `f`.
+    pub fn zip_map(&self, rhs: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_same_shape("zip_map", &self.shape, &rhs.shape);
+        let mut out = self.clone();
+        out.as_mut_slice()
+            .iter_mut()
+            .zip(rhs.as_slice())
+            .for_each(|(a, &b)| *a = f(*a, b));
+        out
+    }
+
+    /// Elementwise addition.
+    pub fn add(&self, rhs: &Tensor) -> Tensor {
+        assert_same_shape("add", &self.shape, &rhs.shape);
+        self.zip_map(rhs, |a, b| a + b)
+    }
+
+    /// Elementwise subtraction.
+    pub fn sub(&self, rhs: &Tensor) -> Tensor {
+        assert_same_shape("sub", &self.shape, &rhs.shape);
+        self.zip_map(rhs, |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn mul(&self, rhs: &Tensor) -> Tensor {
+        assert_same_shape("mul", &self.shape, &rhs.shape);
+        self.zip_map(rhs, |a, b| a * b)
+    }
+
+    /// Elementwise division.
+    pub fn div(&self, rhs: &Tensor) -> Tensor {
+        assert_same_shape("div", &self.shape, &rhs.shape);
+        self.zip_map(rhs, |a, b| a / b)
+    }
+
+    /// Multiply every element by `s`.
+    pub fn scale(&self, s: f32) -> Tensor {
+        self.map(|v| v * s)
+    }
+
+    /// Add `s` to every element.
+    pub fn add_scalar(&self, s: f32) -> Tensor {
+        self.map(|v| v + s)
+    }
+
+    /// Negate every element.
+    pub fn neg(&self) -> Tensor {
+        self.map(|v| -v)
+    }
+
+    /// `self += rhs * s` in place (axpy). Used heavily by the optimizers.
+    pub fn add_scaled_inplace(&mut self, rhs: &Tensor, s: f32) {
+        assert_same_shape("add_scaled_inplace", &self.shape, &rhs.shape);
+        self.as_mut_slice()
+            .iter_mut()
+            .zip(rhs.as_slice())
+            .for_each(|(a, &b)| *a += b * s);
+    }
+
+    /// Set all elements to zero without reallocating.
+    pub fn fill_inplace(&mut self, value: f32) {
+        self.as_mut_slice().fill(value);
+    }
+
+    /// Add a row vector `bias` (`[n]` or `[1, n]`) to every row of `[m, n]`.
+    pub fn add_row_broadcast(&self, bias: &Tensor) -> Tensor {
+        let (m, n) = (self.rows(), self.cols());
+        assert_eq!(
+            bias.numel(),
+            n,
+            "add_row_broadcast: bias has {} elements, expected {n}",
+            bias.numel()
+        );
+        let b = bias.as_slice();
+        let mut out = self.clone();
+        let data = out.as_mut_slice();
+        for r in 0..m {
+            let row = &mut data[r * n..(r + 1) * n];
+            row.iter_mut().zip(b).for_each(|(v, &bv)| *v += bv);
+        }
+        out
+    }
+
+    /// Multiply every row of `[m, n]` by a row vector `gain` (`[n]`).
+    pub fn mul_row_broadcast(&self, gain: &Tensor) -> Tensor {
+        let (m, n) = (self.rows(), self.cols());
+        assert_eq!(
+            gain.numel(),
+            n,
+            "mul_row_broadcast: gain has {} elements, expected {n}",
+            gain.numel()
+        );
+        let g = gain.as_slice();
+        let mut out = self.clone();
+        let data = out.as_mut_slice();
+        for r in 0..m {
+            let row = &mut data[r * n..(r + 1) * n];
+            row.iter_mut().zip(g).for_each(|(v, &gv)| *v *= gv);
+        }
+        out
+    }
+
+    /// Multiply every column of `[m, n]` by a column vector `col` (`[m]` or
+    /// `[m, 1]`): `out[r, c] = self[r, c] * col[r]`.
+    pub fn mul_col_broadcast(&self, col: &Tensor) -> Tensor {
+        let (m, n) = (self.rows(), self.cols());
+        assert_eq!(
+            col.numel(),
+            m,
+            "mul_col_broadcast: column has {} elements, expected {m}",
+            col.numel()
+        );
+        let c = col.as_slice();
+        let mut out = self.clone();
+        let data = out.as_mut_slice();
+        for r in 0..m {
+            let s = c[r];
+            data[r * n..(r + 1) * n].iter_mut().for_each(|v| *v *= s);
+        }
+        out
+    }
+
+    /// Clamp every element into `[lo, hi]`.
+    pub fn clamp(&self, lo: f32, hi: f32) -> Tensor {
+        self.map(|v| v.clamp(lo, hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(shape: &[usize], data: &[f32]) -> Tensor {
+        Tensor::from_vec(shape, data.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn basic_arithmetic() {
+        let a = t(&[2, 2], &[1.0, 2.0, 3.0, 4.0]);
+        let b = t(&[2, 2], &[4.0, 3.0, 2.0, 1.0]);
+        assert_eq!(a.add(&b).as_slice(), &[5.0; 4]);
+        assert_eq!(a.sub(&b).as_slice(), &[-3.0, -1.0, 1.0, 3.0]);
+        assert_eq!(a.mul(&b).as_slice(), &[4.0, 6.0, 6.0, 4.0]);
+        assert_eq!(a.div(&b).as_slice(), &[0.25, 2.0 / 3.0, 1.5, 4.0]);
+        assert_eq!(a.scale(2.0).as_slice(), &[2.0, 4.0, 6.0, 8.0]);
+        assert_eq!(a.neg().as_slice(), &[-1.0, -2.0, -3.0, -4.0]);
+        assert_eq!(a.add_scalar(1.0).as_slice(), &[2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn add_rejects_mismatched_shapes() {
+        let a = Tensor::zeros(&[2, 2]);
+        let b = Tensor::zeros(&[4]);
+        let _ = a.add(&b);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = t(&[3], &[1.0, 1.0, 1.0]);
+        let b = t(&[3], &[1.0, 2.0, 3.0]);
+        a.add_scaled_inplace(&b, 0.5);
+        assert_eq!(a.as_slice(), &[1.5, 2.0, 2.5]);
+    }
+
+    #[test]
+    fn row_broadcast_add_and_mul() {
+        let x = t(&[2, 3], &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = t(&[3], &[10.0, 20.0, 30.0]);
+        assert_eq!(
+            x.add_row_broadcast(&b).as_slice(),
+            &[11.0, 22.0, 33.0, 14.0, 25.0, 36.0]
+        );
+        assert_eq!(
+            x.mul_row_broadcast(&b).as_slice(),
+            &[10.0, 40.0, 90.0, 40.0, 100.0, 180.0]
+        );
+    }
+
+    #[test]
+    fn col_broadcast_scales_rows() {
+        let x = t(&[2, 3], &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let c = t(&[2], &[2.0, -1.0]);
+        assert_eq!(
+            x.mul_col_broadcast(&c).as_slice(),
+            &[2.0, 4.0, 6.0, -4.0, -5.0, -6.0]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "mul_col_broadcast")]
+    fn col_broadcast_rejects_bad_length() {
+        let x = Tensor::zeros(&[2, 3]);
+        let c = Tensor::zeros(&[3]);
+        let _ = x.mul_col_broadcast(&c);
+    }
+
+    #[test]
+    fn clamp_bounds_values() {
+        let x = t(&[4], &[-2.0, -0.5, 0.5, 2.0]);
+        assert_eq!(x.clamp(-1.0, 1.0).as_slice(), &[-1.0, -0.5, 0.5, 1.0]);
+    }
+}

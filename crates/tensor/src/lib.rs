@@ -1,0 +1,55 @@
+//! Dense `f32` tensor substrate for the Open MatSci ML Toolkit reproduction.
+//!
+//! This crate is the lowest layer of the workspace: a small, fast,
+//! row-major, always-contiguous tensor type with exactly the operations the
+//! rest of the toolkit needs — elementwise kernels, a cache-blocked and
+//! rayon-parallel matrix multiply, reductions with f64 accumulators, the
+//! gather/scatter/segment primitives that graph neural network message
+//! passing lowers to, and deterministic random initializers.
+//!
+//! Design notes:
+//!
+//! * Storage is `Arc<Vec<f32>>`, so cloning a [`Tensor`] is O(1) and
+//!   mutation is copy-on-write (`Arc::make_mut`). This is what makes the
+//!   autograd tape and the DDP simulator cheap: parameters are shared into
+//!   every rank's tape without copying until someone writes.
+//! * Shapes are small `Vec<usize>`; tensors used by the toolkit are 1-D or
+//!   2-D (a batch of graphs is flattened into `[total_nodes, features]`
+//!   matrices plus index vectors, mirroring how DGL lowers graph compute).
+//! * Shape mismatches in operators are programming errors and panic with a
+//!   descriptive message; fallible *construction* from external data
+//!   returns [`TensorError`].
+
+//! # Example
+//!
+//! ```
+//! use matsciml_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+//! let b = Tensor::eye(3);
+//! let c = a.matmul(&b);            // identity: c == a
+//! assert_eq!(c.as_slice(), a.as_slice());
+//!
+//! let pooled = a.segment_sum(&[0, 0], 1);  // sum both rows into one
+//! assert_eq!(pooled.as_slice(), &[5.0, 7.0, 9.0]);
+//! ```
+
+#![warn(missing_docs)]
+
+mod elementwise;
+mod linalg;
+mod matmul;
+mod random;
+mod reduce;
+mod rows;
+mod shape;
+mod tensor;
+
+pub use linalg::{Mat3, Vec3};
+pub use shape::TensorError;
+pub use tensor::Tensor;
+
+/// Convenience prelude for downstream crates.
+pub mod prelude {
+    pub use crate::{Mat3, Tensor, TensorError, Vec3};
+}

@@ -1,0 +1,323 @@
+//! Small fixed-size 3-D linear algebra: [`Vec3`] and [`Mat3`].
+//!
+//! These are the workhorses of the symmetry-operation machinery (point-group
+//! elements are orthogonal 3×3 matrices) and of structure generation, where
+//! dynamic tensors would be needless overhead.
+
+use serde::{Deserialize, Serialize};
+
+/// A 3-vector of `f32` (atomic position / displacement).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec3 {
+    /// x component.
+    pub x: f32,
+    /// y component.
+    pub y: f32,
+    /// z component.
+    pub z: f32,
+}
+
+impl Vec3 {
+    /// Construct from components.
+    #[inline]
+    pub const fn new(x: f32, y: f32, z: f32) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// The zero vector.
+    #[inline]
+    pub const fn zero() -> Self {
+        Vec3::new(0.0, 0.0, 0.0)
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, o: Vec3) -> f32 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    /// Cross product.
+    #[inline]
+    pub fn cross(self, o: Vec3) -> Vec3 {
+        Vec3::new(
+            self.y * o.z - self.z * o.y,
+            self.z * o.x - self.x * o.z,
+            self.x * o.y - self.y * o.x,
+        )
+    }
+
+    /// Euclidean length.
+    #[inline]
+    pub fn norm(self) -> f32 {
+        self.dot(self).sqrt()
+    }
+
+    /// Squared Euclidean length.
+    #[inline]
+    pub fn norm_sq(self) -> f32 {
+        self.dot(self)
+    }
+
+    /// Unit vector in the same direction; zero stays zero.
+    pub fn normalized(self) -> Vec3 {
+        let n = self.norm();
+        if n > 0.0 {
+            self * (1.0 / n)
+        } else {
+            self
+        }
+    }
+
+    /// Distance to another point.
+    #[inline]
+    pub fn distance(self, o: Vec3) -> f32 {
+        (self - o).norm()
+    }
+
+    /// Components as an array.
+    #[inline]
+    pub fn to_array(self) -> [f32; 3] {
+        [self.x, self.y, self.z]
+    }
+}
+
+impl From<[f32; 3]> for Vec3 {
+    fn from(a: [f32; 3]) -> Self {
+        Vec3::new(a[0], a[1], a[2])
+    }
+}
+
+impl std::ops::Add for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn add(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl std::ops::Sub for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl std::ops::Mul<f32> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, s: f32) -> Vec3 {
+        Vec3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl std::ops::Neg for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+/// A row-major 3×3 matrix of `f32` (symmetry operation / lattice matrix).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Mat3 {
+    /// Rows of the matrix.
+    pub rows: [[f32; 3]; 3],
+}
+
+impl Mat3 {
+    /// Identity matrix.
+    pub const IDENTITY: Mat3 = Mat3 {
+        rows: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]],
+    };
+
+    /// Construct from rows.
+    #[inline]
+    pub const fn from_rows(rows: [[f32; 3]; 3]) -> Self {
+        Mat3 { rows }
+    }
+
+    /// Diagonal matrix.
+    pub fn diag(a: f32, b: f32, c: f32) -> Self {
+        Mat3::from_rows([[a, 0.0, 0.0], [0.0, b, 0.0], [0.0, 0.0, c]])
+    }
+
+    /// Point inversion, `-I`.
+    pub fn inversion() -> Self {
+        Mat3::diag(-1.0, -1.0, -1.0)
+    }
+
+    /// Rotation by `angle` radians about the (normalized) `axis`
+    /// (Rodrigues' formula).
+    pub fn rotation(axis: Vec3, angle: f32) -> Self {
+        let a = axis.normalized();
+        let (s, c) = angle.sin_cos();
+        let t = 1.0 - c;
+        let (x, y, z) = (a.x, a.y, a.z);
+        Mat3::from_rows([
+            [t * x * x + c, t * x * y - s * z, t * x * z + s * y],
+            [t * x * y + s * z, t * y * y + c, t * y * z - s * x],
+            [t * x * z - s * y, t * y * z + s * x, t * z * z + c],
+        ])
+    }
+
+    /// Reflection through the plane with (normalized) normal `n`:
+    /// `I - 2 n nᵀ`.
+    pub fn reflection(normal: Vec3) -> Self {
+        let n = normal.normalized();
+        let mut rows = Mat3::IDENTITY.rows;
+        let nv = [n.x, n.y, n.z];
+        for (i, row) in rows.iter_mut().enumerate() {
+            for (j, v) in row.iter_mut().enumerate() {
+                *v -= 2.0 * nv[i] * nv[j];
+            }
+        }
+        Mat3 { rows }
+    }
+
+    /// Improper rotation `S_n`: rotation about `axis` followed by reflection
+    /// through the plane perpendicular to it.
+    pub fn rotoreflection(axis: Vec3, angle: f32) -> Self {
+        Mat3::reflection(axis) * Mat3::rotation(axis, angle)
+    }
+
+    /// Matrix–vector product.
+    #[inline]
+    pub fn apply(&self, v: Vec3) -> Vec3 {
+        let r = &self.rows;
+        Vec3::new(
+            r[0][0] * v.x + r[0][1] * v.y + r[0][2] * v.z,
+            r[1][0] * v.x + r[1][1] * v.y + r[1][2] * v.z,
+            r[2][0] * v.x + r[2][1] * v.y + r[2][2] * v.z,
+        )
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Mat3 {
+        let r = &self.rows;
+        Mat3::from_rows([
+            [r[0][0], r[1][0], r[2][0]],
+            [r[0][1], r[1][1], r[2][1]],
+            [r[0][2], r[1][2], r[2][2]],
+        ])
+    }
+
+    /// Determinant.
+    pub fn det(&self) -> f32 {
+        let r = &self.rows;
+        r[0][0] * (r[1][1] * r[2][2] - r[1][2] * r[2][1])
+            - r[0][1] * (r[1][0] * r[2][2] - r[1][2] * r[2][0])
+            + r[0][2] * (r[1][0] * r[2][1] - r[1][1] * r[2][0])
+    }
+
+    /// True when `MᵀM ≈ I` within `tol` (the matrix is an isometry).
+    pub fn is_orthogonal(&self, tol: f32) -> bool {
+        let p = self.transpose() * *self;
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                if (p.rows[i][j] - expect).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Max absolute entrywise difference to another matrix.
+    pub fn max_abs_diff(&self, o: &Mat3) -> f32 {
+        let mut m = 0.0f32;
+        for i in 0..3 {
+            for j in 0..3 {
+                m = m.max((self.rows[i][j] - o.rows[i][j]).abs());
+            }
+        }
+        m
+    }
+}
+
+impl std::ops::Mul for Mat3 {
+    type Output = Mat3;
+    fn mul(self, o: Mat3) -> Mat3 {
+        let mut rows = [[0.0f32; 3]; 3];
+        for (i, row) in rows.iter_mut().enumerate() {
+            for (j, v) in row.iter_mut().enumerate() {
+                *v = (0..3).map(|p| self.rows[i][p] * o.rows[p][j]).sum();
+            }
+        }
+        Mat3 { rows }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f32::consts::PI;
+
+    #[test]
+    fn vector_algebra_identities() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(-2.0, 0.5, 4.0);
+        assert_eq!(a.dot(b), -2.0 + 1.0 + 12.0);
+        // Cross product is perpendicular to both operands.
+        let c = a.cross(b);
+        assert!(c.dot(a).abs() < 1e-5);
+        assert!(c.dot(b).abs() < 1e-5);
+        assert!((a.normalized().norm() - 1.0).abs() < 1e-6);
+        assert_eq!(Vec3::zero().normalized(), Vec3::zero());
+    }
+
+    #[test]
+    fn rotation_preserves_length_and_has_unit_det() {
+        let r = Mat3::rotation(Vec3::new(1.0, 1.0, 0.0), 1.1);
+        let v = Vec3::new(0.3, -0.7, 2.0);
+        assert!((r.apply(v).norm() - v.norm()).abs() < 1e-5);
+        assert!((r.det() - 1.0).abs() < 1e-5);
+        assert!(r.is_orthogonal(1e-5));
+    }
+
+    #[test]
+    fn reflection_is_involutive_with_det_minus_one() {
+        let m = Mat3::reflection(Vec3::new(0.0, 0.0, 1.0));
+        assert!((m.det() + 1.0).abs() < 1e-6);
+        let twice = m * m;
+        assert!(twice.max_abs_diff(&Mat3::IDENTITY) < 1e-6);
+        // z-mirror flips z only.
+        let v = m.apply(Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(v, Vec3::new(1.0, 2.0, -3.0));
+    }
+
+    #[test]
+    fn c4_rotation_has_order_four() {
+        let r = Mat3::rotation(Vec3::new(0.0, 0.0, 1.0), PI / 2.0);
+        let r4 = r * r * r * r;
+        assert!(r4.max_abs_diff(&Mat3::IDENTITY) < 1e-5);
+        let r2 = r * r;
+        assert!(r2.max_abs_diff(&Mat3::IDENTITY) > 0.5);
+    }
+
+    #[test]
+    fn s4_rotoreflection_squares_to_c2() {
+        let z = Vec3::new(0.0, 0.0, 1.0);
+        let s4 = Mat3::rotoreflection(z, PI / 2.0);
+        let c2 = Mat3::rotation(z, PI);
+        assert!((s4 * s4).max_abs_diff(&c2) < 1e-5);
+        assert!((s4.det() + 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn inversion_negates() {
+        let v = Vec3::new(1.0, -2.0, 0.5);
+        assert_eq!(Mat3::inversion().apply(v), -v);
+    }
+
+    #[test]
+    fn transpose_of_product_reverses() {
+        let a = Mat3::rotation(Vec3::new(1.0, 0.0, 0.0), 0.3);
+        let b = Mat3::rotation(Vec3::new(0.0, 1.0, 0.0), 0.7);
+        let lhs = (a * b).transpose();
+        let rhs = b.transpose() * a.transpose();
+        assert!(lhs.max_abs_diff(&rhs) < 1e-6);
+    }
+}

@@ -1,0 +1,100 @@
+//! Deterministic random initializers.
+//!
+//! Normal sampling is implemented with the Box–Muller transform over
+//! `rand`'s uniform floats, avoiding an extra `rand_distr` dependency while
+//! staying reproducible from a single `StdRng` seed.
+
+use rand::Rng;
+
+use crate::tensor::Tensor;
+
+/// Draw one standard-normal sample via Box–Muller.
+#[inline]
+pub(crate) fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+    // Guard against log(0) by sampling u1 from the open interval.
+    let u1: f64 = loop {
+        let u: f64 = rng.gen();
+        if u > f64::EPSILON {
+            break u;
+        }
+    };
+    let u2: f64 = rng.gen();
+    ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32
+}
+
+impl Tensor {
+    /// I.i.d. normal entries with the given mean and standard deviation.
+    pub fn randn<R: Rng + ?Sized>(shape: &[usize], mean: f32, std: f32, rng: &mut R) -> Tensor {
+        Tensor::from_fn(shape, |_| mean + std * standard_normal(rng))
+    }
+
+    /// I.i.d. uniform entries in `[lo, hi)`.
+    pub fn rand_uniform<R: Rng + ?Sized>(shape: &[usize], lo: f32, hi: f32, rng: &mut R) -> Tensor {
+        Tensor::from_fn(shape, |_| rng.gen_range(lo..hi))
+    }
+
+    /// Kaiming/He fan-in initialization for a `[fan_in, fan_out]` weight:
+    /// normal with std `sqrt(2 / fan_in)`. The standard choice for the
+    /// SiLU/SELU MLPs used throughout the toolkit.
+    pub fn kaiming<R: Rng + ?Sized>(fan_in: usize, fan_out: usize, rng: &mut R) -> Tensor {
+        let std = (2.0 / fan_in.max(1) as f32).sqrt();
+        Tensor::randn(&[fan_in, fan_out], 0.0, std, rng)
+    }
+
+    /// Xavier/Glorot uniform initialization for a `[fan_in, fan_out]` weight.
+    pub fn xavier<R: Rng + ?Sized>(fan_in: usize, fan_out: usize, rng: &mut R) -> Tensor {
+        let bound = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+        Tensor::rand_uniform(&[fan_in, fan_out], -bound, bound, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn randn_is_reproducible_from_seed() {
+        let a = Tensor::randn(&[16], 0.0, 1.0, &mut StdRng::seed_from_u64(7));
+        let b = Tensor::randn(&[16], 0.0, 1.0, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+        let c = Tensor::randn(&[16], 0.0, 1.0, &mut StdRng::seed_from_u64(8));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn randn_moments_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let x = Tensor::randn(&[20_000], 1.0, 2.0, &mut rng);
+        let mean = x.mean();
+        let var = x.map(|v| (v - mean) * (v - mean)).mean();
+        assert!((mean - 1.0).abs() < 0.1, "mean = {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var = {var}");
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = Tensor::rand_uniform(&[1000], -0.5, 0.25, &mut rng);
+        assert!(x.min() >= -0.5);
+        assert!(x.max() < 0.25);
+    }
+
+    #[test]
+    fn kaiming_std_tracks_fan_in() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let w = Tensor::kaiming(512, 64, &mut rng);
+        let std = (w.sumsq() / w.numel() as f64).sqrt() as f32;
+        let expected = (2.0f32 / 512.0).sqrt();
+        assert!((std - expected).abs() < expected * 0.15, "std = {std}");
+    }
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let w = Tensor::xavier(16, 16, &mut rng);
+        let bound = (6.0f32 / 32.0).sqrt();
+        assert!(w.max() <= bound && w.min() >= -bound);
+    }
+}

@@ -1,0 +1,147 @@
+//! Reductions. Sums and means accumulate in `f64` so that reducing millions
+//! of `f32` values (gradient norms over 2M-sample epochs, dataset statistics)
+//! does not lose precision to cancellation.
+
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.as_slice().iter().map(|&v| v as f64).sum::<f64>() as f32
+    }
+
+    /// Mean of all elements. Zero for empty tensors.
+    pub fn mean(&self) -> f32 {
+        if self.numel() == 0 {
+            return 0.0;
+        }
+        (self.as_slice().iter().map(|&v| v as f64).sum::<f64>() / self.numel() as f64) as f32
+    }
+
+    /// Maximum element. Panics on empty tensors.
+    pub fn max(&self) -> f32 {
+        self.as_slice()
+            .iter()
+            .copied()
+            .fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element. Panics on empty tensors.
+    pub fn min(&self) -> f32 {
+        self.as_slice().iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Column sums of a matrix: `[m, n] -> [n]`.
+    pub fn sum_axis0(&self) -> Tensor {
+        let (m, n) = (self.rows(), self.cols());
+        let src = self.as_slice();
+        let mut acc = vec![0.0f64; n];
+        for r in 0..m {
+            for (a, &v) in acc.iter_mut().zip(&src[r * n..(r + 1) * n]) {
+                *a += v as f64;
+            }
+        }
+        Tensor::from_fn(&[n], |i| acc[i] as f32)
+    }
+
+    /// Column means of a matrix: `[m, n] -> [n]`.
+    pub fn mean_axis0(&self) -> Tensor {
+        let m = self.rows().max(1) as f32;
+        self.sum_axis0().scale(1.0 / m)
+    }
+
+    /// Row sums of a matrix: `[m, n] -> [m, 1]`.
+    pub fn sum_axis1(&self) -> Tensor {
+        let (m, n) = (self.rows(), self.cols());
+        let src = self.as_slice();
+        Tensor::from_fn(&[m, 1], |r| {
+            src[r * n..(r + 1) * n]
+                .iter()
+                .map(|&v| v as f64)
+                .sum::<f64>() as f32
+        })
+    }
+
+    /// Index of the maximum element of each row: `[m, n] -> Vec` of length m.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        let (m, n) = (self.rows(), self.cols());
+        let src = self.as_slice();
+        (0..m)
+            .map(|r| {
+                let row = &src[r * n..(r + 1) * n];
+                assert!(!row.is_empty(), "argmax over empty row");
+                // First index of the maximum (strict `>` keeps the earliest tie).
+                let mut best = 0;
+                for (i, &v) in row.iter().enumerate().skip(1) {
+                    if v > row[best] {
+                        best = i;
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+
+    /// Squared Frobenius / L2 norm (f64 accumulation).
+    pub fn sumsq(&self) -> f64 {
+        self.as_slice().iter().map(|&v| (v as f64) * (v as f64)).sum()
+    }
+
+    /// Frobenius / L2 norm.
+    pub fn norm(&self) -> f32 {
+        self.sumsq().sqrt() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(shape: &[usize], data: &[f32]) -> Tensor {
+        Tensor::from_vec(shape, data.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn global_reductions() {
+        let x = t(&[2, 3], &[1.0, -2.0, 3.0, -4.0, 5.0, -6.0]);
+        assert_eq!(x.sum(), -3.0);
+        assert_eq!(x.mean(), -0.5);
+        assert_eq!(x.max(), 5.0);
+        assert_eq!(x.min(), -6.0);
+        assert!((x.norm() - (91.0f32).sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn axis_reductions() {
+        let x = t(&[2, 3], &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(x.sum_axis0().as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!(x.mean_axis0().as_slice(), &[2.5, 3.5, 4.5]);
+        let rs = x.sum_axis1();
+        assert_eq!(rs.shape(), &[2, 1]);
+        assert_eq!(rs.as_slice(), &[6.0, 15.0]);
+    }
+
+    #[test]
+    fn argmax_rows_picks_first_of_ties_consistently() {
+        let x = t(&[2, 3], &[0.1, 0.9, 0.5, 2.0, 2.0, 1.0]);
+        assert_eq!(x.argmax_rows(), vec![1, 0]);
+    }
+
+    #[test]
+    fn f64_accumulation_avoids_catastrophic_cancellation() {
+        // 1e7 + 1.0 repeated: f32 running sum would drop the ones entirely
+        // once the accumulator is large.
+        let n = 4096;
+        let mut data = vec![1.0f32; n];
+        data[0] = 1.0e7;
+        let x = Tensor::from_vec(&[n], data).unwrap();
+        let s = x.sum();
+        assert!((s - (1.0e7 + (n - 1) as f32)).abs() < 16.0, "sum = {s}");
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        let x = Tensor::zeros(&[0]);
+        assert_eq!(x.mean(), 0.0);
+    }
+}

@@ -1,0 +1,232 @@
+//! Row-indexed primitives: gather, scatter-add, segment reduction, and
+//! column concatenation.
+//!
+//! These four operations are the sparse core of graph neural network
+//! compute. A message-passing layer on a batched graph lowers to:
+//!
+//! * `gather_rows(h, src)` / `gather_rows(h, dst)` — node features to edges,
+//! * `scatter_add_rows(msgs, dst, n_nodes)` — aggregate messages per node,
+//! * `segment_sum(h, graph_ids, n_graphs)` — pool node features per graph,
+//! * `concat_cols` — assemble MLP inputs from several feature blocks.
+
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Select rows by index: `out[i, :] = self[idx[i], :]`.
+    ///
+    /// `self` is `[m, n]` (or 1-D, treated as `[m, 1]`); indices may repeat
+    /// and appear in any order. Panics on out-of-range indices.
+    pub fn gather_rows(&self, idx: &[u32]) -> Tensor {
+        let (m, n) = (self.rows(), self.cols());
+        let src = self.as_slice();
+        let mut out = Tensor::zeros(&[idx.len(), n]);
+        let dst = out.as_mut_slice();
+        for (i, &j) in idx.iter().enumerate() {
+            let j = j as usize;
+            assert!(j < m, "gather_rows: index {j} out of range for {m} rows");
+            dst[i * n..(i + 1) * n].copy_from_slice(&src[j * n..(j + 1) * n]);
+        }
+        out
+    }
+
+    /// Scatter rows with addition: `out[idx[i], :] += self[i, :]`, where
+    /// `out` has `out_rows` rows. The adjoint of [`Tensor::gather_rows`].
+    pub fn scatter_add_rows(&self, idx: &[u32], out_rows: usize) -> Tensor {
+        let n = self.cols();
+        assert_eq!(
+            self.rows(),
+            idx.len(),
+            "scatter_add_rows: {} rows but {} indices",
+            self.rows(),
+            idx.len()
+        );
+        let src = self.as_slice();
+        let mut out = Tensor::zeros(&[out_rows, n]);
+        let dst = out.as_mut_slice();
+        for (i, &j) in idx.iter().enumerate() {
+            let j = j as usize;
+            assert!(
+                j < out_rows,
+                "scatter_add_rows: index {j} out of range for {out_rows} rows"
+            );
+            let row = &src[i * n..(i + 1) * n];
+            dst[j * n..(j + 1) * n]
+                .iter_mut()
+                .zip(row)
+                .for_each(|(o, &v)| *o += v);
+        }
+        out
+    }
+
+    /// Sum rows into segments: `out[seg[i], :] += self[i, :]` with
+    /// `n_segments` output rows. Segment ids need not be sorted.
+    pub fn segment_sum(&self, seg: &[u32], n_segments: usize) -> Tensor {
+        self.scatter_add_rows(seg, n_segments)
+    }
+
+    /// Mean-reduce rows into segments. Empty segments yield zero rows.
+    pub fn segment_mean(&self, seg: &[u32], n_segments: usize) -> Tensor {
+        let mut counts = vec![0.0f32; n_segments];
+        for &s in seg {
+            counts[s as usize] += 1.0;
+        }
+        let mut out = self.segment_sum(seg, n_segments);
+        let n = out.cols();
+        let data = out.as_mut_slice();
+        for (s, &c) in counts.iter().enumerate() {
+            if c > 0.0 {
+                let inv = 1.0 / c;
+                data[s * n..(s + 1) * n].iter_mut().for_each(|v| *v *= inv);
+            }
+        }
+        out
+    }
+
+    /// Horizontally concatenate matrices with equal row counts.
+    pub fn concat_cols(parts: &[&Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "concat_cols: no tensors given");
+        let m = parts[0].rows();
+        for p in parts {
+            assert_eq!(
+                p.rows(),
+                m,
+                "concat_cols: row count mismatch ({} vs {m})",
+                p.rows()
+            );
+        }
+        let total: usize = parts.iter().map(|p| p.cols()).sum();
+        let mut out = Tensor::zeros(&[m, total]);
+        let dst = out.as_mut_slice();
+        for r in 0..m {
+            let mut off = r * total;
+            for p in parts {
+                let n = p.cols();
+                let src = p.as_slice();
+                dst[off..off + n].copy_from_slice(&src[r * n..(r + 1) * n]);
+                off += n;
+            }
+        }
+        out
+    }
+
+    /// Split a matrix into column blocks of the given widths (the inverse of
+    /// [`Tensor::concat_cols`]). Panics unless the widths sum to `cols()`.
+    pub fn split_cols(&self, widths: &[usize]) -> Vec<Tensor> {
+        let (m, n) = (self.rows(), self.cols());
+        assert_eq!(
+            widths.iter().sum::<usize>(),
+            n,
+            "split_cols: widths {widths:?} do not sum to {n}"
+        );
+        let src = self.as_slice();
+        let mut outs = Vec::with_capacity(widths.len());
+        let mut start = 0;
+        for &w in widths {
+            let mut part = Tensor::zeros(&[m, w]);
+            let dst = part.as_mut_slice();
+            for r in 0..m {
+                dst[r * w..(r + 1) * w].copy_from_slice(&src[r * n + start..r * n + start + w]);
+            }
+            outs.push(part);
+            start += w;
+        }
+        outs
+    }
+
+    /// Vertically stack matrices with equal column counts.
+    pub fn concat_rows(parts: &[&Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "concat_rows: no tensors given");
+        let n = parts[0].cols();
+        let m: usize = parts.iter().map(|p| p.rows()).sum();
+        let mut out = Tensor::zeros(&[m, n]);
+        let dst = out.as_mut_slice();
+        let mut off = 0;
+        for p in parts {
+            assert_eq!(p.cols(), n, "concat_rows: column count mismatch");
+            let len = p.rows() * n;
+            dst[off..off + len].copy_from_slice(p.as_slice());
+            off += len;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(shape: &[usize], data: &[f32]) -> Tensor {
+        Tensor::from_vec(shape, data.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn gather_repeats_and_reorders() {
+        let x = t(&[3, 2], &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let g = x.gather_rows(&[2, 0, 2]);
+        assert_eq!(g.shape(), &[3, 2]);
+        assert_eq!(g.as_slice(), &[5.0, 6.0, 1.0, 2.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn gather_rejects_out_of_range() {
+        let _ = Tensor::zeros(&[2, 2]).gather_rows(&[2]);
+    }
+
+    #[test]
+    fn scatter_add_accumulates_collisions() {
+        let msgs = t(&[3, 2], &[1.0, 1.0, 2.0, 2.0, 3.0, 3.0]);
+        let out = msgs.scatter_add_rows(&[1, 1, 0], 3);
+        assert_eq!(out.as_slice(), &[3.0, 3.0, 3.0, 3.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn scatter_is_adjoint_of_gather() {
+        // <gather(x, idx), y> == <x, scatter(y, idx)> — the identity the
+        // autograd layer relies on.
+        let x = t(&[4, 3], &(0..12).map(|i| i as f32 * 0.25).collect::<Vec<_>>());
+        let idx = [3u32, 1, 1, 0, 2];
+        let y = Tensor::from_fn(&[5, 3], |i| ((i * 7 % 5) as f32) - 2.0);
+        let lhs: f32 = x.gather_rows(&idx).mul(&y).sum();
+        let rhs: f32 = x.mul(&y.scatter_add_rows(&idx, 4)).sum();
+        assert!((lhs - rhs).abs() < 1e-4);
+    }
+
+    #[test]
+    fn segment_sum_and_mean() {
+        let x = t(&[4, 1], &[1.0, 2.0, 3.0, 4.0]);
+        let seg = [0u32, 0, 1, 1];
+        assert_eq!(x.segment_sum(&seg, 2).as_slice(), &[3.0, 7.0]);
+        assert_eq!(x.segment_mean(&seg, 2).as_slice(), &[1.5, 3.5]);
+        // Empty segment stays zero.
+        assert_eq!(x.segment_mean(&seg, 3).as_slice(), &[1.5, 3.5, 0.0]);
+    }
+
+    #[test]
+    fn concat_then_split_roundtrips() {
+        let a = t(&[2, 1], &[1.0, 4.0]);
+        let b = t(&[2, 2], &[2.0, 3.0, 5.0, 6.0]);
+        let cat = Tensor::concat_cols(&[&a, &b]);
+        assert_eq!(cat.as_slice(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let parts = cat.split_cols(&[1, 2]);
+        assert_eq!(parts[0], a);
+        assert_eq!(parts[1], b);
+    }
+
+    #[test]
+    fn concat_rows_stacks() {
+        let a = t(&[1, 2], &[1.0, 2.0]);
+        let b = t(&[2, 2], &[3.0, 4.0, 5.0, 6.0]);
+        let cat = Tensor::concat_rows(&[&a, &b]);
+        assert_eq!(cat.shape(), &[3, 2]);
+        assert_eq!(cat.as_slice(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row count mismatch")]
+    fn concat_cols_rejects_ragged_inputs() {
+        let a = Tensor::zeros(&[2, 1]);
+        let b = Tensor::zeros(&[3, 1]);
+        let _ = Tensor::concat_cols(&[&a, &b]);
+    }
+}

@@ -1,0 +1,74 @@
+//! Shape bookkeeping and the crate error type.
+
+use std::fmt;
+
+/// Errors returned by fallible tensor construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The provided buffer length does not match the product of the shape.
+    LengthMismatch {
+        /// Number of elements implied by the requested shape.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// A shape with zero dimensions was provided where data was expected.
+    EmptyShape,
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => write!(
+                f,
+                "buffer length {actual} does not match shape volume {expected}"
+            ),
+            TensorError::EmptyShape => write!(f, "shape must have at least one dimension"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+/// Product of the dimensions (the number of elements a shape addresses).
+#[inline]
+pub(crate) fn volume(shape: &[usize]) -> usize {
+    shape.iter().product()
+}
+
+/// Panic with a readable message when two shapes that must match do not.
+#[inline]
+pub(crate) fn assert_same_shape(op: &str, a: &[usize], b: &[usize]) {
+    assert!(
+        a == b,
+        "{op}: shape mismatch, lhs {a:?} vs rhs {b:?}"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volume_of_scalar_like_shape() {
+        assert_eq!(volume(&[1]), 1);
+        assert_eq!(volume(&[3, 4]), 12);
+        assert_eq!(volume(&[2, 3, 4]), 24);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = TensorError::LengthMismatch {
+            expected: 6,
+            actual: 5,
+        };
+        assert!(e.to_string().contains('6'));
+        assert!(e.to_string().contains('5'));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn assert_same_shape_panics() {
+        assert_same_shape("add", &[2, 3], &[3, 2]);
+    }
+}

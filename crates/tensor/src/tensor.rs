@@ -1,0 +1,340 @@
+//! The [`Tensor`] type: construction, accessors, and serde support.
+
+use std::sync::Arc;
+
+use serde::de::Error as _;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+use crate::shape::{volume, TensorError};
+
+/// A dense, row-major, always-contiguous `f32` tensor.
+///
+/// Clones are O(1) (`Arc`-backed storage); the first mutation after a clone
+/// copies the buffer (copy-on-write). All arithmetic lives in sibling
+/// modules and is exposed as inherent methods.
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    pub(crate) shape: Vec<usize>,
+    pub(crate) data: Arc<Vec<f32>>,
+}
+
+impl Tensor {
+    /// A tensor of zeros with the given shape.
+    pub fn zeros(shape: &[usize]) -> Self {
+        Tensor {
+            shape: shape.to_vec(),
+            data: Arc::new(vec![0.0; volume(shape)]),
+        }
+    }
+
+    /// A tensor of ones with the given shape.
+    pub fn ones(shape: &[usize]) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// A tensor filled with `value`.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        Tensor {
+            shape: shape.to_vec(),
+            data: Arc::new(vec![value; volume(shape)]),
+        }
+    }
+
+    /// Wrap an existing buffer. Returns an error when the buffer length does
+    /// not match the shape volume or the shape is empty.
+    pub fn from_vec(shape: &[usize], data: Vec<f32>) -> Result<Self, TensorError> {
+        if shape.is_empty() {
+            return Err(TensorError::EmptyShape);
+        }
+        let expected = volume(shape);
+        if data.len() != expected {
+            return Err(TensorError::LengthMismatch {
+                expected,
+                actual: data.len(),
+            });
+        }
+        Ok(Tensor {
+            shape: shape.to_vec(),
+            data: Arc::new(data),
+        })
+    }
+
+    /// Build a tensor by evaluating `f` at every flat index.
+    pub fn from_fn(shape: &[usize], mut f: impl FnMut(usize) -> f32) -> Self {
+        let n = volume(shape);
+        Tensor {
+            shape: shape.to_vec(),
+            data: Arc::new((0..n).map(&mut f).collect()),
+        }
+    }
+
+    /// A 1-element tensor holding `value` (shape `[1]`).
+    pub fn scalar(value: f32) -> Self {
+        Tensor {
+            shape: vec![1],
+            data: Arc::new(vec![value]),
+        }
+    }
+
+    /// The identity matrix of side `n`.
+    pub fn eye(n: usize) -> Self {
+        let mut data = vec![0.0; n * n];
+        for i in 0..n {
+            data[i * n + i] = 1.0;
+        }
+        Tensor {
+            shape: vec![n, n],
+            data: Arc::new(data),
+        }
+    }
+
+    /// Shape slice.
+    #[inline]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn ndim(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Total element count.
+    #[inline]
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Size of dimension `i`. Panics when out of range.
+    #[inline]
+    pub fn dim(&self, i: usize) -> usize {
+        self.shape[i]
+    }
+
+    /// Number of rows when viewed as a matrix (`[n]` counts as `n` rows of 1).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        match self.shape.len() {
+            1 => self.shape[0],
+            2 => self.shape[0],
+            d => panic!("rows(): expected 1-D or 2-D tensor, got {d}-D"),
+        }
+    }
+
+    /// Number of columns when viewed as a matrix (`[n]` counts as 1 column).
+    #[inline]
+    pub fn cols(&self) -> usize {
+        match self.shape.len() {
+            1 => 1,
+            2 => self.shape[1],
+            d => panic!("cols(): expected 1-D or 2-D tensor, got {d}-D"),
+        }
+    }
+
+    /// Read-only view of the backing buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the backing buffer (copy-on-write).
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        Arc::make_mut(&mut self.data).as_mut_slice()
+    }
+
+    /// Element at flat index `i`.
+    #[inline]
+    pub fn at(&self, i: usize) -> f32 {
+        self.data[i]
+    }
+
+    /// Element at `(row, col)` of a 2-D tensor.
+    #[inline]
+    pub fn at2(&self, r: usize, c: usize) -> f32 {
+        debug_assert_eq!(self.ndim(), 2, "at2 requires a 2-D tensor");
+        self.data[r * self.shape[1] + c]
+    }
+
+    /// The single value of a 1-element tensor. Panics otherwise.
+    pub fn item(&self) -> f32 {
+        assert_eq!(
+            self.numel(),
+            1,
+            "item(): tensor has {} elements, expected exactly 1",
+            self.numel()
+        );
+        self.data[0]
+    }
+
+    /// Row `r` of a 2-D tensor as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        debug_assert_eq!(self.ndim(), 2, "row() requires a 2-D tensor");
+        let c = self.shape[1];
+        &self.data[r * c..(r + 1) * c]
+    }
+
+    /// Reinterpret the buffer with a new shape of equal volume.
+    pub fn reshape(&self, shape: &[usize]) -> Self {
+        assert_eq!(
+            volume(shape),
+            self.numel(),
+            "reshape: cannot view {:?} ({} elems) as {:?} ({} elems)",
+            self.shape,
+            self.numel(),
+            shape,
+            volume(shape)
+        );
+        Tensor {
+            shape: shape.to_vec(),
+            data: Arc::clone(&self.data),
+        }
+    }
+
+    /// Deep copy of the backing buffer as a `Vec`.
+    pub fn to_vec(&self) -> Vec<f32> {
+        self.data.as_ref().clone()
+    }
+
+    /// True when every element is finite (no NaN / ±inf).
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+}
+
+impl std::fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        const PREVIEW: usize = 8;
+        write!(f, "Tensor{:?} [", self.shape)?;
+        for (i, v) in self.data.iter().take(PREVIEW).enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v:.4}")?;
+        }
+        if self.numel() > PREVIEW {
+            write!(f, ", … {} more", self.numel() - PREVIEW)?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Serialized as `{ shape, data }`; used for experiment artifacts and
+/// checkpointing pretrained weights between bench binaries.
+impl Serialize for Tensor {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct;
+        let mut s = serializer.serialize_struct("Tensor", 2)?;
+        s.serialize_field("shape", &self.shape)?;
+        s.serialize_field("data", self.data.as_ref())?;
+        s.end()
+    }
+}
+
+impl<'de> Deserialize<'de> for Tensor {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        #[derive(Deserialize)]
+        struct Raw {
+            shape: Vec<usize>,
+            data: Vec<f32>,
+        }
+        let raw = Raw::deserialize(deserializer)?;
+        Tensor::from_vec(&raw.shape, raw.data).map_err(D::Error::custom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_have_expected_contents() {
+        let z = Tensor::zeros(&[2, 3]);
+        assert_eq!(z.shape(), &[2, 3]);
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+
+        let o = Tensor::ones(&[4]);
+        assert!(o.as_slice().iter().all(|&v| v == 1.0));
+
+        let f = Tensor::full(&[2, 2], 3.5);
+        assert!(f.as_slice().iter().all(|&v| v == 3.5));
+
+        let e = Tensor::eye(3);
+        assert_eq!(e.at2(0, 0), 1.0);
+        assert_eq!(e.at2(1, 0), 0.0);
+        assert_eq!(e.at2(2, 2), 1.0);
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Tensor::from_vec(&[2, 3], vec![0.0; 6]).is_ok());
+        let err = Tensor::from_vec(&[2, 3], vec![0.0; 5]).unwrap_err();
+        assert_eq!(
+            err,
+            TensorError::LengthMismatch {
+                expected: 6,
+                actual: 5
+            }
+        );
+        assert_eq!(
+            Tensor::from_vec(&[], vec![]).unwrap_err(),
+            TensorError::EmptyShape
+        );
+    }
+
+    #[test]
+    fn clone_is_copy_on_write() {
+        let a = Tensor::zeros(&[4]);
+        let mut b = a.clone();
+        b.as_mut_slice()[0] = 7.0;
+        assert_eq!(a.at(0), 0.0, "mutating a clone must not alias the source");
+        assert_eq!(b.at(0), 7.0);
+    }
+
+    #[test]
+    fn reshape_shares_storage_and_checks_volume() {
+        let a = Tensor::from_fn(&[2, 3], |i| i as f32);
+        let b = a.reshape(&[3, 2]);
+        assert_eq!(b.at2(2, 1), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "reshape")]
+    fn reshape_rejects_volume_change() {
+        Tensor::zeros(&[2, 3]).reshape(&[7]);
+    }
+
+    #[test]
+    fn item_and_row_access() {
+        let s = Tensor::scalar(2.5);
+        assert_eq!(s.item(), 2.5);
+        let m = Tensor::from_fn(&[2, 3], |i| i as f32);
+        assert_eq!(m.row(1), &[3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn all_finite_detects_nan_and_inf() {
+        let mut t = Tensor::zeros(&[3]);
+        assert!(t.all_finite());
+        t.as_mut_slice()[1] = f32::NAN;
+        assert!(!t.all_finite());
+        t.as_mut_slice()[1] = f32::INFINITY;
+        assert!(!t.all_finite());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let t = Tensor::from_fn(&[2, 2], |i| i as f32 * 0.5);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Tensor = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn serde_rejects_corrupt_payload() {
+        let bad = r#"{"shape":[2,3],"data":[1.0,2.0]}"#;
+        assert!(serde_json::from_str::<Tensor>(bad).is_err());
+    }
+}

@@ -1,0 +1,60 @@
+//! Batch collation: samples → model input + per-sample target/provenance
+//! vectors the task heads extract from.
+
+use matsciml_datasets::{DatasetId, Sample, Targets};
+use matsciml_graph::BatchedGraph;
+use matsciml_models::ModelInput;
+
+/// A collated batch: the encoder input plus per-graph provenance and
+/// targets (heads build their own masked tensors from these).
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// Encoder input (merged disjoint-union graph).
+    pub input: ModelInput,
+    /// Source dataset of each graph in the batch.
+    pub datasets: Vec<DatasetId>,
+    /// Targets of each graph in the batch.
+    pub targets: Vec<Targets>,
+}
+
+/// Collate a batch of samples into tape-ready form.
+pub fn collate(samples: &[Sample]) -> Batch {
+    assert!(!samples.is_empty(), "cannot collate an empty batch");
+    let graphs: Vec<_> = samples.iter().map(|s| s.graph.clone()).collect();
+    let batched = BatchedGraph::from_graphs(&graphs);
+    Batch {
+        input: ModelInput::from_batched(&batched),
+        datasets: samples.iter().map(|s| s.dataset).collect(),
+        targets: samples.iter().map(|s| s.targets).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matsciml_datasets::{Dataset, SyntheticCarolina, SyntheticMaterialsProject};
+
+    #[test]
+    fn collate_preserves_order_and_counts() {
+        let mp = SyntheticMaterialsProject::new(10, 1);
+        let cmd = SyntheticCarolina::new(10, 2);
+        let samples = vec![mp.sample(0), cmd.sample(0), mp.sample(1)];
+        let batch = collate(&samples);
+        assert_eq!(batch.input.num_graphs, 3);
+        assert_eq!(
+            batch.datasets,
+            vec![DatasetId::MaterialsProject, DatasetId::Carolina, DatasetId::MaterialsProject]
+        );
+        assert!(batch.targets[0].band_gap.is_some());
+        assert!(batch.targets[1].band_gap.is_none());
+        assert!(batch.targets[1].formation_energy.is_some());
+        let total_nodes: usize = samples.iter().map(|s| s.graph.num_nodes()).sum();
+        assert_eq!(batch.input.num_nodes(), total_nodes);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty batch")]
+    fn empty_batch_panics() {
+        let _ = collate(&[]);
+    }
+}

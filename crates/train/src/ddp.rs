@@ -1,0 +1,236 @@
+//! Simulated distributed data parallelism.
+//!
+//! A DDP step with world size `N` and per-rank batch `B`:
+//!
+//! 1. the global batch of `N·B` samples is sharded into `N` rank-chunks;
+//! 2. every rank runs forward/backward on its own tape against the shared
+//!    (read-only) parameters, exactly as `DistributedDataParallel` replicas
+//!    do;
+//! 3. rank gradients are averaged (`1/N` each) into the parameter store —
+//!    the allreduce;
+//! 4. the caller applies one optimizer step on the averaged gradient.
+//!
+//! Because gradient averaging is associative, executing ranks on real
+//! threads (up to this machine's core count) or sequentially ("virtual
+//! ranks", for the paper's N up to 512) produces the *same* optimizer
+//! trajectory — which is what lets a laptop reproduce the paper's
+//! large-batch training-dynamics experiments (Figs. 3 and 6) faithfully.
+
+use matsciml_datasets::Sample;
+use matsciml_nn::ForwardCtx;
+use matsciml_tensor::Tensor;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::collate::collate;
+use crate::metrics::MetricMap;
+use crate::model::TaskModel;
+
+/// DDP execution configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DdpConfig {
+    /// Number of data-parallel ranks (N).
+    pub world_size: usize,
+    /// Samples per rank per step (B); effective batch is N·B.
+    pub per_rank_batch: usize,
+    /// Run ranks on the rayon pool (true) or sequentially (false). Both
+    /// produce identical gradients; threads only change wall-clock.
+    pub parallel: bool,
+    /// Base seed for per-rank dropout streams.
+    pub seed: u64,
+}
+
+impl DdpConfig {
+    /// Effective (global) batch size `N·B`.
+    pub fn effective_batch(&self) -> usize {
+        self.world_size * self.per_rank_batch
+    }
+}
+
+/// Per-rank result: parameter gradients and local metrics.
+struct RankResult {
+    grads: Vec<(usize, Tensor)>,
+    metrics: MetricMap,
+}
+
+fn run_rank(model: &TaskModel, shard: &[Sample], ctx_seed: u64) -> RankResult {
+    let batch = collate(shard);
+    let mut ctx = ForwardCtx::train(ctx_seed);
+    let (mut g, loss, metrics) = model.forward(&batch, &mut ctx);
+    g.backward(loss);
+    let grads = g
+        .param_grads()
+        .map(|(id, t)| (id, t.clone()))
+        .collect();
+    RankResult { grads, metrics }
+}
+
+/// Execute one DDP training step: shard, per-rank forward/backward,
+/// gradient averaging into `model.params` (the caller zeroes grads before
+/// and steps the optimizer after). Returns rank-averaged metrics.
+///
+/// Panics unless `samples.len() == world_size * per_rank_batch` — equal
+/// shards are the DDP contract (samplers pad/drop to enforce it).
+pub fn ddp_step(model: &mut TaskModel, samples: &[Sample], cfg: &DdpConfig, step: u64) -> MetricMap {
+    assert_eq!(
+        samples.len(),
+        cfg.effective_batch(),
+        "DDP step needs exactly world_size * per_rank_batch = {} samples, got {}",
+        cfg.effective_batch(),
+        samples.len()
+    );
+
+    let shards: Vec<&[Sample]> = samples.chunks(cfg.per_rank_batch).collect();
+    let seed_of = |rank: usize| {
+        cfg.seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(step.wrapping_mul(0x85EB_CA6B))
+            .wrapping_add(rank as u64)
+    };
+
+    let results: Vec<RankResult> = if cfg.parallel && rayon::current_num_threads() > 1 {
+        shards
+            .par_iter()
+            .enumerate()
+            .map(|(rank, shard)| run_rank(model, shard, seed_of(rank)))
+            .collect()
+    } else {
+        shards
+            .iter()
+            .enumerate()
+            .map(|(rank, shard)| run_rank(model, shard, seed_of(rank)))
+            .collect()
+    };
+
+    // Allreduce: average rank gradients into the store.
+    let scale = 1.0 / cfg.world_size as f32;
+    let mut rank_metrics = Vec::with_capacity(results.len());
+    for r in results {
+        for (id, grad) in &r.grads {
+            model.params.accumulate_grad(*id, grad, scale);
+        }
+        rank_metrics.push(r.metrics);
+    }
+    MetricMap::mean_of(&rank_metrics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{TargetKind, TaskHeadConfig};
+    use matsciml_datasets::{Dataset, DatasetId, GraphTransform, SyntheticMaterialsProject, Transform};
+    use matsciml_models::EgnnConfig;
+    use matsciml_nn::ParamId;
+
+    fn model() -> TaskModel {
+        TaskModel::egnn(
+            EgnnConfig::small(8),
+            &[TaskHeadConfig {
+                dropout: 0.0, // determinism across rank counts for the tests
+                ..TaskHeadConfig::regression(DatasetId::MaterialsProject, TargetKind::BandGap, 16, 1)
+            }],
+            1,
+        )
+    }
+
+    fn samples(n: usize) -> Vec<Sample> {
+        let ds = SyntheticMaterialsProject::new(n, 3);
+        let t = GraphTransform::radius(4.0, Some(12));
+        (0..n).map(|i| t.apply(ds.sample(i))).collect()
+    }
+
+    #[test]
+    fn sharding_contract_is_enforced() {
+        let mut m = model();
+        let cfg = DdpConfig {
+            world_size: 2,
+            per_rank_batch: 2,
+            parallel: false,
+            seed: 0,
+        };
+        let s = samples(3);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            ddp_step(&mut m, &s, &cfg, 0)
+        }));
+        assert!(result.is_err(), "wrong sample count must panic");
+    }
+
+    #[test]
+    fn gradient_averaging_matches_single_rank_big_batch_when_masks_align() {
+        // With a single head and every sample labeled, N ranks of batch B
+        // average to the same gradient as 1 rank of batch N·B.
+        let s = samples(8);
+
+        let grads_of = |world: usize, per_rank: usize| {
+            let mut m = model();
+            m.params.zero_grads();
+            let cfg = DdpConfig {
+                world_size: world,
+                per_rank_batch: per_rank,
+                parallel: false,
+                seed: 7,
+            };
+            ddp_step(&mut m, &s, &cfg, 0);
+            (0..m.params.len())
+                .map(|i| m.params.grad(ParamId(i)).clone())
+                .collect::<Vec<_>>()
+        };
+
+        let ddp = grads_of(4, 2);
+        let single = grads_of(1, 8);
+        for (a, b) in ddp.iter().zip(&single) {
+            let diff: f32 = a
+                .as_slice()
+                .iter()
+                .zip(b.as_slice())
+                .map(|(x, y)| (x - y).abs())
+                .fold(0.0, f32::max);
+            // Tolerance is relative to gradient scale: summation order
+            // differs between the two reductions (f32 rounding only).
+            let scale = b.as_slice().iter().fold(1.0f32, |m, v| m.max(v.abs()));
+            assert!(
+                diff < 1e-4 * scale.max(1.0),
+                "DDP gradient deviates from big-batch gradient by {diff} (scale {scale})"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_and_sequential_ranks_agree() {
+        let s = samples(8);
+        let run = |parallel: bool| {
+            let mut m = model();
+            m.params.zero_grads();
+            let cfg = DdpConfig {
+                world_size: 4,
+                per_rank_batch: 2,
+                parallel,
+                seed: 9,
+            };
+            let metrics = ddp_step(&mut m, &s, &cfg, 5);
+            let g0 = m.params.grad(ParamId(0)).clone();
+            (metrics, g0)
+        };
+        let (ma, ga) = run(false);
+        let (mb, gb) = run(true);
+        assert_eq!(ma.get("loss"), mb.get("loss"));
+        for (x, y) in ga.as_slice().iter().zip(gb.as_slice()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn metrics_are_rank_averaged() {
+        let mut m = model();
+        let s = samples(4);
+        let cfg = DdpConfig {
+            world_size: 2,
+            per_rank_batch: 2,
+            parallel: false,
+            seed: 1,
+        };
+        let metrics = ddp_step(&mut m, &s, &cfg, 0);
+        assert!(metrics.get("loss").unwrap().is_finite());
+        assert!(metrics.get("materials-project/band_gap/mae").is_some());
+    }
+}

@@ -1,0 +1,37 @@
+//! Tasks, multi-task composition, and the DDP training simulator.
+//!
+//! This crate is the paper's Section 3.2 + 4.2 machinery:
+//!
+//! * a **task** couples a shared encoder embedding to an output head and a
+//!   loss over one target of one dataset ([`TaskHead`]);
+//! * a [`TaskModel`] composes one encoder with any number of heads — the
+//!   "multi-task, multi-dataset" setting is just more heads over a merged
+//!   sample stream, with per-sample masks routing each head to the samples
+//!   it owns;
+//! * the [`ddp`] module simulates distributed data parallelism by exact
+//!   gradient averaging over N rank-shards (real threads up to the core
+//!   count, virtual ranks beyond — the optimizer sees math identical to
+//!   N MPI processes with oneCCL allreduce);
+//! * [`Trainer`] runs the paper's AdamW + warmup/exponential-decay recipe
+//!   with instability probing and metric logging;
+//! * [`throughput`] measures and models scale-out throughput for the
+//!   Fig. 2 reproduction.
+
+#![warn(missing_docs)]
+
+pub mod collate;
+pub mod ddp;
+mod forcefield;
+mod metrics;
+mod model;
+mod task;
+pub mod sweep;
+pub mod throughput;
+mod trainer;
+
+pub use collate::collate;
+pub use forcefield::ForceFieldModel;
+pub use metrics::MetricMap;
+pub use model::{EncoderKind, TaskModel};
+pub use task::{target_stats, LossKind, TargetKind, TaskHead, TaskHeadConfig};
+pub use trainer::{EarlyStop, TrainConfig, Trainer, TrainLog, TrainRecord};

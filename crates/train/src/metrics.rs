@@ -1,0 +1,93 @@
+//! Named scalar metrics with merge/average support.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// An ordered map of metric name → value. Ordered so logs and CSV columns
+/// are stable across runs.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricMap(pub BTreeMap<String, f32>);
+
+impl MetricMap {
+    /// Empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert or overwrite a metric.
+    pub fn set(&mut self, name: impl Into<String>, value: f32) {
+        self.0.insert(name.into(), value);
+    }
+
+    /// Read a metric.
+    pub fn get(&self, name: &str) -> Option<f32> {
+        self.0.get(name).copied()
+    }
+
+    /// Number of metrics.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Elementwise mean of several maps; metrics missing from some maps are
+    /// averaged over the maps that do contain them.
+    pub fn mean_of(maps: &[MetricMap]) -> MetricMap {
+        let mut sums: BTreeMap<String, (f64, u32)> = BTreeMap::new();
+        for m in maps {
+            for (k, &v) in &m.0 {
+                let e = sums.entry(k.clone()).or_insert((0.0, 0));
+                e.0 += v as f64;
+                e.1 += 1;
+            }
+        }
+        MetricMap(
+            sums.into_iter()
+                .map(|(k, (s, c))| (k, (s / c as f64) as f32))
+                .collect(),
+        )
+    }
+
+    /// Render as `key=value` pairs for logs.
+    pub fn render(&self) -> String {
+        self.0
+            .iter()
+            .map(|(k, v)| format!("{k}={v:.4}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_and_render() {
+        let mut m = MetricMap::new();
+        m.set("loss", 0.5);
+        m.set("acc", 0.9);
+        assert_eq!(m.get("loss"), Some(0.5));
+        assert_eq!(m.get("missing"), None);
+        assert_eq!(m.len(), 2);
+        // BTreeMap ordering: acc before loss.
+        assert_eq!(m.render(), "acc=0.9000 loss=0.5000");
+    }
+
+    #[test]
+    fn mean_handles_partial_overlap() {
+        let mut a = MetricMap::new();
+        a.set("x", 1.0);
+        a.set("y", 10.0);
+        let mut b = MetricMap::new();
+        b.set("x", 3.0);
+        let mean = MetricMap::mean_of(&[a, b]);
+        assert_eq!(mean.get("x"), Some(2.0));
+        assert_eq!(mean.get("y"), Some(10.0));
+    }
+}

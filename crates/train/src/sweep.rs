@@ -1,0 +1,250 @@
+//! Grid-search hyperparameter sweeps.
+//!
+//! The paper punts the throughput/convergence balance to "hyperparameter
+//! optimization" (Section 5.2); this module is that machinery: a
+//! declarative grid over [`TrainConfig`] knobs, executed sequentially
+//! (each trial already saturates the simulated DDP ranks), ranked by a
+//! chosen validation metric.
+
+use matsciml_datasets::DataLoader;
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::MetricMap;
+use crate::model::TaskModel;
+use crate::trainer::{TrainConfig, Trainer};
+
+/// A declarative grid: every combination of the listed values is one
+/// trial. Empty axes inherit the base config's value.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SweepGrid {
+    /// Base learning rates to try.
+    pub base_lr: Vec<f32>,
+    /// World sizes to try.
+    pub world_size: Vec<usize>,
+    /// Warmup lengths (epochs) to try.
+    pub warmup_epochs: Vec<u64>,
+    /// Weight decays to try.
+    pub weight_decay: Vec<f32>,
+}
+
+impl SweepGrid {
+    /// Number of trials the grid expands to.
+    pub fn len(&self) -> usize {
+        self.base_lr.len().max(1)
+            * self.world_size.len().max(1)
+            * self.warmup_epochs.len().max(1)
+            * self.weight_decay.len().max(1)
+    }
+
+    /// True when the grid is a single (inherited) point.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 1
+            && self.base_lr.is_empty()
+            && self.world_size.is_empty()
+            && self.warmup_epochs.is_empty()
+            && self.weight_decay.is_empty()
+    }
+
+    /// Expand against a base config into concrete trial configs.
+    pub fn expand(&self, base: &TrainConfig) -> Vec<TrainConfig> {
+        let lrs: Vec<f32> = if self.base_lr.is_empty() { vec![base.base_lr] } else { self.base_lr.clone() };
+        let worlds: Vec<usize> =
+            if self.world_size.is_empty() { vec![base.world_size] } else { self.world_size.clone() };
+        let warmups: Vec<u64> =
+            if self.warmup_epochs.is_empty() { vec![base.warmup_epochs] } else { self.warmup_epochs.clone() };
+        let wds: Vec<f32> =
+            if self.weight_decay.is_empty() { vec![base.weight_decay] } else { self.weight_decay.clone() };
+        let mut out = Vec::with_capacity(self.len());
+        for &lr in &lrs {
+            for &w in &worlds {
+                for &wu in &warmups {
+                    for &wd in &wds {
+                        out.push(TrainConfig {
+                            base_lr: lr,
+                            world_size: w,
+                            warmup_epochs: wu,
+                            weight_decay: wd,
+                            ..base.clone()
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One completed trial.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Trial {
+    /// The configuration that ran.
+    pub config: TrainConfig,
+    /// Final validation metrics.
+    pub final_val: MetricMap,
+    /// Value of the objective metric (lower is better).
+    pub objective: f32,
+    /// Loss-spike count during training (stability signal).
+    pub spikes: usize,
+}
+
+/// Run every trial in the grid. `make_model` builds a fresh model per
+/// trial (so trials don't share state); `objective` names the validation
+/// metric to minimize. Returns trials sorted best-first.
+pub fn run_sweep(
+    grid: &SweepGrid,
+    base: &TrainConfig,
+    objective: &str,
+    make_model: impl Fn() -> TaskModel,
+    train_loader: &DataLoader<'_>,
+    val_loader: &DataLoader<'_>,
+) -> Vec<Trial> {
+    let mut trials = Vec::new();
+    for (i, config) in grid.expand(base).into_iter().enumerate() {
+        // The loader's batch must match the trial's effective batch; the
+        // caller sizes the loader for the *largest* world in the grid and
+        // we re-shard here by adjusting per-rank batch.
+        let mut config = config;
+        let b_eff = base.world_size * base.per_rank_batch;
+        assert!(
+            b_eff.is_multiple_of(config.world_size),
+            "world_size {} must divide the base effective batch {b_eff}",
+            config.world_size
+        );
+        config.per_rank_batch = b_eff / config.world_size;
+        eprintln!(
+            "[sweep {}/{}] lr={:.1e} N={} warmup={} wd={}",
+            i + 1,
+            grid.len(),
+            config.base_lr,
+            config.world_size,
+            config.warmup_epochs,
+            config.weight_decay
+        );
+        let mut model = make_model();
+        let log = Trainer::new(config.clone()).train(&mut model, train_loader, Some(val_loader));
+        let final_val = log.final_val().cloned().unwrap_or_default();
+        let objective_value = final_val.get(objective).unwrap_or(f32::INFINITY);
+        trials.push(Trial {
+            config,
+            final_val,
+            objective: objective_value,
+            spikes: log.spike_steps.len(),
+        });
+    }
+    trials.sort_by(|a, b| a.objective.total_cmp(&b.objective));
+    trials
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{TargetKind, TaskHeadConfig};
+    use matsciml_datasets::{Compose, DatasetId, Split, SyntheticMaterialsProject};
+    use matsciml_models::EgnnConfig;
+
+    #[test]
+    fn grid_expansion_counts() {
+        let base = TrainConfig::default();
+        let grid = SweepGrid {
+            base_lr: vec![1e-3, 1e-4],
+            world_size: vec![1, 2, 4],
+            ..Default::default()
+        };
+        assert_eq!(grid.len(), 6);
+        let configs = grid.expand(&base);
+        assert_eq!(configs.len(), 6);
+        // Unlisted axes inherit from base.
+        assert!(configs.iter().all(|c| c.warmup_epochs == base.warmup_epochs));
+        // Every combination present.
+        assert!(configs.iter().any(|c| c.base_lr == 1e-4 && c.world_size == 4));
+    }
+
+    #[test]
+    fn empty_grid_is_single_inherited_trial() {
+        let grid = SweepGrid::default();
+        assert!(grid.is_empty());
+        assert_eq!(grid.expand(&TrainConfig::default()).len(), 1);
+    }
+
+    #[test]
+    fn sweep_runs_and_ranks_trials() {
+        let ds = SyntheticMaterialsProject::new(128, 3);
+        let pipeline = Compose::standard(4.5, Some(12));
+        let base = TrainConfig {
+            world_size: 2,
+            per_rank_batch: 4,
+            steps: 6,
+            eval_every: 5,
+            eval_batches: 1,
+            parallel_ranks: false,
+            ..Default::default()
+        };
+        let train_dl = DataLoader::new(&ds, Some(&pipeline), Split::Train, 0.2, 8, 0);
+        let val_dl = DataLoader::new(&ds, Some(&pipeline), Split::Val, 0.2, 8, 0);
+        let grid = SweepGrid {
+            base_lr: vec![1e-3, 1e-5],
+            ..Default::default()
+        };
+        let trials = run_sweep(
+            &grid,
+            &base,
+            "materials-project/band_gap/mae",
+            || {
+                TaskModel::egnn(
+                    EgnnConfig::small(8),
+                    &[TaskHeadConfig::regression(
+                        DatasetId::MaterialsProject,
+                        TargetKind::BandGap,
+                        16,
+                        1,
+                    )],
+                    9,
+                )
+            },
+            &train_dl,
+            &val_dl,
+        );
+        assert_eq!(trials.len(), 2);
+        assert!(trials[0].objective <= trials[1].objective, "sorted best-first");
+        assert!(trials.iter().all(|t| t.objective.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn incompatible_world_size_is_rejected() {
+        let ds = SyntheticMaterialsProject::new(64, 3);
+        let pipeline = Compose::standard(4.5, Some(12));
+        let base = TrainConfig {
+            world_size: 2,
+            per_rank_batch: 3, // b_eff = 6, not divisible by 4
+            steps: 2,
+            parallel_ranks: false,
+            ..Default::default()
+        };
+        let train_dl = DataLoader::new(&ds, Some(&pipeline), Split::Train, 0.2, 6, 0);
+        let val_dl = DataLoader::new(&ds, Some(&pipeline), Split::Val, 0.2, 6, 0);
+        let grid = SweepGrid {
+            world_size: vec![4],
+            ..Default::default()
+        };
+        let _ = run_sweep(
+            &grid,
+            &base,
+            "loss",
+            || {
+                TaskModel::egnn(
+                    EgnnConfig::small(8),
+                    &[TaskHeadConfig::regression(
+                        DatasetId::MaterialsProject,
+                        TargetKind::BandGap,
+                        16,
+                        1,
+                    )],
+                    9,
+                )
+            },
+            &train_dl,
+            &val_dl,
+        );
+    }
+}

@@ -1,0 +1,482 @@
+//! Task heads: one learning objective over one (dataset, target) pair.
+
+use std::sync::Arc;
+
+use matsciml_autograd::{Graph, Var};
+use matsciml_datasets::{DatasetId, Targets};
+use matsciml_nn::{ForwardCtx, NormKind, OutputHead, ParamSet};
+use matsciml_tensor::Tensor;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::collate::Batch;
+use crate::metrics::MetricMap;
+
+/// Which target field a head predicts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TargetKind {
+    /// Band gap regression (eV).
+    BandGap,
+    /// Fermi energy regression (eV).
+    FermiEnergy,
+    /// Formation energy regression (eV/atom).
+    FormationEnergy,
+    /// Binary stability classification.
+    Stability,
+    /// Total/adsorption energy regression (eV).
+    Energy,
+    /// 32-way point-group classification (pretraining).
+    SymmetryLabel,
+}
+
+impl TargetKind {
+    /// Short name used in metric keys and CSV columns.
+    pub fn name(self) -> &'static str {
+        match self {
+            TargetKind::BandGap => "band_gap",
+            TargetKind::FermiEnergy => "fermi",
+            TargetKind::FormationEnergy => "e_form",
+            TargetKind::Stability => "stability",
+            TargetKind::Energy => "energy",
+            TargetKind::SymmetryLabel => "sym",
+        }
+    }
+
+    /// Read this target out of a sample's labels.
+    fn extract(self, t: &Targets) -> Option<f32> {
+        match self {
+            TargetKind::BandGap => t.band_gap,
+            TargetKind::FermiEnergy => t.fermi_energy,
+            TargetKind::FormationEnergy => t.formation_energy,
+            TargetKind::Stability => t.stable.map(|b| if b { 1.0 } else { 0.0 }),
+            TargetKind::Energy => t.energy,
+            TargetKind::SymmetryLabel => t.sym_label.map(|l| l as f32),
+        }
+    }
+}
+
+/// The loss attached to a head.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LossKind {
+    /// Mean squared error (training) with MAE reported as the metric,
+    /// matching the paper's Table 1.
+    Mse,
+    /// Mean absolute error for both training and metric.
+    L1,
+    /// Binary cross-entropy on logits; reports BCE and accuracy.
+    Bce,
+    /// Multi-class cross-entropy; reports CE and accuracy.
+    CrossEntropy {
+        /// Number of classes.
+        classes: usize,
+    },
+}
+
+/// Declarative head description (used by experiment configs).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TaskHeadConfig {
+    /// Which dataset's samples this head trains on.
+    pub dataset: DatasetId,
+    /// Which target it predicts.
+    pub target: TargetKind,
+    /// Loss/metric pairing.
+    pub loss: LossKind,
+    /// Residual blocks in the head (paper: 3 single-task, 6 multi-task).
+    pub blocks: usize,
+    /// Hidden width of the head.
+    pub hidden: usize,
+    /// Dropout probability inside head blocks (paper: 0.2).
+    pub dropout: f32,
+    /// Loss weight in the multi-task sum.
+    pub weight: f32,
+    /// Optional `(mean, std)` target standardization: the head is trained
+    /// in normalized space while metrics are reported in physical units.
+    pub normalize: Option<(f32, f32)>,
+    /// Normalization inside the head's residual blocks (paper default:
+    /// RMSNorm; BatchNorm exposed for the Appendix A comparison).
+    pub norm: NormKind,
+}
+
+impl TaskHeadConfig {
+    /// A regression head with the paper's defaults.
+    pub fn regression(dataset: DatasetId, target: TargetKind, hidden: usize, blocks: usize) -> Self {
+        TaskHeadConfig {
+            dataset,
+            target,
+            loss: LossKind::Mse,
+            blocks,
+            hidden,
+            dropout: 0.2,
+            weight: 1.0,
+            normalize: None,
+            norm: NormKind::Rms,
+        }
+    }
+
+    /// A binary-classification head.
+    pub fn binary(dataset: DatasetId, target: TargetKind, hidden: usize, blocks: usize) -> Self {
+        TaskHeadConfig {
+            dataset,
+            target,
+            loss: LossKind::Bce,
+            blocks,
+            hidden,
+            dropout: 0.2,
+            weight: 1.0,
+            normalize: None,
+            norm: NormKind::Rms,
+        }
+    }
+
+    /// The 32-way symmetry pretraining head.
+    pub fn symmetry(hidden: usize, blocks: usize, classes: usize) -> Self {
+        TaskHeadConfig {
+            dataset: DatasetId::Symmetry,
+            target: TargetKind::SymmetryLabel,
+            loss: LossKind::CrossEntropy { classes },
+            blocks,
+            hidden,
+            dropout: 0.2,
+            weight: 1.0,
+            normalize: None,
+            norm: NormKind::Rms,
+        }
+    }
+
+    /// Attach target standardization (regression heads only).
+    pub fn with_normalization(mut self, mean: f32, std: f32) -> Self {
+        assert!(std > 0.0, "normalization std must be positive");
+        self.normalize = Some((mean, std));
+        self
+    }
+}
+
+/// Estimate `(mean, std)` of a target over up to `probe` samples of a
+/// dataset — the statistics handed to
+/// [`TaskHeadConfig::with_normalization`]. Returns `None` when no sample
+/// carries the target or the target is constant.
+pub fn target_stats(
+    dataset: &dyn matsciml_datasets::Dataset,
+    target: TargetKind,
+    probe: usize,
+) -> Option<(f32, f32)> {
+    let n = dataset.len().min(probe);
+    let mut values = Vec::with_capacity(n);
+    for i in 0..n {
+        if let Some(v) = target.extract(&dataset.sample(i).targets) {
+            values.push(v as f64);
+        }
+    }
+    if values.len() < 2 {
+        return None;
+    }
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
+    let std = var.sqrt();
+    (std > 1e-6).then_some((mean as f32, std as f32))
+}
+
+/// A realized task head: the config plus its registered [`OutputHead`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TaskHead {
+    /// The head's declarative description.
+    pub config: TaskHeadConfig,
+    head: OutputHead,
+}
+
+impl TaskHead {
+    /// Register the head's parameters (encoder embedding width `in_dim`).
+    pub fn new<R: Rng + ?Sized>(
+        ps: &mut ParamSet,
+        config: TaskHeadConfig,
+        in_dim: usize,
+        rng: &mut R,
+    ) -> Self {
+        let out_dim = match config.loss {
+            LossKind::CrossEntropy { classes } => classes,
+            _ => 1,
+        };
+        let head = OutputHead::with_norm(
+            ps,
+            &format!("head.{}.{}", config.dataset.name(), config.target.name()),
+            in_dim,
+            config.hidden,
+            out_dim,
+            config.blocks,
+            config.dropout,
+            config.norm,
+            rng,
+        );
+        TaskHead { config, head }
+    }
+
+    /// Raw head output for an embedding batch: `[n, out_dim]` (regression
+    /// values or classification logits).
+    pub fn predict(
+        &self,
+        g: &mut Graph,
+        ps: &ParamSet,
+        ctx: &mut ForwardCtx,
+        embedding: Var,
+    ) -> Var {
+        let raw = self.head.forward(g, ps, ctx, embedding);
+        match self.config.normalize {
+            Some((mu, sigma)) => {
+                let scaled = g.scale(raw, sigma);
+                let mean = g.input(Tensor::from_vec(&[1], vec![mu]).expect("shape"));
+                g.add_row(scaled, mean)
+            }
+            None => raw,
+        }
+    }
+
+    /// Metric key prefix, e.g. `materials-project/band_gap`.
+    pub fn key(&self) -> String {
+        format!("{}/{}", self.config.dataset.name(), self.config.target.name())
+    }
+
+    /// Compute this head's weighted loss contribution and metrics over a
+    /// batch. Returns `None` when no sample in the batch belongs to this
+    /// head (wrong dataset or unlabeled).
+    pub fn loss(
+        &self,
+        g: &mut Graph,
+        ps: &ParamSet,
+        ctx: &mut ForwardCtx,
+        embedding: Var,
+        batch: &Batch,
+    ) -> Option<(Var, MetricMap)> {
+        let n = batch.targets.len();
+        let mut mask = vec![0.0f32; n];
+        let mut values = vec![0.0f32; n];
+        let mut count = 0usize;
+        for i in 0..n {
+            if batch.datasets[i] == self.config.dataset {
+                if let Some(v) = self.config.target.extract(&batch.targets[i]) {
+                    mask[i] = 1.0;
+                    values[i] = v;
+                    count += 1;
+                }
+            }
+        }
+        if count == 0 {
+            return None;
+        }
+
+        let pred = self.head.forward(g, ps, ctx, embedding);
+        let mut metrics = MetricMap::new();
+        let key = self.key();
+
+        let loss = match self.config.loss {
+            LossKind::Mse | LossKind::L1 => {
+                // Train in standardized space when configured; report MAE
+                // in physical units either way (the paper reports MAE even
+                // when training with MSE).
+                let (mu, sigma) = self.config.normalize.unwrap_or((0.0, 1.0));
+                let normed: Vec<f32> = values.iter().map(|&v| (v - mu) / sigma).collect();
+                let target = Tensor::from_vec(&[n, 1], normed).expect("shape");
+                let mask_t = Tensor::from_vec(&[n, 1], mask.clone()).expect("shape");
+                let p = g.value(pred);
+                let mae: f32 = (0..n)
+                    .filter(|&i| mask[i] > 0.0)
+                    .map(|i| (p.at2(i, 0) * sigma + mu - values[i]).abs())
+                    .sum::<f32>()
+                    / count as f32;
+                metrics.set(format!("{key}/mae"), mae);
+                match self.config.loss {
+                    LossKind::Mse => g.mse_loss(pred, &target, Some(&mask_t)),
+                    _ => g.l1_loss(pred, &target, Some(&mask_t)),
+                }
+            }
+            LossKind::Bce => {
+                let target = Tensor::from_vec(&[n, 1], values.clone()).expect("shape");
+                let mask_t = Tensor::from_vec(&[n, 1], mask.clone()).expect("shape");
+                let p = g.value(pred);
+                let correct = (0..n)
+                    .filter(|&i| mask[i] > 0.0)
+                    .filter(|&i| (p.at2(i, 0) > 0.0) == (values[i] > 0.5))
+                    .count();
+                metrics.set(format!("{key}/acc"), correct as f32 / count as f32);
+                let loss = g.bce_with_logits(pred, &target, Some(&mask_t));
+                metrics.set(format!("{key}/bce"), g.value(loss).item());
+                loss
+            }
+            LossKind::CrossEntropy { classes } => {
+                assert_eq!(
+                    count, n,
+                    "cross-entropy heads require fully-labeled single-dataset batches \
+                     ({count}/{n} labeled)"
+                );
+                let labels: Vec<u32> = values.iter().map(|&v| v as u32).collect();
+                debug_assert!(labels.iter().all(|&l| (l as usize) < classes));
+                let labels = Arc::new(labels);
+                metrics.set(format!("{key}/acc"), g.accuracy(pred, &labels));
+                let loss = g.softmax_cross_entropy(pred, labels);
+                metrics.set(format!("{key}/ce"), g.value(loss).item());
+                loss
+            }
+        };
+
+        let weighted = if (self.config.weight - 1.0).abs() > 1e-9 {
+            g.scale(loss, self.config.weight)
+        } else {
+            loss
+        };
+        Some((weighted, metrics))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collate::collate;
+    use matsciml_datasets::{Dataset, SymmetryDataset, SyntheticCarolina, SyntheticMaterialsProject};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fake_embedding(g: &mut Graph, n: usize, dim: usize) -> Var {
+        g.input(Tensor::from_fn(&[n, dim], |i| ((i % 7) as f32 - 3.0) * 0.1))
+    }
+
+    #[test]
+    fn regression_head_masks_foreign_datasets() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut ps = ParamSet::new();
+        let head = TaskHead::new(
+            &mut ps,
+            TaskHeadConfig::regression(DatasetId::MaterialsProject, TargetKind::BandGap, 16, 2),
+            8,
+            &mut rng,
+        );
+        let mp = SyntheticMaterialsProject::new(10, 1);
+        let cmd = SyntheticCarolina::new(10, 2);
+        let batch = collate(&[mp.sample(0), cmd.sample(0), mp.sample(1)]);
+        let mut g = Graph::new();
+        let emb = fake_embedding(&mut g, 3, 8);
+        let mut ctx = ForwardCtx::eval();
+        let (loss, metrics) = head.loss(&mut g, &ps, &mut ctx, emb, &batch).unwrap();
+        assert!(g.value(loss).item().is_finite());
+        assert!(metrics.get("materials-project/band_gap/mae").is_some());
+    }
+
+    #[test]
+    fn head_returns_none_when_no_samples_match() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut ps = ParamSet::new();
+        let head = TaskHead::new(
+            &mut ps,
+            TaskHeadConfig::regression(DatasetId::MaterialsProject, TargetKind::BandGap, 16, 2),
+            8,
+            &mut rng,
+        );
+        let cmd = SyntheticCarolina::new(10, 2);
+        let batch = collate(&[cmd.sample(0), cmd.sample(1)]);
+        let mut g = Graph::new();
+        let emb = fake_embedding(&mut g, 2, 8);
+        let mut ctx = ForwardCtx::eval();
+        assert!(head.loss(&mut g, &ps, &mut ctx, emb, &batch).is_none());
+    }
+
+    #[test]
+    fn symmetry_head_reports_ce_and_accuracy() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut ps = ParamSet::new();
+        let head = TaskHead::new(&mut ps, TaskHeadConfig::symmetry(16, 2, 32), 8, &mut rng);
+        let ds = SymmetryDataset::new(64, 4);
+        let batch = collate(&[ds.sample(0), ds.sample(1), ds.sample(2)]);
+        let mut g = Graph::new();
+        let emb = fake_embedding(&mut g, 3, 8);
+        let mut ctx = ForwardCtx::eval();
+        let (loss, metrics) = head.loss(&mut g, &ps, &mut ctx, emb, &batch).unwrap();
+        // Untrained CE over 32 classes ≈ ln 32 ≈ 3.47.
+        let ce = g.value(loss).item();
+        assert!(ce > 1.0 && ce < 12.0, "untrained CE should be finite and O(ln 32): {ce}");
+        assert!(metrics.get("symmetry/sym/acc").is_some());
+    }
+
+    #[test]
+    fn stability_head_reports_bce_and_accuracy() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut ps = ParamSet::new();
+        let head = TaskHead::new(
+            &mut ps,
+            TaskHeadConfig::binary(DatasetId::MaterialsProject, TargetKind::Stability, 16, 2),
+            8,
+            &mut rng,
+        );
+        let mp = SyntheticMaterialsProject::new(10, 5);
+        let batch = collate(&[mp.sample(0), mp.sample(1), mp.sample(2), mp.sample(3)]);
+        let mut g = Graph::new();
+        let emb = fake_embedding(&mut g, 4, 8);
+        let mut ctx = ForwardCtx::eval();
+        let (_, metrics) = head.loss(&mut g, &ps, &mut ctx, emb, &batch).unwrap();
+        assert!(metrics.get("materials-project/stability/bce").is_some());
+        let acc = metrics.get("materials-project/stability/acc").unwrap();
+        assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    fn target_stats_estimates_moments() {
+        let mp = SyntheticMaterialsProject::new(400, 9);
+        let (mu, sigma) = target_stats(&mp, TargetKind::BandGap, 400).unwrap();
+        // Direct computation for comparison.
+        let vals: Vec<f32> = (0..400).map(|i| mp.sample(i).targets.band_gap.unwrap()).collect();
+        let mean = vals.iter().sum::<f32>() / 400.0;
+        assert!((mu - mean).abs() < 1e-3);
+        assert!(sigma > 0.1, "band gap must vary");
+        // Missing target → None.
+        assert!(target_stats(&mp, TargetKind::Energy, 100).is_none());
+    }
+
+    #[test]
+    fn normalization_trains_in_z_space_but_reports_physical_mae() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut ps = ParamSet::new();
+        let cfg = TaskHeadConfig::regression(DatasetId::MaterialsProject, TargetKind::BandGap, 8, 1)
+            .with_normalization(10.0, 2.0);
+        let head = TaskHead::new(&mut ps, cfg, 4, &mut rng);
+        let mp = SyntheticMaterialsProject::new(10, 10);
+        let batch = collate(&[mp.sample(0), mp.sample(1)]);
+        let mut g = Graph::new();
+        let emb = fake_embedding(&mut g, 2, 4);
+        let mut ctx = ForwardCtx::eval();
+        let (_loss, metrics) = head.loss(&mut g, &ps, &mut ctx, emb, &batch).unwrap();
+        // Head output starts at zero (zero-init), so in normalized space
+        // predictions are 0 → physical predictions are exactly μ = 10.
+        let mae = metrics.get("materials-project/band_gap/mae").unwrap();
+        let expected: f32 = (0..2)
+            .map(|i| (10.0 - mp.sample(i).targets.band_gap.unwrap()).abs())
+            .sum::<f32>()
+            / 2.0;
+        assert!((mae - expected).abs() < 1e-4, "{mae} vs {expected}");
+        // And predict() denormalizes to μ as well.
+        let pred = head.predict(&mut g, &ps, &mut ctx, emb);
+        assert!((g.value(pred).at2(0, 0) - 10.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn loss_weight_scales_contribution() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut ps = ParamSet::new();
+        let mut cfg =
+            TaskHeadConfig::regression(DatasetId::MaterialsProject, TargetKind::BandGap, 16, 1);
+        let head1 = TaskHead::new(&mut ps, cfg.clone(), 8, &mut rng);
+        cfg.weight = 2.0;
+        let mut ps2 = ParamSet::new();
+        let mut rng2 = StdRng::seed_from_u64(5);
+        let head2 = TaskHead::new(&mut ps2, cfg, 8, &mut rng2);
+
+        let mp = SyntheticMaterialsProject::new(10, 6);
+        let batch = collate(&[mp.sample(0), mp.sample(1)]);
+        let eval = |head: &TaskHead, ps: &ParamSet| {
+            let mut g = Graph::new();
+            let emb = fake_embedding(&mut g, 2, 8);
+            let mut ctx = ForwardCtx::eval();
+            let (l, _) = head.loss(&mut g, ps, &mut ctx, emb, &batch).unwrap();
+            g.value(l).item()
+        };
+        let l1 = eval(&head1, &ps);
+        let l2 = eval(&head2, &ps2);
+        assert!((l2 - 2.0 * l1).abs() < 1e-5 * (1.0 + l1.abs()), "{l1} vs {l2}");
+    }
+}

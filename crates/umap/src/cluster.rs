@@ -1,0 +1,177 @@
+//! Cluster-quality metrics used to quantify the Fig. 4 qualitative claims
+//! (dataset overlap, LiPS forming its own tight cluster).
+
+use matsciml_tensor::Tensor;
+
+/// Summary statistics of labeled clusters in an embedding.
+#[derive(Debug, Clone)]
+pub struct ClusterStats {
+    /// Per-cluster centroid, `[k][dim]`.
+    pub centroids: Vec<Vec<f32>>,
+    /// Per-cluster mean distance of members to their centroid.
+    pub spreads: Vec<f32>,
+    /// Number of clusters.
+    pub k: usize,
+}
+
+/// Compute centroids and spreads for integer-labeled points.
+pub fn cluster_stats(emb: &Tensor, labels: &[usize]) -> ClusterStats {
+    let (n, d) = (emb.rows(), emb.cols());
+    assert_eq!(labels.len(), n, "one label per embedded point");
+    let k = labels.iter().copied().max().map_or(0, |m| m + 1);
+    let mut centroids = vec![vec![0.0f32; d]; k];
+    let mut counts = vec![0usize; k];
+    for (i, &l) in labels.iter().enumerate() {
+        counts[l] += 1;
+        for (c, centroid_c) in centroids[l].iter_mut().enumerate() {
+            *centroid_c += emb.at2(i, c);
+        }
+    }
+    for (cent, &cnt) in centroids.iter_mut().zip(&counts) {
+        if cnt > 0 {
+            cent.iter_mut().for_each(|v| *v /= cnt as f32);
+        }
+    }
+    let mut spreads = vec![0.0f32; k];
+    for (i, &l) in labels.iter().enumerate() {
+        let mut d2 = 0.0f32;
+        for (c, centroid_c) in centroids[l].iter().enumerate() {
+            let diff = emb.at2(i, c) - centroid_c;
+            d2 += diff * diff;
+        }
+        spreads[l] += d2.sqrt();
+    }
+    for (s, &cnt) in spreads.iter_mut().zip(&counts) {
+        if cnt > 0 {
+            *s /= cnt as f32;
+        }
+    }
+    ClusterStats {
+        centroids,
+        spreads,
+        k,
+    }
+}
+
+/// Minimum inter-centroid distance divided by maximum intra-cluster
+/// spread — > 1 means clusters are visibly separated.
+pub fn centroid_separation(emb: &Tensor, labels: &[usize]) -> f32 {
+    let stats = cluster_stats(emb, labels);
+    if stats.k < 2 {
+        return 0.0;
+    }
+    let mut min_inter = f32::INFINITY;
+    for i in 0..stats.k {
+        for j in i + 1..stats.k {
+            let d2: f32 = stats.centroids[i]
+                .iter()
+                .zip(&stats.centroids[j])
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum();
+            min_inter = min_inter.min(d2.sqrt());
+        }
+    }
+    let max_spread = stats.spreads.iter().cloned().fold(1e-6f32, f32::max);
+    min_inter / max_spread
+}
+
+/// Mean silhouette coefficient over all points (O(n²); intended for the
+/// few-thousand-point embeddings of the figure study). Ranges in [-1, 1];
+/// higher means tighter, better-separated clusters.
+pub fn silhouette(emb: &Tensor, labels: &[usize]) -> f32 {
+    let n = emb.rows();
+    let d = emb.cols();
+    assert_eq!(labels.len(), n);
+    let k = labels.iter().copied().max().map_or(0, |m| m + 1);
+    if k < 2 {
+        return 0.0;
+    }
+    let buf = emb.as_slice();
+    let dist = |i: usize, j: usize| -> f32 {
+        let mut acc = 0.0f32;
+        for c in 0..d {
+            let diff = buf[i * d + c] - buf[j * d + c];
+            acc += diff * diff;
+        }
+        acc.sqrt()
+    };
+    let mut total = 0.0f64;
+    let mut counted = 0usize;
+    for i in 0..n {
+        let mut sums = vec![0.0f32; k];
+        let mut counts = vec![0usize; k];
+        for j in 0..n {
+            if i != j {
+                sums[labels[j]] += dist(i, j);
+                counts[labels[j]] += 1;
+            }
+        }
+        let own = labels[i];
+        if counts[own] == 0 {
+            continue;
+        }
+        let a = sums[own] / counts[own] as f32;
+        let b = (0..k)
+            .filter(|&l| l != own && counts[l] > 0)
+            .map(|l| sums[l] / counts[l] as f32)
+            .fold(f32::INFINITY, f32::min);
+        if b.is_finite() {
+            total += ((b - a) / a.max(b).max(1e-9)) as f64;
+            counted += 1;
+        }
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        (total / counted as f64) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_tight_clusters() -> (Tensor, Vec<usize>) {
+        // Cluster 0 near origin, cluster 1 near (10, 0).
+        let pts = vec![
+            0.0, 0.0, 0.1, 0.0, 0.0, 0.1, //
+            10.0, 0.0, 10.1, 0.0, 10.0, 0.1,
+        ];
+        (
+            Tensor::from_vec(&[6, 2], pts).unwrap(),
+            vec![0, 0, 0, 1, 1, 1],
+        )
+    }
+
+    #[test]
+    fn stats_compute_centroids_and_spreads() {
+        let (emb, labels) = two_tight_clusters();
+        let stats = cluster_stats(&emb, &labels);
+        assert_eq!(stats.k, 2);
+        assert!((stats.centroids[1][0] - 10.033).abs() < 0.01);
+        assert!(stats.spreads.iter().all(|&s| s < 0.2));
+    }
+
+    #[test]
+    fn separation_is_high_for_distant_clusters() {
+        let (emb, labels) = two_tight_clusters();
+        assert!(centroid_separation(&emb, &labels) > 50.0);
+    }
+
+    #[test]
+    fn silhouette_near_one_for_clean_clusters_and_low_for_mixed() {
+        let (emb, labels) = two_tight_clusters();
+        assert!(silhouette(&emb, &labels) > 0.9);
+        // Shuffled labels destroy the structure.
+        let mixed = vec![0, 1, 0, 1, 0, 1];
+        assert!(silhouette(&emb, &mixed) < 0.2);
+    }
+
+    #[test]
+    fn degenerate_single_cluster_returns_zero() {
+        let (emb, _) = two_tight_clusters();
+        let labels = vec![0; 6];
+        assert_eq!(silhouette(&emb, &labels), 0.0);
+        assert_eq!(centroid_separation(&emb, &labels), 0.0);
+    }
+}

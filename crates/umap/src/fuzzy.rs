@@ -1,0 +1,204 @@
+//! Fuzzy simplicial set construction and the output-kernel fit.
+
+/// Sparse symmetric weighted graph in COO form.
+#[derive(Debug, Clone)]
+pub struct FuzzyGraph {
+    /// Edge heads.
+    pub rows: Vec<u32>,
+    /// Edge tails.
+    pub cols: Vec<u32>,
+    /// Membership strengths in (0, 1].
+    pub weights: Vec<f32>,
+    /// Number of vertices.
+    pub n: usize,
+}
+
+/// Per-point bandwidth calibration (Algorithm 3 of the UMAP paper):
+/// returns `(rho, sigma)` where `rho_i` is the distance to the nearest
+/// neighbor and `sigma_i` solves
+/// `Σ_j exp(−max(0, d_ij − rho_i)/sigma_i) = log2(k)`.
+pub fn smooth_knn(dists: &[Vec<f32>]) -> (Vec<f32>, Vec<f32>) {
+    const TARGET_ITERS: usize = 64;
+    let mut rhos = Vec::with_capacity(dists.len());
+    let mut sigmas = Vec::with_capacity(dists.len());
+    for d in dists {
+        if d.is_empty() {
+            rhos.push(0.0);
+            sigmas.push(1.0);
+            continue;
+        }
+        let rho = d
+            .iter()
+            .copied()
+            .filter(|&x| x > 0.0)
+            .fold(f32::INFINITY, f32::min);
+        let rho = if rho.is_finite() { rho } else { 0.0 };
+        let target = (d.len() as f32).log2();
+        let (mut lo, mut hi) = (0.0f32, f32::INFINITY);
+        let mut mid = 1.0f32;
+        for _ in 0..TARGET_ITERS {
+            let sum: f32 = d
+                .iter()
+                .map(|&x| (-((x - rho).max(0.0)) / mid).exp())
+                .sum();
+            if (sum - target).abs() < 1e-5 {
+                break;
+            }
+            if sum > target {
+                hi = mid;
+                mid = (lo + hi) / 2.0;
+            } else {
+                lo = mid;
+                mid = if hi.is_infinite() { mid * 2.0 } else { (lo + hi) / 2.0 };
+            }
+        }
+        rhos.push(rho);
+        sigmas.push(mid.max(1e-3));
+    }
+    (rhos, sigmas)
+}
+
+/// Build the symmetrized fuzzy simplicial set from a k-NN graph:
+/// directional memberships `exp(−max(0, d−ρ)/σ)` combined by probabilistic
+/// union `a + b − ab`.
+pub fn fuzzy_simplicial_set(idx: &[Vec<u32>], dists: &[Vec<f32>]) -> FuzzyGraph {
+    let n = idx.len();
+    let (rhos, sigmas) = smooth_knn(dists);
+    // Directional weights in a hash map keyed by (min, max) so the union
+    // is applied once per undirected pair.
+    use std::collections::HashMap;
+    let mut pair: HashMap<(u32, u32), (f32, f32)> = HashMap::new();
+    for i in 0..n {
+        for (jj, &j) in idx[i].iter().enumerate() {
+            let w = (-((dists[i][jj] - rhos[i]).max(0.0)) / sigmas[i]).exp();
+            let key = if (i as u32) < j { (i as u32, j) } else { (j, i as u32) };
+            let entry = pair.entry(key).or_insert((0.0, 0.0));
+            if (i as u32) < j {
+                entry.0 = entry.0.max(w);
+            } else {
+                entry.1 = entry.1.max(w);
+            }
+        }
+    }
+    let mut rows = Vec::with_capacity(pair.len());
+    let mut cols = Vec::with_capacity(pair.len());
+    let mut weights = Vec::with_capacity(pair.len());
+    let mut entries: Vec<_> = pair.into_iter().collect();
+    entries.sort_unstable_by_key(|&((a, b), _)| (a, b)); // determinism
+    for ((a, b), (wab, wba)) in entries {
+        let w = wab + wba - wab * wba;
+        if w > 1e-6 {
+            rows.push(a);
+            cols.push(b);
+            weights.push(w);
+        }
+    }
+    FuzzyGraph {
+        rows,
+        cols,
+        weights,
+        n,
+    }
+}
+
+/// Fit the output kernel `1/(1 + a·d^{2b})` to the target
+/// `ψ(d) = 1 for d ≤ min_dist, exp(−(d − min_dist)/spread) otherwise`
+/// by dense grid search + local refinement (umap-learn uses
+/// `scipy.optimize.curve_fit`; at two parameters a refined grid matches it
+/// to three decimals).
+pub fn fit_ab(min_dist: f32, spread: f32) -> (f32, f32) {
+    let xs: Vec<f32> = (1..=300).map(|i| i as f32 * 3.0 * spread / 300.0).collect();
+    let target: Vec<f32> = xs
+        .iter()
+        .map(|&x| {
+            if x <= min_dist {
+                1.0
+            } else {
+                (-(x - min_dist) / spread).exp()
+            }
+        })
+        .collect();
+    let loss = |a: f32, b: f32| -> f32 {
+        xs.iter()
+            .zip(&target)
+            .map(|(&x, &t)| {
+                let y = 1.0 / (1.0 + a * x.powf(2.0 * b));
+                (y - t) * (y - t)
+            })
+            .sum()
+    };
+    let (mut best_a, mut best_b, mut best_l) = (1.0f32, 1.0f32, f32::INFINITY);
+    // Coarse grid, then two refinement passes around the best cell.
+    let mut a_range = (0.05f32, 10.0f32);
+    let mut b_range = (0.3f32, 2.5f32);
+    for _pass in 0..3 {
+        let steps = 40;
+        for ia in 0..=steps {
+            let a = a_range.0 + (a_range.1 - a_range.0) * ia as f32 / steps as f32;
+            for ib in 0..=steps {
+                let b = b_range.0 + (b_range.1 - b_range.0) * ib as f32 / steps as f32;
+                let l = loss(a, b);
+                if l < best_l {
+                    best_l = l;
+                    best_a = a;
+                    best_b = b;
+                }
+            }
+        }
+        let aw = (a_range.1 - a_range.0) / steps as f32 * 2.0;
+        let bw = (b_range.1 - b_range.0) / steps as f32 * 2.0;
+        a_range = ((best_a - aw).max(1e-3), best_a + aw);
+        b_range = ((best_b - bw).max(0.1), best_b + bw);
+    }
+    (best_a, best_b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smooth_knn_hits_entropy_target() {
+        let dists = vec![vec![0.5f32, 1.0, 1.5, 2.0, 4.0, 4.5, 5.0, 6.0]];
+        let (rhos, sigmas) = smooth_knn(&dists);
+        assert_eq!(rhos[0], 0.5);
+        let sum: f32 = dists[0]
+            .iter()
+            .map(|&x| (-((x - rhos[0]).max(0.0)) / sigmas[0]).exp())
+            .sum();
+        assert!((sum - 3.0).abs() < 1e-3, "sum = {sum}, want log2(8) = 3");
+    }
+
+    #[test]
+    fn fuzzy_set_is_union_symmetric_and_bounded() {
+        let idx = vec![vec![1u32, 2], vec![0, 2], vec![0, 1]];
+        let dists = vec![vec![1.0f32, 2.0], vec![1.0, 1.5], vec![2.0, 1.5]];
+        let g = fuzzy_simplicial_set(&idx, &dists);
+        assert_eq!(g.n, 3);
+        assert!(!g.weights.is_empty());
+        for &w in &g.weights {
+            assert!(w > 0.0 && w <= 1.0 + 1e-6, "weight {w} out of range");
+        }
+        // Nearest neighbors get membership 1 (d == rho).
+        let max_w = g.weights.iter().cloned().fold(0.0f32, f32::max);
+        assert!((max_w - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn fit_ab_matches_umap_learn_reference_values() {
+        // umap-learn's curve_fit for (min_dist=0.1, spread=1.0) gives
+        // a ≈ 1.577, b ≈ 0.895.
+        let (a, b) = fit_ab(0.1, 1.0);
+        assert!((a - 1.577).abs() < 0.15, "a = {a}");
+        assert!((b - 0.895).abs() < 0.08, "b = {b}");
+    }
+
+    #[test]
+    fn fit_ab_for_paper_min_dist() {
+        // The paper uses min_dist = 0.05; the kernel must be sharper
+        // (larger a) than at 0.1.
+        let (a05, _) = fit_ab(0.05, 1.0);
+        let (a10, _) = fit_ab(0.1, 1.0);
+        assert!(a05 > a10, "smaller min_dist → sharper kernel ({a05} vs {a10})");
+    }
+}

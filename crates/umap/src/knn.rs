@@ -1,0 +1,110 @@
+//! Exact k-nearest-neighbor search.
+
+use matsciml_tensor::Tensor;
+use rayon::prelude::*;
+
+/// For every row of `data` (`[n, d]`), the indices and distances of its
+/// `k` nearest other rows (Euclidean), sorted ascending by distance.
+///
+/// Brute force with rayon over query rows: exact, deterministic, and fast
+/// enough for the tens of thousands of points the Fig. 4 study embeds.
+pub fn exact_knn(data: &Tensor, k: usize) -> (Vec<Vec<u32>>, Vec<Vec<f32>>) {
+    let n = data.rows();
+    let d = data.cols();
+    let k = k.min(n.saturating_sub(1));
+    let buf = data.as_slice();
+
+    let rows: Vec<(Vec<u32>, Vec<f32>)> = (0..n)
+        .into_par_iter()
+        .map(|i| {
+            let qi = &buf[i * d..(i + 1) * d];
+            let mut dists: Vec<(f32, u32)> = Vec::with_capacity(n - 1);
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                let qj = &buf[j * d..(j + 1) * d];
+                let mut acc = 0.0f32;
+                for (a, b) in qi.iter().zip(qj) {
+                    let diff = a - b;
+                    acc += diff * diff;
+                }
+                dists.push((acc, j as u32));
+            }
+            if dists.len() > k {
+                dists.select_nth_unstable_by(k - 1, |a, b| a.0.total_cmp(&b.0));
+                dists.truncate(k);
+            }
+            dists.sort_by(|a, b| a.0.total_cmp(&b.0));
+            (
+                dists.iter().map(|&(_, j)| j).collect(),
+                dists.iter().map(|&(d2, _)| d2.sqrt()).collect(),
+            )
+        })
+        .collect();
+
+    rows.into_iter().unzip()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_1d(n: usize) -> Tensor {
+        Tensor::from_fn(&[n, 1], |i| i as f32)
+    }
+
+    #[test]
+    fn knn_on_a_line_finds_adjacent_points() {
+        let (idx, dist) = exact_knn(&grid_1d(10), 2);
+        // Interior point 5: neighbors 4 and 6 at distance 1.
+        assert!(idx[5].contains(&4) && idx[5].contains(&6));
+        assert_eq!(dist[5], vec![1.0, 1.0]);
+        // Endpoint 0: neighbors 1 and 2.
+        assert_eq!(idx[0], vec![1, 2]);
+        assert_eq!(dist[0], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn distances_are_sorted_and_self_excluded() {
+        let data = Tensor::from_fn(&[30, 3], |i| ((i * 31 % 17) as f32) * 0.37);
+        let (idx, dist) = exact_knn(&data, 5);
+        for i in 0..30 {
+            assert_eq!(idx[i].len(), 5);
+            assert!(!idx[i].contains(&(i as u32)), "row {i} is its own neighbor");
+            for w in dist[i].windows(2) {
+                assert!(w[0] <= w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn k_larger_than_n_is_clamped() {
+        let (idx, _) = exact_knn(&grid_1d(3), 10);
+        assert_eq!(idx[0].len(), 2);
+    }
+
+    #[test]
+    fn knn_matches_naive_on_random_data() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(5);
+        let data = Tensor::randn(&[40, 4], 0.0, 1.0, &mut rng);
+        let (idx, _) = exact_knn(&data, 3);
+        // Naive check for a few rows.
+        for i in [0usize, 13, 39] {
+            let mut all: Vec<(f32, u32)> = (0..40)
+                .filter(|&j| j != i)
+                .map(|j| {
+                    let d: f32 = (0..4)
+                        .map(|c| (data.at2(i, c) - data.at2(j, c)).powi(2))
+                        .sum();
+                    (d, j as u32)
+                })
+                .collect();
+            all.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let expected: Vec<u32> = all[..3].iter().map(|&(_, j)| j).collect();
+            assert_eq!(idx[i], expected, "row {i}");
+        }
+    }
+}

@@ -1,0 +1,400 @@
+//! The layout optimizer: negative-sampling SGD on UMAP's cross-entropy
+//! objective.
+
+use matsciml_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::fuzzy::{fit_ab, fuzzy_simplicial_set};
+use crate::knn::exact_knn;
+
+/// UMAP hyperparameters. Defaults mirror umap-learn; the paper's Fig. 4
+/// used `n_neighbors = 200`, `min_dist = 0.05`, Euclidean metric.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct UmapConfig {
+    /// Neighborhood size k.
+    pub n_neighbors: usize,
+    /// Minimum separation in the embedding.
+    pub min_dist: f32,
+    /// Kernel spread.
+    pub spread: f32,
+    /// Output dimensionality (2 for the figure).
+    pub out_dim: usize,
+    /// SGD epochs.
+    pub n_epochs: usize,
+    /// Initial SGD learning rate (decays linearly to 0).
+    pub learning_rate: f32,
+    /// Negative samples per positive update.
+    pub negative_sample_rate: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for UmapConfig {
+    fn default() -> Self {
+        UmapConfig {
+            n_neighbors: 15,
+            min_dist: 0.1,
+            spread: 1.0,
+            out_dim: 2,
+            n_epochs: 200,
+            learning_rate: 1.0,
+            negative_sample_rate: 5,
+            seed: 42,
+        }
+    }
+}
+
+impl UmapConfig {
+    /// The paper's Fig. 4 parameters (n_neighbors 200, min_dist 0.05).
+    pub fn paper_fig4() -> Self {
+        UmapConfig {
+            n_neighbors: 200,
+            min_dist: 0.05,
+            ..Default::default()
+        }
+    }
+}
+
+/// The fitted reducer.
+pub struct Umap {
+    /// Configuration used.
+    pub config: UmapConfig,
+    /// Fitted output-kernel parameters.
+    pub a: f32,
+    /// Fitted output-kernel parameters.
+    pub b: f32,
+}
+
+impl Umap {
+    /// Prepare a reducer (fits the `(a, b)` kernel).
+    pub fn new(config: UmapConfig) -> Self {
+        let (a, b) = fit_ab(config.min_dist, config.spread);
+        Umap { config, a, b }
+    }
+
+    /// Embed `data` (`[n, d]`) into `[n, out_dim]`.
+    pub fn fit_transform(&self, data: &Tensor) -> Tensor {
+        let cfg = &self.config;
+        let n = data.rows();
+        assert!(n >= 4, "UMAP needs at least a handful of points");
+        let (idx, dists) = exact_knn(data, cfg.n_neighbors);
+        let graph = fuzzy_simplicial_set(&idx, &dists);
+
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        // umap-learn random init: uniform in [-10, 10].
+        let mut emb: Vec<f32> = (0..n * cfg.out_dim)
+            .map(|_| rng.gen_range(-10.0f32..10.0))
+            .collect();
+
+        // Edge sampling schedule: an edge with weight w is updated every
+        // (w_max / w) epochs.
+        let w_max = graph.weights.iter().cloned().fold(f32::MIN, f32::max);
+        let epochs_per_sample: Vec<f32> =
+            graph.weights.iter().map(|&w| w_max / w.max(1e-6)).collect();
+        let mut next_due: Vec<f32> = epochs_per_sample.clone();
+
+        let (a, b) = (self.a, self.b);
+        let d = cfg.out_dim;
+        let clip = |v: f32| v.clamp(-4.0, 4.0);
+
+        for epoch in 0..cfg.n_epochs {
+            let alpha = cfg.learning_rate * (1.0 - epoch as f32 / cfg.n_epochs as f32);
+            for e in 0..graph.rows.len() {
+                if next_due[e] > (epoch + 1) as f32 {
+                    continue;
+                }
+                next_due[e] += epochs_per_sample[e];
+                let i = graph.rows[e] as usize;
+                let j = graph.cols[e] as usize;
+
+                // Attractive update on (i, j).
+                let mut d2 = 0.0f32;
+                for c in 0..d {
+                    let diff = emb[i * d + c] - emb[j * d + c];
+                    d2 += diff * diff;
+                }
+                if d2 > 0.0 {
+                    let coeff = (-2.0 * a * b * d2.powf(b - 1.0)) / (1.0 + a * d2.powf(b));
+                    for c in 0..d {
+                        let g = clip(coeff * (emb[i * d + c] - emb[j * d + c]));
+                        emb[i * d + c] += alpha * g;
+                        emb[j * d + c] -= alpha * g;
+                    }
+                }
+
+                // Repulsive updates against random negatives.
+                for _ in 0..cfg.negative_sample_rate {
+                    let k = rng.gen_range(0..n);
+                    if k == i {
+                        continue;
+                    }
+                    let mut d2 = 0.0f32;
+                    for c in 0..d {
+                        let diff = emb[i * d + c] - emb[k * d + c];
+                        d2 += diff * diff;
+                    }
+                    let coeff = if d2 > 0.0 {
+                        (2.0 * b) / ((0.001 + d2) * (1.0 + a * d2.powf(b)))
+                    } else {
+                        0.0
+                    };
+                    for c in 0..d {
+                        let g = if coeff > 0.0 {
+                            clip(coeff * (emb[i * d + c] - emb[k * d + c]))
+                        } else {
+                            4.0
+                        };
+                        emb[i * d + c] += alpha * g;
+                    }
+                }
+            }
+        }
+
+        Tensor::from_vec(&[n, cfg.out_dim], emb).expect("embedding buffer size")
+    }
+}
+
+/// A fitted UMAP model: the reference data, its embedding, and the kernel
+/// parameters — supports out-of-sample [`FittedUmap::transform`], the
+/// workflow behind "where does this new structure fall on the dataset
+/// map?".
+pub struct FittedUmap {
+    /// Configuration used at fit time.
+    pub config: UmapConfig,
+    /// Fitted output-kernel parameters.
+    pub a: f32,
+    /// Fitted output-kernel parameters.
+    pub b: f32,
+    reference: Tensor,
+    embedding: Tensor,
+}
+
+impl Umap {
+    /// Fit and keep the model for later out-of-sample transforms.
+    pub fn fit(&self, data: &Tensor) -> FittedUmap {
+        let embedding = self.fit_transform(data);
+        FittedUmap {
+            config: self.config,
+            a: self.a,
+            b: self.b,
+            reference: data.clone(),
+            embedding,
+        }
+    }
+}
+
+impl FittedUmap {
+    /// The reference embedding produced at fit time.
+    pub fn embedding(&self) -> &Tensor {
+        &self.embedding
+    }
+
+    /// Embed new points into the fitted map: each new point is initialized
+    /// at the membership-weighted average of its nearest reference points'
+    /// embeddings, then refined by attraction-only SGD against those
+    /// neighbors (reference points stay fixed — the umap-learn `transform`
+    /// contract).
+    pub fn transform(&self, new_data: &Tensor) -> Tensor {
+        let cfg = &self.config;
+        assert_eq!(
+            new_data.cols(),
+            self.reference.cols(),
+            "dimensionality mismatch with the fitted reference"
+        );
+        let n_new = new_data.rows();
+        let n_ref = self.reference.rows();
+        let k = cfg.n_neighbors.min(n_ref);
+        let d_in = new_data.cols();
+        let dim = cfg.out_dim;
+
+        // k-NN of each new point among the reference points.
+        let refbuf = self.reference.as_slice();
+        let newbuf = new_data.as_slice();
+        let mut emb = vec![0.0f32; n_new * dim];
+        let mut all_neighbors: Vec<Vec<(u32, f32)>> = Vec::with_capacity(n_new);
+        for i in 0..n_new {
+            let q = &newbuf[i * d_in..(i + 1) * d_in];
+            let mut dists: Vec<(f32, u32)> = (0..n_ref)
+                .map(|j| {
+                    let r = &refbuf[j * d_in..(j + 1) * d_in];
+                    let d2: f32 = q.iter().zip(r).map(|(a, b)| (a - b) * (a - b)).sum();
+                    (d2, j as u32)
+                })
+                .collect();
+            dists.select_nth_unstable_by(k - 1, |a, b| a.0.total_cmp(&b.0));
+            dists.truncate(k);
+            dists.sort_by(|a, b| a.0.total_cmp(&b.0));
+            // Membership weights from the smooth-kNN kernel.
+            let rho = dists[0].0.sqrt();
+            let sigma = (dists[k - 1].0.sqrt() - rho).max(1e-3);
+            let weights: Vec<(u32, f32)> = dists
+                .iter()
+                .map(|&(d2, j)| (j, (-((d2.sqrt() - rho).max(0.0)) / sigma).exp()))
+                .collect();
+            let total: f32 = weights.iter().map(|&(_, w)| w).sum();
+            // Weighted-average initialization.
+            for &(j, w) in &weights {
+                for c in 0..dim {
+                    emb[i * dim + c] += self.embedding.at2(j as usize, c) * w / total.max(1e-9);
+                }
+            }
+            all_neighbors.push(weights);
+        }
+
+        // Attraction-only refinement toward reference neighbors.
+        let (a, b) = (self.a, self.b);
+        let epochs = (cfg.n_epochs / 3).max(10);
+        for epoch in 0..epochs {
+            let alpha = cfg.learning_rate * 0.5 * (1.0 - epoch as f32 / epochs as f32);
+            for i in 0..n_new {
+                for &(j, w) in &all_neighbors[i] {
+                    let mut d2 = 0.0f32;
+                    for c in 0..dim {
+                        let diff = emb[i * dim + c] - self.embedding.at2(j as usize, c);
+                        d2 += diff * diff;
+                    }
+                    if d2 > 0.0 {
+                        let coeff =
+                            w * (-2.0 * a * b * d2.powf(b - 1.0)) / (1.0 + a * d2.powf(b));
+                        for c in 0..dim {
+                            let g = (coeff
+                                * (emb[i * dim + c] - self.embedding.at2(j as usize, c)))
+                            .clamp(-4.0, 4.0);
+                            emb[i * dim + c] += alpha * g;
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(&[n_new, dim], emb).expect("embedding buffer")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::centroid_separation;
+
+    /// Two well-separated Gaussian blobs in 8-D.
+    fn blobs(n_per: usize, seed: u64) -> (Tensor, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = n_per * 2;
+        let mut data = Tensor::randn(&[n, 8], 0.0, 0.5, &mut rng);
+        let buf = data.as_mut_slice();
+        for i in 0..n_per {
+            buf[i * 8] += 10.0; // blob 0 offset along first axis
+        }
+        let labels: Vec<usize> = (0..n).map(|i| usize::from(i >= n_per)).collect();
+        (data, labels)
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let (data, labels) = blobs(60, 1);
+        let umap = Umap::new(UmapConfig {
+            n_neighbors: 10,
+            n_epochs: 80,
+            seed: 7,
+            ..Default::default()
+        });
+        let emb = umap.fit_transform(&data);
+        assert_eq!(emb.shape(), &[120, 2]);
+        assert!(emb.all_finite());
+        let sep = centroid_separation(&emb, &labels);
+        assert!(
+            sep > 2.0,
+            "blobs should separate in the embedding (separation {sep})"
+        );
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (data, _) = blobs(30, 2);
+        let cfg = UmapConfig {
+            n_neighbors: 8,
+            n_epochs: 30,
+            seed: 3,
+            ..Default::default()
+        };
+        let a = Umap::new(cfg).fit_transform(&data);
+        let b = Umap::new(cfg).fit_transform(&data);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn transform_places_new_points_near_their_cluster() {
+        let (data, labels) = blobs(50, 4);
+        let umap = Umap::new(UmapConfig {
+            n_neighbors: 10,
+            n_epochs: 60,
+            seed: 5,
+            ..Default::default()
+        });
+        let fitted = umap.fit(&data);
+
+        // New points drawn from blob 0's distribution (offset +10 on x).
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut fresh = Tensor::randn(&[10, 8], 0.0, 0.5, &mut rng);
+        for i in 0..10 {
+            fresh.as_mut_slice()[i * 8] += 10.0;
+        }
+        let placed = fitted.transform(&fresh);
+        assert_eq!(placed.shape(), &[10, 2]);
+        assert!(placed.all_finite());
+
+        // Each placed point must be nearer blob 0's centroid than blob 1's.
+        let emb = fitted.embedding();
+        let centroid = |target: usize| {
+            let mut c = [0.0f32; 2];
+            let mut count = 0;
+            for (i, &l) in labels.iter().enumerate() {
+                if l == target {
+                    c[0] += emb.at2(i, 0);
+                    c[1] += emb.at2(i, 1);
+                    count += 1;
+                }
+            }
+            [c[0] / count as f32, c[1] / count as f32]
+        };
+        let c0 = centroid(0);
+        let c1 = centroid(1);
+        let mut correct = 0;
+        for i in 0..10 {
+            let p = [placed.at2(i, 0), placed.at2(i, 1)];
+            let d0 = (p[0] - c0[0]).powi(2) + (p[1] - c0[1]).powi(2);
+            let d1 = (p[0] - c1[0]).powi(2) + (p[1] - c1[1]).powi(2);
+            correct += usize::from(d0 < d1);
+        }
+        assert!(correct >= 8, "{correct}/10 new points placed in the right cluster");
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn transform_rejects_wrong_dimensionality() {
+        let (data, _) = blobs(20, 6);
+        let fitted = Umap::new(UmapConfig {
+            n_neighbors: 5,
+            n_epochs: 10,
+            ..Default::default()
+        })
+        .fit(&data);
+        let _ = fitted.transform(&Tensor::zeros(&[3, 4]));
+    }
+
+    #[test]
+    fn kernel_parameters_are_fitted_once() {
+        let u = Umap::new(UmapConfig::default());
+        assert!(u.a > 0.5 && u.a < 3.0);
+        assert!(u.b > 0.5 && u.b < 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "handful of points")]
+    fn tiny_inputs_are_rejected() {
+        let u = Umap::new(UmapConfig::default());
+        let _ = u.fit_transform(&Tensor::zeros(&[2, 3]));
+    }
+}

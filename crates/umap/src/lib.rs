@@ -1,0 +1,35 @@
+//! UMAP — Uniform Manifold Approximation and Projection (McInnes, Healy &
+//! Saul 2018) — implemented from the paper for the Fig. 4 dataset-
+//! exploration study.
+//!
+//! The pipeline is the reference algorithm: exact k-nearest neighbors →
+//! per-point bandwidth calibration (smooth-kNN distances) → fuzzy
+//! simplicial set with probabilistic-union symmetrization → negative-
+//! sampling SGD on the cross-entropy layout objective, with the `(a, b)`
+//! output-kernel parameters fitted from `min_dist`/`spread` exactly as
+//! umap-learn does.
+
+//! # Example
+//!
+//! ```
+//! use matsciml_tensor::Tensor;
+//! use matsciml_umap::{Umap, UmapConfig};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let data = Tensor::randn(&[40, 8], 0.0, 1.0, &mut StdRng::seed_from_u64(0));
+//! let umap = Umap::new(UmapConfig { n_neighbors: 6, n_epochs: 10, ..Default::default() });
+//! let embedding = umap.fit_transform(&data);
+//! assert_eq!(embedding.shape(), &[40, 2]);
+//! ```
+
+#![warn(missing_docs)]
+
+mod cluster;
+mod fuzzy;
+mod knn;
+mod layout;
+
+pub use cluster::{centroid_separation, silhouette, ClusterStats};
+pub use fuzzy::{fit_ab, fuzzy_simplicial_set, smooth_knn, FuzzyGraph};
+pub use knn::exact_knn;
+pub use layout::{FittedUmap, Umap, UmapConfig};

@@ -1,0 +1,95 @@
+//! Property-based tests for the UMAP implementation.
+
+use matsciml_tensor::Tensor;
+use matsciml_umap::{exact_knn, fuzzy_simplicial_set, smooth_knn, Umap, UmapConfig};
+use proptest::prelude::*;
+
+fn random_data(n: usize, d: usize, seed: u64) -> Tensor {
+    use rand::{rngs::StdRng, SeedableRng};
+    Tensor::randn(&[n, d], 0.0, 1.0, &mut StdRng::seed_from_u64(seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn knn_indices_valid_and_distances_sorted(
+        n in 5usize..60,
+        d in 1usize..8,
+        k in 1usize..10,
+        seed in any::<u64>(),
+    ) {
+        let data = random_data(n, d, seed);
+        let (idx, dist) = exact_knn(&data, k);
+        let keff = k.min(n - 1);
+        for i in 0..n {
+            prop_assert_eq!(idx[i].len(), keff);
+            prop_assert!(!idx[i].contains(&(i as u32)));
+            // Unique neighbors.
+            let mut uniq = idx[i].clone();
+            uniq.sort_unstable();
+            uniq.dedup();
+            prop_assert_eq!(uniq.len(), keff);
+            for w in dist[i].windows(2) {
+                prop_assert!(w[0] <= w[1]);
+            }
+            prop_assert!(dist[i].iter().all(|v| v.is_finite() && *v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn smooth_knn_sigmas_positive_and_rho_is_min(
+        n in 3usize..30,
+        seed in any::<u64>(),
+    ) {
+        let data = random_data(n, 3, seed);
+        let (_, dists) = exact_knn(&data, (n - 1).min(8));
+        let (rhos, sigmas) = smooth_knn(&dists);
+        for i in 0..n {
+            prop_assert!(sigmas[i] > 0.0);
+            let min_pos = dists[i]
+                .iter()
+                .copied()
+                .filter(|&d| d > 0.0)
+                .fold(f32::INFINITY, f32::min);
+            if min_pos.is_finite() {
+                prop_assert!((rhos[i] - min_pos).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn fuzzy_graph_weights_in_unit_interval(
+        n in 4usize..40,
+        seed in any::<u64>(),
+    ) {
+        let data = random_data(n, 4, seed);
+        let (idx, dists) = exact_knn(&data, 4.min(n - 1));
+        let g = fuzzy_simplicial_set(&idx, &dists);
+        prop_assert_eq!(g.n, n);
+        prop_assert!(!g.weights.is_empty());
+        for (e, &w) in g.weights.iter().enumerate() {
+            prop_assert!(w > 0.0 && w <= 1.0 + 1e-5, "edge {e}: weight {w}");
+            prop_assert!(g.rows[e] < n as u32 && g.cols[e] < n as u32);
+            prop_assert!(g.rows[e] < g.cols[e], "canonical edge ordering");
+        }
+    }
+
+    #[test]
+    fn embedding_is_finite_for_arbitrary_inputs(
+        n in 8usize..40,
+        d in 2usize..6,
+        seed in any::<u64>(),
+    ) {
+        let data = random_data(n, d, seed);
+        let umap = Umap::new(UmapConfig {
+            n_neighbors: 5,
+            n_epochs: 15,
+            seed: 1,
+            ..UmapConfig::default()
+        });
+        let emb = umap.fit_transform(&data);
+        prop_assert_eq!(emb.shape(), &[n, 2]);
+        prop_assert!(emb.all_finite());
+    }
+}

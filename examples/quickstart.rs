@@ -1,0 +1,74 @@
+//! Quickstart: train an E(n)-GNN to predict band gaps on the synthetic
+//! Materials Project, then score it on held-out structures.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use matsciml::prelude::*;
+
+fn main() {
+    // 1. A dataset. Synthetic Materials Project surrogate: procedurally
+    //    generated crystals with learnable property functionals.
+    let dataset = SyntheticMaterialsProject::new(1024, 0);
+
+    // 2. A transform pipeline (paper Fig. 1): center each structure, then
+    //    wire a radius graph (4.5 Å cutoff, ≤12 neighbors).
+    let pipeline = Compose::standard(4.5, Some(12));
+
+    // 3. Loaders over a train/val split.
+    let train_dl = DataLoader::new(&dataset, Some(&pipeline), Split::Train, 0.2, 32, 0);
+    let val_dl = DataLoader::new(&dataset, Some(&pipeline), Split::Val, 0.2, 32, 0);
+    println!(
+        "dataset: {} train / {} val structures",
+        train_dl.len(),
+        val_dl.len()
+    );
+
+    // 4. A task model: E(n)-GNN encoder + one band-gap regression head.
+    let mut model = TaskModel::egnn(
+        EgnnConfig::small(24),
+        &[TaskHeadConfig::regression(
+            DatasetId::MaterialsProject,
+            TargetKind::BandGap,
+            48,
+            3,
+        )],
+        0,
+    );
+    println!(
+        "model: {} parameters across {} tensors",
+        model.params.num_scalars(),
+        model.params.len()
+    );
+
+    // 5. Train with the paper's recipe: AdamW, warmup + exponential decay,
+    //    DDP over 4 simulated ranks.
+    let trainer = Trainer::new(TrainConfig {
+        world_size: 4,
+        per_rank_batch: 8,
+        steps: 150,
+        base_lr: 1e-3,
+        eval_every: 25,
+        ..Default::default()
+    });
+    let log = trainer.train(&mut model, &train_dl, Some(&val_dl));
+
+    // 6. Inspect the run.
+    for r in log.records.iter().filter(|r| r.val.is_some()) {
+        let mae = r.val.as_ref().unwrap().get("materials-project/band_gap/mae");
+        println!(
+            "step {:>4}  lr {:.2e}  train loss {:.3}  val MAE {:.3} eV",
+            r.step,
+            r.lr,
+            r.train.get("loss").unwrap_or(f32::NAN),
+            mae.unwrap_or(f32::NAN),
+        );
+    }
+    let final_mae = log
+        .final_val()
+        .and_then(|v| v.get("materials-project/band_gap/mae"))
+        .unwrap();
+    println!("\nfinal band-gap MAE: {final_mae:.3} eV");
+    assert!(final_mae.is_finite());
+}

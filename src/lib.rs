@@ -1,0 +1,8 @@
+//! Workspace-root package for the Open MatSci ML Toolkit reproduction.
+//!
+//! This crate exists to host the cross-crate integration tests in `tests/`
+//! and the runnable examples in `examples/`. The actual library surface
+//! lives in the [`matsciml`] facade crate and the `matsciml-*` crates it
+//! re-exports.
+
+pub use matsciml;

@@ -319,8 +319,8 @@ fn build_slab<R: Rng + ?Sized>(
     let choices: [&[u32]; 5] = [&[o], &[c, o], &[o, h], &[n, h], &[h]];
     let ads: &[u32] = choices[rng.gen_range(0..choices.len())];
     let site = Vec3::new(
-        rng.gen_range(0.0..2.0) * spacing,
-        rng.gen_range(0.0..1.0) * spacing,
+        rng.gen_range(0.0f32..2.0) * spacing,
+        rng.gen_range(0.0f32..1.0) * spacing,
         0.0,
     );
     let height: f32 = rng.gen_range(1.2..2.8);

@@ -96,8 +96,10 @@ fn heads_train_with_either_norm() {
             first.get_or_insert(last);
             g.backward(loss);
             ps.absorb_grads(&g, 1.0);
+            // Step small enough that plain SGD converges for any init draw;
+            // larger steps can oscillate through the BatchNorm head.
             for (v, grad) in ps.pairs_mut() {
-                v.add_scaled_inplace(grad, -0.05);
+                v.add_scaled_inplace(grad, -0.02);
             }
         }
         assert!(

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-850b3fb8055cc1f5.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-850b3fb8055cc1f5: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

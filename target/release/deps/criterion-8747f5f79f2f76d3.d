@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-8747f5f79f2f76d3.d: third_party/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-8747f5f79f2f76d3: third_party/criterion/src/lib.rs
+
+third_party/criterion/src/lib.rs:

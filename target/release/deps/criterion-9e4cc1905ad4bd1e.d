@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-9e4cc1905ad4bd1e.d: third_party/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-9e4cc1905ad4bd1e.rlib: third_party/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-9e4cc1905ad4bd1e.rmeta: third_party/criterion/src/lib.rs
+
+third_party/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cross_crate-86332ab8b444b43a.d: tests/cross_crate.rs
+
+/root/repo/target/release/deps/cross_crate-86332ab8b444b43a: tests/cross_crate.rs
+
+tests/cross_crate.rs:

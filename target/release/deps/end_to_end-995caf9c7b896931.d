@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-995caf9c7b896931.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-995caf9c7b896931: tests/end_to_end.rs
+
+tests/end_to_end.rs:

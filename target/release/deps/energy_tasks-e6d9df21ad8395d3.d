@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/energy_tasks-e6d9df21ad8395d3.d: tests/energy_tasks.rs
+
+/root/repo/target/release/deps/energy_tasks-e6d9df21ad8395d3: tests/energy_tasks.rs
+
+tests/energy_tasks.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/equivariance-67d028c02b1e8ded.d: crates/models/tests/equivariance.rs
+
+/root/repo/target/release/deps/equivariance-67d028c02b1e8ded: crates/models/tests/equivariance.rs
+
+crates/models/tests/equivariance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_throughput-189098d95c185dfc.d: crates/bench/src/bin/fig2_throughput.rs
+
+/root/repo/target/release/deps/fig2_throughput-189098d95c185dfc: crates/bench/src/bin/fig2_throughput.rs
+
+crates/bench/src/bin/fig2_throughput.rs:

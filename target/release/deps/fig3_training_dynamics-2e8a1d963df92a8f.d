@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_training_dynamics-2e8a1d963df92a8f.d: crates/bench/src/bin/fig3_training_dynamics.rs
+
+/root/repo/target/release/deps/fig3_training_dynamics-2e8a1d963df92a8f: crates/bench/src/bin/fig3_training_dynamics.rs
+
+crates/bench/src/bin/fig3_training_dynamics.rs:

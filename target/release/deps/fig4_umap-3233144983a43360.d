@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_umap-3233144983a43360.d: crates/bench/src/bin/fig4_umap.rs
+
+/root/repo/target/release/deps/fig4_umap-3233144983a43360: crates/bench/src/bin/fig4_umap.rs
+
+crates/bench/src/bin/fig4_umap.rs:

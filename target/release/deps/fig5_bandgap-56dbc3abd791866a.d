@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_bandgap-56dbc3abd791866a.d: crates/bench/src/bin/fig5_bandgap.rs
+
+/root/repo/target/release/deps/fig5_bandgap-56dbc3abd791866a: crates/bench/src/bin/fig5_bandgap.rs
+
+crates/bench/src/bin/fig5_bandgap.rs:

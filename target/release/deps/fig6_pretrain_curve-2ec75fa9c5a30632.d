@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_pretrain_curve-2ec75fa9c5a30632.d: crates/bench/src/bin/fig6_pretrain_curve.rs
+
+/root/repo/target/release/deps/fig6_pretrain_curve-2ec75fa9c5a30632: crates/bench/src/bin/fig6_pretrain_curve.rs
+
+crates/bench/src/bin/fig6_pretrain_curve.rs:

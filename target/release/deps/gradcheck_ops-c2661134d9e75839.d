@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gradcheck_ops-c2661134d9e75839.d: crates/autograd/tests/gradcheck_ops.rs
+
+/root/repo/target/release/deps/gradcheck_ops-c2661134d9e75839: crates/autograd/tests/gradcheck_ops.rs
+
+crates/autograd/tests/gradcheck_ops.rs:

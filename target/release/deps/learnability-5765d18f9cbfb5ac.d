@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/learnability-5765d18f9cbfb5ac.d: crates/symmetry/tests/learnability.rs
+
+/root/repo/target/release/deps/learnability-5765d18f9cbfb5ac: crates/symmetry/tests/learnability.rs
+
+crates/symmetry/tests/learnability.rs:

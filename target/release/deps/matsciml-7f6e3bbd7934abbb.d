@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/matsciml-7f6e3bbd7934abbb.d: crates/core/src/lib.rs
+
+/root/repo/target/release/deps/matsciml-7f6e3bbd7934abbb: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/matsciml-aee69464b032a4ed.d: crates/core/src/lib.rs
+
+/root/repo/target/release/deps/libmatsciml-aee69464b032a4ed.rlib: crates/core/src/lib.rs
+
+/root/repo/target/release/deps/libmatsciml-aee69464b032a4ed.rmeta: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

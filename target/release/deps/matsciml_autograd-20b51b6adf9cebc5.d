@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/matsciml_autograd-20b51b6adf9cebc5.d: crates/autograd/src/lib.rs crates/autograd/src/backward.rs crates/autograd/src/gradcheck.rs crates/autograd/src/graph.rs crates/autograd/src/ops.rs
+
+/root/repo/target/release/deps/matsciml_autograd-20b51b6adf9cebc5: crates/autograd/src/lib.rs crates/autograd/src/backward.rs crates/autograd/src/gradcheck.rs crates/autograd/src/graph.rs crates/autograd/src/ops.rs
+
+crates/autograd/src/lib.rs:
+crates/autograd/src/backward.rs:
+crates/autograd/src/gradcheck.rs:
+crates/autograd/src/graph.rs:
+crates/autograd/src/ops.rs:

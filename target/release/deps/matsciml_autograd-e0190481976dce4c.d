@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/matsciml_autograd-e0190481976dce4c.d: crates/autograd/src/lib.rs crates/autograd/src/backward.rs crates/autograd/src/gradcheck.rs crates/autograd/src/graph.rs crates/autograd/src/ops.rs
+
+/root/repo/target/release/deps/libmatsciml_autograd-e0190481976dce4c.rlib: crates/autograd/src/lib.rs crates/autograd/src/backward.rs crates/autograd/src/gradcheck.rs crates/autograd/src/graph.rs crates/autograd/src/ops.rs
+
+/root/repo/target/release/deps/libmatsciml_autograd-e0190481976dce4c.rmeta: crates/autograd/src/lib.rs crates/autograd/src/backward.rs crates/autograd/src/gradcheck.rs crates/autograd/src/graph.rs crates/autograd/src/ops.rs
+
+crates/autograd/src/lib.rs:
+crates/autograd/src/backward.rs:
+crates/autograd/src/gradcheck.rs:
+crates/autograd/src/graph.rs:
+crates/autograd/src/ops.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/matsciml_bench-79cad13e2dceb237.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmatsciml_bench-79cad13e2dceb237.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmatsciml_bench-79cad13e2dceb237.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/matsciml_bench-c956448e5c047c77.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/matsciml_bench-c956448e5c047c77: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/matsciml_cli-03c0549a9eb9ab52.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/release/deps/matsciml_cli-03c0549a9eb9ab52: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

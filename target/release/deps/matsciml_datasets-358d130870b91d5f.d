@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/matsciml_datasets-358d130870b91d5f.d: crates/datasets/src/lib.rs crates/datasets/src/dataloader.rs crates/datasets/src/file.rs crates/datasets/src/elements.rs crates/datasets/src/prototypes.rs crates/datasets/src/sample.rs crates/datasets/src/synthetic.rs crates/datasets/src/transform.rs
+
+/root/repo/target/release/deps/libmatsciml_datasets-358d130870b91d5f.rlib: crates/datasets/src/lib.rs crates/datasets/src/dataloader.rs crates/datasets/src/file.rs crates/datasets/src/elements.rs crates/datasets/src/prototypes.rs crates/datasets/src/sample.rs crates/datasets/src/synthetic.rs crates/datasets/src/transform.rs
+
+/root/repo/target/release/deps/libmatsciml_datasets-358d130870b91d5f.rmeta: crates/datasets/src/lib.rs crates/datasets/src/dataloader.rs crates/datasets/src/file.rs crates/datasets/src/elements.rs crates/datasets/src/prototypes.rs crates/datasets/src/sample.rs crates/datasets/src/synthetic.rs crates/datasets/src/transform.rs
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/dataloader.rs:
+crates/datasets/src/file.rs:
+crates/datasets/src/elements.rs:
+crates/datasets/src/prototypes.rs:
+crates/datasets/src/sample.rs:
+crates/datasets/src/synthetic.rs:
+crates/datasets/src/transform.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/matsciml_datasets-cf3da6b8f0ef619b.d: crates/datasets/src/lib.rs crates/datasets/src/dataloader.rs crates/datasets/src/file.rs crates/datasets/src/elements.rs crates/datasets/src/prototypes.rs crates/datasets/src/sample.rs crates/datasets/src/synthetic.rs crates/datasets/src/transform.rs
+
+/root/repo/target/release/deps/matsciml_datasets-cf3da6b8f0ef619b: crates/datasets/src/lib.rs crates/datasets/src/dataloader.rs crates/datasets/src/file.rs crates/datasets/src/elements.rs crates/datasets/src/prototypes.rs crates/datasets/src/sample.rs crates/datasets/src/synthetic.rs crates/datasets/src/transform.rs
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/dataloader.rs:
+crates/datasets/src/file.rs:
+crates/datasets/src/elements.rs:
+crates/datasets/src/prototypes.rs:
+crates/datasets/src/sample.rs:
+crates/datasets/src/synthetic.rs:
+crates/datasets/src/transform.rs:

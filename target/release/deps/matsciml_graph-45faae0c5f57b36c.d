@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/matsciml_graph-45faae0c5f57b36c.d: crates/graph/src/lib.rs crates/graph/src/batch.rs crates/graph/src/csr.rs crates/graph/src/build.rs crates/graph/src/material_graph.rs
+
+/root/repo/target/release/deps/matsciml_graph-45faae0c5f57b36c: crates/graph/src/lib.rs crates/graph/src/batch.rs crates/graph/src/csr.rs crates/graph/src/build.rs crates/graph/src/material_graph.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/batch.rs:
+crates/graph/src/csr.rs:
+crates/graph/src/build.rs:
+crates/graph/src/material_graph.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/matsciml_graph-79b94f5324bd3d4a.d: crates/graph/src/lib.rs crates/graph/src/batch.rs crates/graph/src/csr.rs crates/graph/src/build.rs crates/graph/src/material_graph.rs
+
+/root/repo/target/release/deps/libmatsciml_graph-79b94f5324bd3d4a.rlib: crates/graph/src/lib.rs crates/graph/src/batch.rs crates/graph/src/csr.rs crates/graph/src/build.rs crates/graph/src/material_graph.rs
+
+/root/repo/target/release/deps/libmatsciml_graph-79b94f5324bd3d4a.rmeta: crates/graph/src/lib.rs crates/graph/src/batch.rs crates/graph/src/csr.rs crates/graph/src/build.rs crates/graph/src/material_graph.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/batch.rs:
+crates/graph/src/csr.rs:
+crates/graph/src/build.rs:
+crates/graph/src/material_graph.rs:

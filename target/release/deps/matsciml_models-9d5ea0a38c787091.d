@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/matsciml_models-9d5ea0a38c787091.d: crates/models/src/lib.rs crates/models/src/attention.rs crates/models/src/egnn.rs crates/models/src/input.rs crates/models/src/mpnn.rs
+
+/root/repo/target/release/deps/matsciml_models-9d5ea0a38c787091: crates/models/src/lib.rs crates/models/src/attention.rs crates/models/src/egnn.rs crates/models/src/input.rs crates/models/src/mpnn.rs
+
+crates/models/src/lib.rs:
+crates/models/src/attention.rs:
+crates/models/src/egnn.rs:
+crates/models/src/input.rs:
+crates/models/src/mpnn.rs:

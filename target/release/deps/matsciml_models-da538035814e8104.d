@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/matsciml_models-da538035814e8104.d: crates/models/src/lib.rs crates/models/src/attention.rs crates/models/src/egnn.rs crates/models/src/input.rs crates/models/src/mpnn.rs
+
+/root/repo/target/release/deps/libmatsciml_models-da538035814e8104.rlib: crates/models/src/lib.rs crates/models/src/attention.rs crates/models/src/egnn.rs crates/models/src/input.rs crates/models/src/mpnn.rs
+
+/root/repo/target/release/deps/libmatsciml_models-da538035814e8104.rmeta: crates/models/src/lib.rs crates/models/src/attention.rs crates/models/src/egnn.rs crates/models/src/input.rs crates/models/src/mpnn.rs
+
+crates/models/src/lib.rs:
+crates/models/src/attention.rs:
+crates/models/src/egnn.rs:
+crates/models/src/input.rs:
+crates/models/src/mpnn.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/matsciml_nn-8f7441900b7b7e09.d: crates/nn/src/lib.rs crates/nn/src/embedding.rs crates/nn/src/layers.rs crates/nn/src/mlp.rs crates/nn/src/params.rs
+
+/root/repo/target/release/deps/matsciml_nn-8f7441900b7b7e09: crates/nn/src/lib.rs crates/nn/src/embedding.rs crates/nn/src/layers.rs crates/nn/src/mlp.rs crates/nn/src/params.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/embedding.rs:
+crates/nn/src/layers.rs:
+crates/nn/src/mlp.rs:
+crates/nn/src/params.rs:

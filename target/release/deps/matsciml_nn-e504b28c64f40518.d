@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/matsciml_nn-e504b28c64f40518.d: crates/nn/src/lib.rs crates/nn/src/embedding.rs crates/nn/src/layers.rs crates/nn/src/mlp.rs crates/nn/src/params.rs
+
+/root/repo/target/release/deps/libmatsciml_nn-e504b28c64f40518.rlib: crates/nn/src/lib.rs crates/nn/src/embedding.rs crates/nn/src/layers.rs crates/nn/src/mlp.rs crates/nn/src/params.rs
+
+/root/repo/target/release/deps/libmatsciml_nn-e504b28c64f40518.rmeta: crates/nn/src/lib.rs crates/nn/src/embedding.rs crates/nn/src/layers.rs crates/nn/src/mlp.rs crates/nn/src/params.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/embedding.rs:
+crates/nn/src/layers.rs:
+crates/nn/src/mlp.rs:
+crates/nn/src/params.rs:

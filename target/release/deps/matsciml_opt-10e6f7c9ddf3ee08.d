@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/matsciml_opt-10e6f7c9ddf3ee08.d: crates/opt/src/lib.rs crates/opt/src/adamw.rs crates/opt/src/probe.rs crates/opt/src/schedule.rs crates/opt/src/sgd.rs
+
+/root/repo/target/release/deps/matsciml_opt-10e6f7c9ddf3ee08: crates/opt/src/lib.rs crates/opt/src/adamw.rs crates/opt/src/probe.rs crates/opt/src/schedule.rs crates/opt/src/sgd.rs
+
+crates/opt/src/lib.rs:
+crates/opt/src/adamw.rs:
+crates/opt/src/probe.rs:
+crates/opt/src/schedule.rs:
+crates/opt/src/sgd.rs:

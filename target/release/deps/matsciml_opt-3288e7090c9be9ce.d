@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/matsciml_opt-3288e7090c9be9ce.d: crates/opt/src/lib.rs crates/opt/src/adamw.rs crates/opt/src/probe.rs crates/opt/src/schedule.rs crates/opt/src/sgd.rs
+
+/root/repo/target/release/deps/libmatsciml_opt-3288e7090c9be9ce.rlib: crates/opt/src/lib.rs crates/opt/src/adamw.rs crates/opt/src/probe.rs crates/opt/src/schedule.rs crates/opt/src/sgd.rs
+
+/root/repo/target/release/deps/libmatsciml_opt-3288e7090c9be9ce.rmeta: crates/opt/src/lib.rs crates/opt/src/adamw.rs crates/opt/src/probe.rs crates/opt/src/schedule.rs crates/opt/src/sgd.rs
+
+crates/opt/src/lib.rs:
+crates/opt/src/adamw.rs:
+crates/opt/src/probe.rs:
+crates/opt/src/schedule.rs:
+crates/opt/src/sgd.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/matsciml_symmetry-963b49f4727b8e0b.d: crates/symmetry/src/lib.rs crates/symmetry/src/generate.rs crates/symmetry/src/groups.rs
+
+/root/repo/target/release/deps/libmatsciml_symmetry-963b49f4727b8e0b.rlib: crates/symmetry/src/lib.rs crates/symmetry/src/generate.rs crates/symmetry/src/groups.rs
+
+/root/repo/target/release/deps/libmatsciml_symmetry-963b49f4727b8e0b.rmeta: crates/symmetry/src/lib.rs crates/symmetry/src/generate.rs crates/symmetry/src/groups.rs
+
+crates/symmetry/src/lib.rs:
+crates/symmetry/src/generate.rs:
+crates/symmetry/src/groups.rs:

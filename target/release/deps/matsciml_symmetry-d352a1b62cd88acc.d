@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/matsciml_symmetry-d352a1b62cd88acc.d: crates/symmetry/src/lib.rs crates/symmetry/src/generate.rs crates/symmetry/src/groups.rs
+
+/root/repo/target/release/deps/matsciml_symmetry-d352a1b62cd88acc: crates/symmetry/src/lib.rs crates/symmetry/src/generate.rs crates/symmetry/src/groups.rs
+
+crates/symmetry/src/lib.rs:
+crates/symmetry/src/generate.rs:
+crates/symmetry/src/groups.rs:

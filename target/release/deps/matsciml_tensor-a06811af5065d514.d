@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/matsciml_tensor-a06811af5065d514.d: crates/tensor/src/lib.rs crates/tensor/src/elementwise.rs crates/tensor/src/linalg.rs crates/tensor/src/matmul.rs crates/tensor/src/random.rs crates/tensor/src/reduce.rs crates/tensor/src/rows.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/release/deps/libmatsciml_tensor-a06811af5065d514.rlib: crates/tensor/src/lib.rs crates/tensor/src/elementwise.rs crates/tensor/src/linalg.rs crates/tensor/src/matmul.rs crates/tensor/src/random.rs crates/tensor/src/reduce.rs crates/tensor/src/rows.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/release/deps/libmatsciml_tensor-a06811af5065d514.rmeta: crates/tensor/src/lib.rs crates/tensor/src/elementwise.rs crates/tensor/src/linalg.rs crates/tensor/src/matmul.rs crates/tensor/src/random.rs crates/tensor/src/reduce.rs crates/tensor/src/rows.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/elementwise.rs:
+crates/tensor/src/linalg.rs:
+crates/tensor/src/matmul.rs:
+crates/tensor/src/random.rs:
+crates/tensor/src/reduce.rs:
+crates/tensor/src/rows.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/tensor.rs:

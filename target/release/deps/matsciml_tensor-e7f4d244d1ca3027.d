@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/matsciml_tensor-e7f4d244d1ca3027.d: crates/tensor/src/lib.rs crates/tensor/src/elementwise.rs crates/tensor/src/linalg.rs crates/tensor/src/matmul.rs crates/tensor/src/random.rs crates/tensor/src/reduce.rs crates/tensor/src/rows.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/release/deps/matsciml_tensor-e7f4d244d1ca3027: crates/tensor/src/lib.rs crates/tensor/src/elementwise.rs crates/tensor/src/linalg.rs crates/tensor/src/matmul.rs crates/tensor/src/random.rs crates/tensor/src/reduce.rs crates/tensor/src/rows.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/elementwise.rs:
+crates/tensor/src/linalg.rs:
+crates/tensor/src/matmul.rs:
+crates/tensor/src/random.rs:
+crates/tensor/src/reduce.rs:
+crates/tensor/src/rows.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/tensor.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/matsciml_train-90a356c17318b1fd.d: crates/train/src/lib.rs crates/train/src/collate.rs crates/train/src/ddp.rs crates/train/src/forcefield.rs crates/train/src/metrics.rs crates/train/src/model.rs crates/train/src/task.rs crates/train/src/sweep.rs crates/train/src/throughput.rs crates/train/src/trainer.rs
+
+/root/repo/target/release/deps/libmatsciml_train-90a356c17318b1fd.rlib: crates/train/src/lib.rs crates/train/src/collate.rs crates/train/src/ddp.rs crates/train/src/forcefield.rs crates/train/src/metrics.rs crates/train/src/model.rs crates/train/src/task.rs crates/train/src/sweep.rs crates/train/src/throughput.rs crates/train/src/trainer.rs
+
+/root/repo/target/release/deps/libmatsciml_train-90a356c17318b1fd.rmeta: crates/train/src/lib.rs crates/train/src/collate.rs crates/train/src/ddp.rs crates/train/src/forcefield.rs crates/train/src/metrics.rs crates/train/src/model.rs crates/train/src/task.rs crates/train/src/sweep.rs crates/train/src/throughput.rs crates/train/src/trainer.rs
+
+crates/train/src/lib.rs:
+crates/train/src/collate.rs:
+crates/train/src/ddp.rs:
+crates/train/src/forcefield.rs:
+crates/train/src/metrics.rs:
+crates/train/src/model.rs:
+crates/train/src/task.rs:
+crates/train/src/sweep.rs:
+crates/train/src/throughput.rs:
+crates/train/src/trainer.rs:

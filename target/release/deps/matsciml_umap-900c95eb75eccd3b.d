@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/matsciml_umap-900c95eb75eccd3b.d: crates/umap/src/lib.rs crates/umap/src/cluster.rs crates/umap/src/fuzzy.rs crates/umap/src/knn.rs crates/umap/src/layout.rs
+
+/root/repo/target/release/deps/libmatsciml_umap-900c95eb75eccd3b.rlib: crates/umap/src/lib.rs crates/umap/src/cluster.rs crates/umap/src/fuzzy.rs crates/umap/src/knn.rs crates/umap/src/layout.rs
+
+/root/repo/target/release/deps/libmatsciml_umap-900c95eb75eccd3b.rmeta: crates/umap/src/lib.rs crates/umap/src/cluster.rs crates/umap/src/fuzzy.rs crates/umap/src/knn.rs crates/umap/src/layout.rs
+
+crates/umap/src/lib.rs:
+crates/umap/src/cluster.rs:
+crates/umap/src/fuzzy.rs:
+crates/umap/src/knn.rs:
+crates/umap/src/layout.rs:

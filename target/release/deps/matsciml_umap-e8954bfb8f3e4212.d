@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/matsciml_umap-e8954bfb8f3e4212.d: crates/umap/src/lib.rs crates/umap/src/cluster.rs crates/umap/src/fuzzy.rs crates/umap/src/knn.rs crates/umap/src/layout.rs
+
+/root/repo/target/release/deps/matsciml_umap-e8954bfb8f3e4212: crates/umap/src/lib.rs crates/umap/src/cluster.rs crates/umap/src/fuzzy.rs crates/umap/src/knn.rs crates/umap/src/layout.rs
+
+crates/umap/src/lib.rs:
+crates/umap/src/cluster.rs:
+crates/umap/src/fuzzy.rs:
+crates/umap/src/knn.rs:
+crates/umap/src/layout.rs:

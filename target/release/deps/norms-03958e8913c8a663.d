@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/norms-03958e8913c8a663.d: crates/nn/tests/norms.rs
+
+/root/repo/target/release/deps/norms-03958e8913c8a663: crates/nn/tests/norms.rs
+
+crates/nn/tests/norms.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/open_matsciml-5b6161295f4e663d.d: src/lib.rs
+
+/root/repo/target/release/deps/libopen_matsciml-5b6161295f4e663d.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libopen_matsciml-5b6161295f4e663d.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/open_matsciml-bac9050bddfbd9b8.d: src/lib.rs
+
+/root/repo/target/release/deps/open_matsciml-bac9050bddfbd9b8: src/lib.rs
+
+src/lib.rs:

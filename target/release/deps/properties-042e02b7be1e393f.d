@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-042e02b7be1e393f.d: crates/umap/tests/properties.rs
+
+/root/repo/target/release/deps/properties-042e02b7be1e393f: crates/umap/tests/properties.rs
+
+crates/umap/tests/properties.rs:

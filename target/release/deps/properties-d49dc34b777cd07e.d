@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-d49dc34b777cd07e.d: crates/tensor/tests/properties.rs
+
+/root/repo/target/release/deps/properties-d49dc34b777cd07e: crates/tensor/tests/properties.rs
+
+crates/tensor/tests/properties.rs:

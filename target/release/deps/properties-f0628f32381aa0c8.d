@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-f0628f32381aa0c8.d: crates/datasets/tests/properties.rs
+
+/root/repo/target/release/deps/properties-f0628f32381aa0c8: crates/datasets/tests/properties.rs
+
+crates/datasets/tests/properties.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-ddd6723becdf98ab.d: third_party/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-ddd6723becdf98ab.rlib: third_party/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-ddd6723becdf98ab.rmeta: third_party/proptest/src/lib.rs
+
+third_party/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-e0de9e30846bb75c.d: third_party/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-e0de9e30846bb75c: third_party/proptest/src/lib.rs
+
+third_party/proptest/src/lib.rs:

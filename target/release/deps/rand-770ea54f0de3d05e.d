@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-770ea54f0de3d05e.d: third_party/rand/src/lib.rs
+
+/root/repo/target/release/deps/rand-770ea54f0de3d05e: third_party/rand/src/lib.rs
+
+third_party/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-a97f4bf6ccebd579.d: third_party/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-a97f4bf6ccebd579.rlib: third_party/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-a97f4bf6ccebd579.rmeta: third_party/rand/src/lib.rs
+
+third_party/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rayon-88cbfb663ae3c44f.d: third_party/rayon/src/lib.rs
+
+/root/repo/target/release/deps/rayon-88cbfb663ae3c44f: third_party/rayon/src/lib.rs
+
+third_party/rayon/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rayon-e65bf94186d24a80.d: third_party/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-e65bf94186d24a80.rlib: third_party/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-e65bf94186d24a80.rmeta: third_party/rayon/src/lib.rs
+
+third_party/rayon/src/lib.rs:

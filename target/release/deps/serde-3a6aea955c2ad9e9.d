@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/serde-3a6aea955c2ad9e9.d: third_party/serde/src/lib.rs third_party/serde/src/de.rs third_party/serde/src/ser.rs
+
+/root/repo/target/release/deps/libserde-3a6aea955c2ad9e9.rlib: third_party/serde/src/lib.rs third_party/serde/src/de.rs third_party/serde/src/ser.rs
+
+/root/repo/target/release/deps/libserde-3a6aea955c2ad9e9.rmeta: third_party/serde/src/lib.rs third_party/serde/src/de.rs third_party/serde/src/ser.rs
+
+third_party/serde/src/lib.rs:
+third_party/serde/src/de.rs:
+third_party/serde/src/ser.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-742e870a105032c6.d: third_party/serde/src/lib.rs third_party/serde/src/de.rs third_party/serde/src/ser.rs
+
+/root/repo/target/release/deps/serde-742e870a105032c6: third_party/serde/src/lib.rs third_party/serde/src/de.rs third_party/serde/src/ser.rs
+
+third_party/serde/src/lib.rs:
+third_party/serde/src/de.rs:
+third_party/serde/src/ser.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-4ef3f74cfffc9410.d: third_party/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-4ef3f74cfffc9410.so: third_party/serde_derive/src/lib.rs
+
+third_party/serde_derive/src/lib.rs:

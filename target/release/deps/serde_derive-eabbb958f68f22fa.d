@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-eabbb958f68f22fa.d: third_party/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/serde_derive-eabbb958f68f22fa: third_party/serde_derive/src/lib.rs
+
+third_party/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_json-823f98023ba83654.d: third_party/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/serde_json-823f98023ba83654: third_party/serde_json/src/lib.rs
+
+third_party/serde_json/src/lib.rs:

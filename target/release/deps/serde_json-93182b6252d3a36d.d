@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-93182b6252d3a36d.d: third_party/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-93182b6252d3a36d.rlib: third_party/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-93182b6252d3a36d.rmeta: third_party/serde_json/src/lib.rs
+
+third_party/serde_json/src/lib.rs:

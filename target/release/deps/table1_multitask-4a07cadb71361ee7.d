@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_multitask-4a07cadb71361ee7.d: crates/bench/src/bin/table1_multitask.rs
+
+/root/repo/target/release/deps/table1_multitask-4a07cadb71361ee7: crates/bench/src/bin/table1_multitask.rs
+
+crates/bench/src/bin/table1_multitask.rs:

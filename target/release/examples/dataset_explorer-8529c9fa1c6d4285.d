@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/dataset_explorer-8529c9fa1c6d4285.d: examples/dataset_explorer.rs
+
+/root/repo/target/release/examples/dataset_explorer-8529c9fa1c6d4285: examples/dataset_explorer.rs
+
+examples/dataset_explorer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/dbg_edges-c496604778bcff54.d: crates/datasets/examples/dbg_edges.rs
+
+/root/repo/target/release/examples/dbg_edges-c496604778bcff54: crates/datasets/examples/dbg_edges.rs
+
+crates/datasets/examples/dbg_edges.rs:

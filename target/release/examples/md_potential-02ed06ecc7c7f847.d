@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/md_potential-02ed06ecc7c7f847.d: examples/md_potential.rs
+
+/root/repo/target/release/examples/md_potential-02ed06ecc7c7f847: examples/md_potential.rs
+
+examples/md_potential.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/multitask_foundation-674c21ccf63fba35.d: examples/multitask_foundation.rs
+
+/root/repo/target/release/examples/multitask_foundation-674c21ccf63fba35: examples/multitask_foundation.rs
+
+examples/multitask_foundation.rs:

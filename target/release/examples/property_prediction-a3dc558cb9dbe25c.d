@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/property_prediction-a3dc558cb9dbe25c.d: examples/property_prediction.rs
+
+/root/repo/target/release/examples/property_prediction-a3dc558cb9dbe25c: examples/property_prediction.rs
+
+examples/property_prediction.rs:

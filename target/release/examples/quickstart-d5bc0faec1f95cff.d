@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-d5bc0faec1f95cff.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-d5bc0faec1f95cff: examples/quickstart.rs
+
+examples/quickstart.rs:

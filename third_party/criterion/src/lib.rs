@@ -1,0 +1,241 @@
+//! Minimal stand-in for `criterion`.
+//!
+//! The workspace builds hermetically (no crates.io), so this crate
+//! provides a compatible subset of criterion's harness API: benchmark
+//! groups, `bench_function`/`bench_with_input`, `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros. Measurement is a simple
+//! warmup + timed-batch loop reporting mean/min wall-clock time per
+//! iteration to stdout — no statistics engine, plots, or saved baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], criterion-style.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Per-iteration measurement driver handed to bench closures.
+pub struct Bencher {
+    samples: usize,
+    budget: Duration,
+    /// (mean, min) nanoseconds per iteration, filled by `iter`.
+    result_ns: Option<(f64, f64)>,
+}
+
+impl Bencher {
+    /// Measure `f`, recording mean and min time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One untimed warmup call (fills caches, triggers lazy init).
+        black_box(f());
+        let started = Instant::now();
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        let mut runs = 0u64;
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            let dt = t0.elapsed();
+            total += dt;
+            min = min.min(dt);
+            runs += 1;
+            if started.elapsed() > self.budget {
+                break;
+            }
+        }
+        let mean = total.as_nanos() as f64 / runs as f64;
+        self.result_ns = Some((mean, min.as_nanos() as f64));
+    }
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Id from a parameter value (e.g. a problem size).
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+
+    /// Id from a function name plus parameter.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_owned())
+    }
+}
+
+/// A named set of related benchmarks sharing sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    budget: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Set the target number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self.budget = self.budget.max(Duration::from_millis(10));
+        self
+    }
+
+    /// Cap the total measurement time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.budget = d;
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: String, mut f: F) {
+        let mut b = Bencher {
+            samples: self.samples,
+            budget: self.budget,
+            result_ns: None,
+        };
+        f(&mut b);
+        match b.result_ns {
+            Some((mean, min)) => println!(
+                "bench {group}/{id}: mean {mean} min {min}",
+                group = self.name,
+                mean = fmt_ns(mean),
+                min = fmt_ns(min),
+            ),
+            None => println!(
+                "bench {group}/{id}: no measurement (Bencher::iter never called)",
+                group = self.name
+            ),
+        }
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        self.run(id.into().0, f);
+        self
+    }
+
+    /// Benchmark a closure parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.0, |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (prints nothing extra; parity with criterion).
+    pub fn finish(self) {}
+}
+
+/// The harness entry point.
+pub struct Criterion {
+    default_samples: usize,
+    default_budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_samples: 20,
+            default_budget: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    /// Parity shim for criterion's CLI-argument hook (no-op here).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_owned(),
+            samples: self.default_samples,
+            budget: self.default_budget,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmark a closure outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let mut group = self.benchmark_group("");
+        let mut b = Bencher {
+            samples: group.samples,
+            budget: group.budget,
+            result_ns: None,
+        };
+        let mut f = f;
+        f(&mut b);
+        if let Some((mean, min)) = b.result_ns {
+            println!("bench {name}: mean {} min {}", fmt_ns(mean), fmt_ns(min));
+        }
+        group.finish();
+        self
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Bundle bench functions into one runner fn, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_timing() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("test");
+        group
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(50));
+        let mut ran = 0u32;
+        group.bench_function("spin", |b| {
+            b.iter(|| {
+                ran += 1;
+                std::hint::black_box((0..100).sum::<u64>())
+            })
+        });
+        group.finish();
+        assert!(ran >= 2, "warmup + at least one timed run");
+    }
+}

@@ -1,0 +1,242 @@
+//! Minimal stand-in for `rayon` built on `std::thread::scope`.
+//!
+//! The workspace builds hermetically (no crates.io access), so this crate
+//! implements exactly the data-parallel surface the toolkit uses:
+//!
+//! * `slice.par_iter().enumerate().map(f).collect::<Vec<_>>()`
+//! * `slice.par_chunks_mut(n).enumerate().for_each(f)`
+//! * `(0..n).into_par_iter().map(f).collect::<Vec<_>>()`
+//! * [`current_num_threads`]
+//!
+//! Semantics match rayon where it matters for this workspace: results are
+//! returned **in input order** regardless of execution interleaving, and
+//! closures must be `Sync` because they run from multiple threads. Work is
+//! materialized eagerly and split into one contiguous block per worker
+//! thread; with a single available core everything degrades to a plain
+//! sequential loop with no thread spawns.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads parallel operations will use (the machine's
+/// available parallelism; rayon's default pool size).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Run `f` over `items`, preserving input order in the output.
+///
+/// Splits the items into at most `current_num_threads()` contiguous blocks
+/// and maps each block on its own scoped thread. Falls back to a
+/// sequential loop when only one thread is available or the input is
+/// small.
+fn map_ordered<T, U, F>(items: Vec<T>, f: &F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let threads = current_num_threads().min(items.len());
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let n = items.len();
+    let block = n.div_ceil(threads);
+    let mut blocks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut items = items.into_iter();
+    while blocks.len() * block < n {
+        blocks.push(items.by_ref().take(block).collect());
+    }
+
+    let mut out: Vec<Vec<U>> = Vec::with_capacity(blocks.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = blocks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        for h in handles {
+            out.push(h.join().expect("parallel worker panicked"));
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
+/// A materialized parallel iterator over `T` items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Pair each item with its index (input order).
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Lazily apply `f`; execution happens at `collect`/`for_each`.
+    pub fn map<U, F>(self, f: F) -> ParMap<T, F>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Run `f` on every item across the worker threads.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        map_ordered(self.items, &|item| f(item));
+    }
+
+    /// Collect the items in input order.
+    pub fn collect<C: From<Vec<T>>>(self) -> C {
+        C::from(self.items)
+    }
+}
+
+/// A parallel map pending execution.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, F> ParMap<T, F>
+where
+    T: Send,
+{
+    /// Execute the map across worker threads and collect in input order.
+    pub fn collect<U, C>(self) -> C
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+        C: From<Vec<U>>,
+    {
+        C::from(map_ordered(self.items, &self.f))
+    }
+
+    /// Execute the map for its side effects.
+    pub fn for_each<U, G>(self, g: G)
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+        G: Fn(U) + Sync,
+    {
+        let f = &self.f;
+        map_ordered(self.items, &|item| g(f(item)));
+    }
+}
+
+/// Conversion into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    /// Item type produced.
+    type Item: Send;
+    /// Materialize into a [`ParIter`].
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// `par_iter` over shared references, mirroring rayon's reference trait.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type produced (a shared reference).
+    type Item: Send;
+    /// Materialize into a [`ParIter`] of references.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// Mutable chunked views over slices, mirroring rayon's slice trait.
+pub trait ParallelSliceMut<T: Send> {
+    /// Non-overlapping mutable chunks of `chunk_size` (last may be short).
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        ParIter {
+            items: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
+/// Glob import mirroring `rayon::prelude::*`.
+pub mod prelude {
+    pub use super::{IntoParallelIterator, IntoParallelRefIterator, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn enumerate_map_collect() {
+        let v = vec!["a", "b", "c"];
+        let out: Vec<(usize, &str)> = v.par_iter().enumerate().map(|(i, s)| (i, *s)).collect();
+        assert_eq!(out, vec![(0, "a"), (1, "b"), (2, "c")]);
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let out: Vec<usize> = (0..17usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(out, (0..17).map(|i| i * i).collect::<Vec<usize>>());
+    }
+
+    #[test]
+    fn chunks_mut_for_each_writes_disjoint_regions() {
+        let mut buf = vec![0u32; 103];
+        buf.par_chunks_mut(10).enumerate().for_each(|(i, chunk)| {
+            for c in chunk.iter_mut() {
+                *c = i as u32;
+            }
+        });
+        for (j, v) in buf.iter().enumerate() {
+            assert_eq!(*v, (j / 10) as u32);
+        }
+    }
+}

@@ -1,0 +1,366 @@
+//! Deserialization half of the serde stub: the [`Content`] value tree,
+//! the [`Deserializer`]/[`Deserialize`] traits, and the helpers the
+//! in-repo derive macro expands to ([`FieldMap`], [`variant_parts`],
+//! [`from_content`]).
+
+use std::collections::BTreeMap;
+use std::fmt::Display;
+use std::marker::PhantomData;
+
+/// A self-describing value: the single data model every serializer
+/// produces and every deserializer consumes in this stub.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null` / `None` / a non-finite float.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer too large for `i64`.
+    U64(u64),
+    /// Single-precision float (kept distinct so its shortest decimal
+    /// representation round-trips exactly).
+    F32(f32),
+    /// Double-precision float.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Ordered sequence.
+    Seq(Vec<Content>),
+    /// Ordered key/value map (insertion order preserved).
+    Map(Vec<(Content, Content)>),
+}
+
+impl Content {
+    fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::I64(_) | Content::U64(_) => "integer",
+            Content::F32(_) | Content::F64(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// Error construction hook, mirroring `serde::de::Error` (and re-exported
+/// as `serde::ser::Error`): any format error type can be built from a
+/// display-able message.
+pub trait Error: Sized + Display {
+    /// Build an error carrying `msg`.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A source of [`Content`] (the stub's whole `Deserializer` contract).
+pub trait Deserializer<'de>: Sized {
+    /// Error type produced by the underlying format.
+    type Error: Error;
+    /// Parse the input into one self-describing value.
+    fn deserialize_content(self) -> Result<Content, Self::Error>;
+}
+
+/// Types reconstructible from [`Content`].
+pub trait Deserialize<'de>: Sized {
+    /// Drive `deserializer` and build `Self`.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A [`Deserializer`] over an already-materialized [`Content`] value,
+/// parameterized by the error type it reports.
+pub struct ContentDeserializer<E> {
+    content: Content,
+    _marker: PhantomData<fn() -> E>,
+}
+
+impl<E> ContentDeserializer<E> {
+    /// Wrap `content`.
+    pub fn new(content: Content) -> Self {
+        ContentDeserializer {
+            content,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<'de, E: Error> Deserializer<'de> for ContentDeserializer<E> {
+    type Error = E;
+    fn deserialize_content(self) -> Result<Content, E> {
+        Ok(self.content)
+    }
+}
+
+/// Deserialize a `T` straight out of a [`Content`] value.
+pub fn from_content<'de, T: Deserialize<'de>, E: Error>(content: Content) -> Result<T, E> {
+    T::deserialize(ContentDeserializer::<E>::new(content))
+}
+
+/// Named-field accessor over a [`Content::Map`]; what the derive macro
+/// expands struct deserialization into. Unknown fields are ignored, like
+/// serde's default behavior.
+pub struct FieldMap {
+    entries: Vec<(String, Content)>,
+    ty: &'static str,
+}
+
+impl FieldMap {
+    /// Build from a map-shaped `Content`; errors on any other shape.
+    pub fn new<E: Error>(content: Content, ty: &'static str) -> Result<FieldMap, E> {
+        match content {
+            Content::Map(pairs) => {
+                let mut entries = Vec::with_capacity(pairs.len());
+                for (k, v) in pairs {
+                    match k {
+                        Content::Str(name) => entries.push((name, v)),
+                        other => {
+                            return Err(E::custom(format!(
+                                "{ty}: non-string field key ({})",
+                                other.kind()
+                            )))
+                        }
+                    }
+                }
+                Ok(FieldMap { entries, ty })
+            }
+            other => Err(E::custom(format!(
+                "{ty}: expected a map, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    fn take(&mut self, name: &str) -> Option<Content> {
+        let idx = self.entries.iter().position(|(k, _)| k == name)?;
+        Some(self.entries.swap_remove(idx).1)
+    }
+
+    /// Extract and deserialize a required field.
+    pub fn field<'de, T: Deserialize<'de>, E: Error>(
+        &mut self,
+        name: &'static str,
+    ) -> Result<T, E> {
+        match self.take(name) {
+            Some(c) => from_content(c)
+                .map_err(|e: E| E::custom(format!("{}.{name}: {e}", self.ty))),
+            None => Err(E::custom(format!("{}: missing field `{name}`", self.ty))),
+        }
+    }
+
+    /// Extract a `#[serde(default)]` field, falling back to `T::default()`
+    /// when absent.
+    pub fn field_or_default<'de, T: Deserialize<'de> + Default, E: Error>(
+        &mut self,
+        name: &'static str,
+    ) -> Result<T, E> {
+        match self.take(name) {
+            Some(c) => from_content(c)
+                .map_err(|e: E| E::custom(format!("{}.{name}: {e}", self.ty))),
+            None => Ok(T::default()),
+        }
+    }
+}
+
+/// Split an externally-tagged enum value into `(variant name, payload)`:
+/// a bare string is a unit variant; a single-entry map is a variant with
+/// payload.
+pub fn variant_parts<E: Error>(content: Content) -> Result<(String, Option<Content>), E> {
+    match content {
+        Content::Str(name) => Ok((name, None)),
+        Content::Map(mut pairs) if pairs.len() == 1 => {
+            let (k, v) = pairs.pop().expect("len checked");
+            match k {
+                Content::Str(name) => Ok((name, Some(v))),
+                other => Err(E::custom(format!(
+                    "enum tag must be a string, found {}",
+                    other.kind()
+                ))),
+            }
+        }
+        other => Err(E::custom(format!(
+            "expected an enum (string or single-entry map), found {}",
+            other.kind()
+        ))),
+    }
+}
+
+fn int_from<E: Error>(c: Content, what: &'static str) -> Result<i128, E> {
+    match c {
+        Content::I64(v) => Ok(v as i128),
+        Content::U64(v) => Ok(v as i128),
+        Content::F64(v) if v.fract() == 0.0 && v.abs() < 2e18 => Ok(v as i128),
+        Content::F32(v) if v.fract() == 0.0 && v.abs() < 2e18 => Ok(v as i128),
+        other => Err(E::custom(format!("expected {what}, found {}", other.kind()))),
+    }
+}
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = int_from::<D::Error>(d.deserialize_content()?, stringify!($t))?;
+                <$t>::try_from(v).map_err(|_| {
+                    <D::Error as Error>::custom(format!(
+                        "integer {v} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+de_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_content()? {
+            Content::Bool(b) => Ok(b),
+            other => Err(<D::Error as Error>::custom(format!(
+                "expected bool, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_content()? {
+            Content::F32(v) => Ok(v),
+            Content::F64(v) => Ok(v as f32),
+            Content::I64(v) => Ok(v as f32),
+            Content::U64(v) => Ok(v as f32),
+            // Non-finite floats serialize as null (JSON has no NaN/Inf).
+            Content::Null => Ok(f32::NAN),
+            other => Err(<D::Error as Error>::custom(format!(
+                "expected f32, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_content()? {
+            Content::F32(v) => Ok(v as f64),
+            Content::F64(v) => Ok(v),
+            Content::I64(v) => Ok(v as f64),
+            Content::U64(v) => Ok(v as f64),
+            Content::Null => Ok(f64::NAN),
+            other => Err(<D::Error as Error>::custom(format!(
+                "expected f64, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_content()? {
+            Content::Str(s) => Ok(s),
+            other => Err(<D::Error as Error>::custom(format!(
+                "expected string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_content()? {
+            Content::Null => Ok(None),
+            c => Ok(Some(from_content(c)?)),
+        }
+    }
+}
+
+fn seq_from<E: Error>(c: Content, what: &'static str) -> Result<Vec<Content>, E> {
+    match c {
+        Content::Seq(items) => Ok(items),
+        other => Err(E::custom(format!("expected {what}, found {}", other.kind()))),
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        seq_from::<D::Error>(d.deserialize_content()?, "sequence")?
+            .into_iter()
+            .map(from_content)
+            .collect()
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let items = seq_from::<D::Error>(d.deserialize_content()?, "array")?;
+        if items.len() != N {
+            return Err(<D::Error as Error>::custom(format!(
+                "expected array of length {N}, found {}",
+                items.len()
+            )));
+        }
+        let parsed: Vec<T> = items
+            .into_iter()
+            .map(from_content)
+            .collect::<Result<_, D::Error>>()?;
+        parsed
+            .try_into()
+            .map_err(|_| <D::Error as Error>::custom("array length changed during parse"))
+    }
+}
+
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let mut items = seq_from::<D::Error>(d.deserialize_content()?, "2-tuple")?;
+        if items.len() != 2 {
+            return Err(<D::Error as Error>::custom(format!(
+                "expected 2-tuple, found {} elements",
+                items.len()
+            )));
+        }
+        let b = items.pop().expect("len checked");
+        let a = items.pop().expect("len checked");
+        Ok((from_content(a)?, from_content(b)?))
+    }
+}
+
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>, C: Deserialize<'de>> Deserialize<'de>
+    for (A, B, C)
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let mut items = seq_from::<D::Error>(d.deserialize_content()?, "3-tuple")?;
+        if items.len() != 3 {
+            return Err(<D::Error as Error>::custom(format!(
+                "expected 3-tuple, found {} elements",
+                items.len()
+            )));
+        }
+        let c = items.pop().expect("len checked");
+        let b = items.pop().expect("len checked");
+        let a = items.pop().expect("len checked");
+        Ok((from_content(a)?, from_content(b)?, from_content(c)?))
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for BTreeMap<K, V>
+where
+    K: Deserialize<'de> + Ord,
+    V: Deserialize<'de>,
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_content()? {
+            Content::Map(pairs) => pairs
+                .into_iter()
+                .map(|(k, v)| Ok((from_content(k)?, from_content(v)?)))
+                .collect(),
+            other => Err(<D::Error as Error>::custom(format!(
+                "expected map, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Minimal stand-in for `serde`, built around a self-describing value tree.
+//!
+//! The workspace builds hermetically (no crates.io), so this crate
+//! re-implements the slice of serde's API the toolkit uses. Instead of
+//! serde's visitor-driven zero-copy model, everything funnels through one
+//! owned value tree, [`de::Content`]: serializers lower Rust values into
+//! `Content`, deserializers lift `Content` back into Rust values, and data
+//! formats (see the sibling `serde_json` stub) only ever translate between
+//! `Content` and text. That is slower than real serde but behaviorally
+//! equivalent for the JSON checkpoint/artifact traffic this repo does.
+//!
+//! Supported surface: `Serialize`/`Deserialize` for the std types the
+//! toolkit serializes, `Serializer`/`Deserializer` traits usable by
+//! handwritten impls (e.g. `Tensor`'s), `serde::ser::SerializeStruct`,
+//! `serde::de::Error`, and — behind the `derive` feature — the
+//! `#[derive(Serialize, Deserialize)]` macros from the in-repo
+//! `serde_derive` stub.
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

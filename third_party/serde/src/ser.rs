@@ -1,0 +1,477 @@
+//! Serialization half of the serde stub: the [`Serialize`]/[`Serializer`]
+//! traits, the compound-builder traits ([`SerializeStruct`] and friends),
+//! and a [`ContentSerializer`] that lowers any `Serialize` value into the
+//! stub's [`Content`] data model for formats to render.
+
+use std::collections::BTreeMap;
+use std::marker::PhantomData;
+
+use crate::de::Content;
+pub use crate::de::Error;
+
+/// Types that can lower themselves into a serializer.
+pub trait Serialize {
+    /// Drive `serializer` with `self`'s structure.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// The stub's serializer contract: the subset of serde's method surface
+/// the toolkit's handwritten and derived impls call.
+pub trait Serializer: Sized {
+    /// Value produced on success.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+    /// Builder for named-field structs.
+    type SerializeStruct: SerializeStruct<Ok = Self::Ok, Error = Self::Error>;
+    /// Builder for struct enum variants.
+    type SerializeStructVariant: SerializeStruct<Ok = Self::Ok, Error = Self::Error>;
+    /// Builder for sequences.
+    type SerializeSeq: SerializeSeq<Ok = Self::Ok, Error = Self::Error>;
+    /// Builder for maps.
+    type SerializeMap: SerializeMap<Ok = Self::Ok, Error = Self::Error>;
+
+    /// Serialize a boolean.
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+    /// Serialize a signed integer.
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error>;
+    /// Serialize an unsigned integer.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+    /// Serialize an `f32`.
+    fn serialize_f32(self, v: f32) -> Result<Self::Ok, Self::Error>;
+    /// Serialize an `f64`.
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+    /// Serialize a string.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+    /// Serialize `()`/unit.
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+    /// Serialize `None`.
+    fn serialize_none(self) -> Result<Self::Ok, Self::Error>;
+    /// Serialize `Some(value)` (transparently).
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<Self::Ok, Self::Error>;
+    /// Serialize a newtype struct (transparently, serde-style).
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        name: &'static str,
+        value: &T,
+    ) -> Result<Self::Ok, Self::Error>;
+    /// Serialize a unit enum variant (externally tagged: the variant name).
+    fn serialize_unit_variant(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+    ) -> Result<Self::Ok, Self::Error>;
+    /// Serialize a newtype enum variant (externally tagged:
+    /// `{variant: value}`).
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<Self::Ok, Self::Error>;
+    /// Begin a struct enum variant (externally tagged:
+    /// `{variant: {fields...}}`).
+    fn serialize_struct_variant(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStructVariant, Self::Error>;
+    /// Begin a sequence.
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq, Self::Error>;
+    /// Begin a map.
+    fn serialize_map(self, len: Option<usize>) -> Result<Self::SerializeMap, Self::Error>;
+    /// Begin a named-field struct.
+    fn serialize_struct(
+        self,
+        name: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStruct, Self::Error>;
+}
+
+/// Builder for struct serialization (`serde::ser::SerializeStruct`).
+pub trait SerializeStruct {
+    /// Value produced on `end`.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+    /// Append one named field.
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        name: &'static str,
+        value: &T,
+    ) -> Result<(), Self::Error>;
+    /// Finish the struct.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Builder for sequence serialization.
+pub trait SerializeSeq {
+    /// Value produced on `end`.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+    /// Append one element.
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T)
+        -> Result<(), Self::Error>;
+    /// Finish the sequence.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Builder for map serialization.
+pub trait SerializeMap {
+    /// Value produced on `end`.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+    /// Append one entry.
+    fn serialize_entry<K: Serialize + ?Sized, V: Serialize + ?Sized>(
+        &mut self,
+        key: &K,
+        value: &V,
+    ) -> Result<(), Self::Error>;
+    /// Finish the map.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+// ---------------------------------------------------------------------------
+// ContentSerializer: lower any Serialize value into a Content tree.
+// ---------------------------------------------------------------------------
+
+/// A [`Serializer`] producing the stub's [`Content`] data model,
+/// parameterized by the error type the calling format reports.
+pub struct ContentSerializer<E> {
+    _marker: PhantomData<fn() -> E>,
+}
+
+impl<E> ContentSerializer<E> {
+    /// Construct.
+    pub fn new() -> Self {
+        ContentSerializer {
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<E> Default for ContentSerializer<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Serialize a value into a [`Content`] tree.
+pub fn to_content<T: Serialize + ?Sized, E: Error>(value: &T) -> Result<Content, E> {
+    value.serialize(ContentSerializer::<E>::new())
+}
+
+/// Compound builder used by [`ContentSerializer`] for structs and maps.
+pub struct ContentPairs<E> {
+    pairs: Vec<(Content, Content)>,
+    _marker: PhantomData<fn() -> E>,
+}
+
+/// Compound builder used by [`ContentSerializer`] for sequences.
+pub struct ContentItems<E> {
+    items: Vec<Content>,
+    _marker: PhantomData<fn() -> E>,
+}
+
+/// Compound builder used by [`ContentSerializer`] for struct variants:
+/// fields collected under the variant tag.
+pub struct ContentVariantPairs<E> {
+    variant: &'static str,
+    pairs: Vec<(Content, Content)>,
+    _marker: PhantomData<fn() -> E>,
+}
+
+impl<E: Error> SerializeStruct for ContentVariantPairs<E> {
+    type Ok = Content;
+    type Error = E;
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        name: &'static str,
+        value: &T,
+    ) -> Result<(), E> {
+        let v = to_content(value)?;
+        self.pairs.push((Content::Str(name.to_owned()), v));
+        Ok(())
+    }
+    fn end(self) -> Result<Content, E> {
+        Ok(Content::Map(vec![(
+            Content::Str(self.variant.to_owned()),
+            Content::Map(self.pairs),
+        )]))
+    }
+}
+
+impl<E: Error> Serializer for ContentSerializer<E> {
+    type Ok = Content;
+    type Error = E;
+    type SerializeStruct = ContentPairs<E>;
+    type SerializeStructVariant = ContentVariantPairs<E>;
+    type SerializeSeq = ContentItems<E>;
+    type SerializeMap = ContentPairs<E>;
+
+    fn serialize_bool(self, v: bool) -> Result<Content, E> {
+        Ok(Content::Bool(v))
+    }
+    fn serialize_i64(self, v: i64) -> Result<Content, E> {
+        Ok(Content::I64(v))
+    }
+    fn serialize_u64(self, v: u64) -> Result<Content, E> {
+        Ok(Content::U64(v))
+    }
+    fn serialize_f32(self, v: f32) -> Result<Content, E> {
+        Ok(Content::F32(v))
+    }
+    fn serialize_f64(self, v: f64) -> Result<Content, E> {
+        Ok(Content::F64(v))
+    }
+    fn serialize_str(self, v: &str) -> Result<Content, E> {
+        Ok(Content::Str(v.to_owned()))
+    }
+    fn serialize_unit(self) -> Result<Content, E> {
+        Ok(Content::Null)
+    }
+    fn serialize_none(self) -> Result<Content, E> {
+        Ok(Content::Null)
+    }
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<Content, E> {
+        value.serialize(self)
+    }
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<Content, E> {
+        value.serialize(self)
+    }
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+    ) -> Result<Content, E> {
+        Ok(Content::Str(variant.to_owned()))
+    }
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<Content, E> {
+        let inner = to_content(value)?;
+        Ok(Content::Map(vec![(Content::Str(variant.to_owned()), inner)]))
+    }
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<ContentVariantPairs<E>, E> {
+        Ok(ContentVariantPairs {
+            variant,
+            pairs: Vec::with_capacity(len),
+            _marker: PhantomData,
+        })
+    }
+    fn serialize_seq(self, len: Option<usize>) -> Result<ContentItems<E>, E> {
+        Ok(ContentItems {
+            items: Vec::with_capacity(len.unwrap_or(0)),
+            _marker: PhantomData,
+        })
+    }
+    fn serialize_map(self, len: Option<usize>) -> Result<ContentPairs<E>, E> {
+        Ok(ContentPairs {
+            pairs: Vec::with_capacity(len.unwrap_or(0)),
+            _marker: PhantomData,
+        })
+    }
+    fn serialize_struct(self, _name: &'static str, len: usize) -> Result<ContentPairs<E>, E> {
+        Ok(ContentPairs {
+            pairs: Vec::with_capacity(len),
+            _marker: PhantomData,
+        })
+    }
+}
+
+impl<E: Error> SerializeStruct for ContentPairs<E> {
+    type Ok = Content;
+    type Error = E;
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        name: &'static str,
+        value: &T,
+    ) -> Result<(), E> {
+        let v = to_content(value)?;
+        self.pairs.push((Content::Str(name.to_owned()), v));
+        Ok(())
+    }
+    fn end(self) -> Result<Content, E> {
+        Ok(Content::Map(self.pairs))
+    }
+}
+
+impl<E: Error> SerializeMap for ContentPairs<E> {
+    type Ok = Content;
+    type Error = E;
+    fn serialize_entry<K: Serialize + ?Sized, V: Serialize + ?Sized>(
+        &mut self,
+        key: &K,
+        value: &V,
+    ) -> Result<(), E> {
+        let k = to_content(key)?;
+        let v = to_content(value)?;
+        self.pairs.push((k, v));
+        Ok(())
+    }
+    fn end(self) -> Result<Content, E> {
+        Ok(Content::Map(self.pairs))
+    }
+}
+
+impl<E: Error> SerializeSeq for ContentItems<E> {
+    type Ok = Content;
+    type Error = E;
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), E> {
+        self.items.push(to_content(value)?);
+        Ok(())
+    }
+    fn end(self) -> Result<Content, E> {
+        Ok(Content::Seq(self.items))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for std types used by the workspace.
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bool(*self)
+    }
+}
+
+macro_rules! ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_i64(*self as i64)
+            }
+        }
+    )*};
+}
+ser_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_u64(*self as u64)
+            }
+        }
+    )*};
+}
+ser_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f32(*self)
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(*self)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => serializer.serialize_some(v),
+            None => serializer.serialize_none(),
+        }
+    }
+}
+
+fn serialize_slice<T: Serialize, S: Serializer>(
+    items: &[T],
+    serializer: S,
+) -> Result<S::Ok, S::Error> {
+    let mut seq = serializer.serialize_seq(Some(items.len()))?;
+    for item in items {
+        seq.serialize_element(item)?;
+    }
+    seq.end()
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_slice(self, serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_slice(self, serializer)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_slice(self, serializer)
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut seq = serializer.serialize_seq(Some(2))?;
+        seq.serialize_element(&self.0)?;
+        seq.serialize_element(&self.1)?;
+        seq.end()
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut seq = serializer.serialize_seq(Some(3))?;
+        seq.serialize_element(&self.0)?;
+        seq.serialize_element(&self.1)?;
+        seq.serialize_element(&self.2)?;
+        seq.end()
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut map = serializer.serialize_map(Some(self.len()))?;
+        for (k, v) in self {
+            map.serialize_entry(k, v)?;
+        }
+        map.end()
+    }
+}

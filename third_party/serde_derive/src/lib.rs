@@ -1,0 +1,391 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros.
+//!
+//! The workspace builds hermetically (no crates.io), so this proc-macro
+//! crate is written against `proc_macro` alone — no `syn`, no `quote`. It
+//! parses just enough of the item grammar to cover the shapes the toolkit
+//! actually derives on:
+//!
+//! * structs with named fields (honoring `#[serde(default)]`),
+//! * single-field tuple structs (serialized transparently, like serde's
+//!   newtype structs),
+//! * enums whose variants are unit, newtype, or struct-like (externally
+//!   tagged, like serde's default representation).
+//!
+//! Generics, tuple variants with more than one field, and the rest of
+//! serde's attribute language are rejected with a compile-time panic so
+//! accidental use fails loudly.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+enum VariantShape {
+    Unit,
+    Newtype,
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum Item {
+    Struct { name: String, fields: Vec<Field> },
+    Newtype { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+fn ident_str(t: &TokenTree) -> Option<String> {
+    match t {
+        TokenTree::Ident(id) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+fn is_punct(t: Option<&TokenTree>, c: char) -> bool {
+    matches!(t, Some(TokenTree::Punct(p)) if p.as_char() == c)
+}
+
+/// True for `#[serde(default)]` (possibly among other serde args, which we
+/// reject — only `default` is supported).
+fn serde_default_attr(attr: &Group) -> bool {
+    let toks: Vec<TokenTree> = attr.stream().into_iter().collect();
+    match toks.first().and_then(ident_str).as_deref() {
+        Some("serde") => {}
+        _ => return false,
+    }
+    let args = match toks.get(1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g,
+        _ => panic!("serde stub derive: unsupported serde attribute form"),
+    };
+    for t in args.stream() {
+        match &t {
+            TokenTree::Ident(id) if id.to_string() == "default" => return true,
+            TokenTree::Punct(p) if p.as_char() == ',' => {}
+            other => panic!("serde stub derive: unsupported serde attribute `{other}`"),
+        }
+    }
+    false
+}
+
+/// Skip attributes and visibility at `*i`; returns whether a
+/// `#[serde(default)]` attribute was seen.
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) -> bool {
+    let mut default = false;
+    loop {
+        match toks.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = toks.get(*i + 1) {
+                    if serde_default_attr(g) {
+                        default = true;
+                    }
+                }
+                *i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return default,
+        }
+    }
+}
+
+fn parse_named_fields(g: &Group) -> Vec<Field> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < toks.len() {
+        let default = skip_attrs_and_vis(&toks, &mut i);
+        let name = ident_str(&toks[i]).expect("serde stub derive: expected field name");
+        i += 1;
+        assert!(
+            is_punct(toks.get(i), ':'),
+            "serde stub derive: expected `:` after field `{name}`"
+        );
+        i += 1;
+        // Skip the type: everything up to a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while i < toks.len() {
+            if let TokenTree::Punct(p) = &toks[i] {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        out.push(Field { name, default });
+    }
+    out
+}
+
+fn parse_variants(g: &Group, type_name: &str) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        let name = ident_str(&toks[i]).expect("serde stub derive: expected variant name");
+        i += 1;
+        let mut shape = VariantShape::Unit;
+        match toks.get(i) {
+            Some(TokenTree::Group(vg)) if vg.delimiter() == Delimiter::Parenthesis => {
+                let payload_arity = count_tuple_fields(vg);
+                assert!(
+                    payload_arity == 1,
+                    "serde stub derive: tuple variant {type_name}::{name} must have exactly one field"
+                );
+                shape = VariantShape::Newtype;
+                i += 1;
+            }
+            Some(TokenTree::Group(vg)) if vg.delimiter() == Delimiter::Brace => {
+                shape = VariantShape::Struct(parse_named_fields(vg));
+                i += 1;
+            }
+            _ => {}
+        }
+        if is_punct(toks.get(i), ',') {
+            i += 1;
+        }
+        out.push(Variant { name, shape });
+    }
+    out
+}
+
+/// Number of fields in a tuple-struct/newtype-variant parenthesized list
+/// (top-level comma count, ignoring a trailing comma).
+fn count_tuple_fields(g: &Group) -> usize {
+    let mut depth = 0i32;
+    let mut fields = 0usize;
+    let mut pending = false;
+    for t in g.stream() {
+        match &t {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => {
+                    depth += 1;
+                    pending = true;
+                }
+                '>' => {
+                    depth -= 1;
+                    pending = true;
+                }
+                ',' if depth == 0 => {
+                    if pending {
+                        fields += 1;
+                    }
+                    pending = false;
+                }
+                '#' => {}
+                _ => pending = true,
+            },
+            // Attribute bracket groups (doc comments) don't count as content.
+            TokenTree::Group(g2) if g2.delimiter() == Delimiter::Bracket => {}
+            _ => pending = true,
+        }
+    }
+    if pending {
+        fields += 1;
+    }
+    fields
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&toks, &mut i);
+    let kind = ident_str(&toks[i]).expect("serde stub derive: expected struct/enum");
+    i += 1;
+    let name = ident_str(&toks[i]).expect("serde stub derive: expected type name");
+    i += 1;
+    assert!(
+        !is_punct(toks.get(i), '<'),
+        "serde stub derive: generic type {name} unsupported"
+    );
+    match (kind.as_str(), toks.get(i)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => Item::Struct {
+            fields: parse_named_fields(g),
+            name,
+        },
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            assert!(
+                count_tuple_fields(g) == 1,
+                "serde stub derive: tuple struct {name} must have exactly one field"
+            );
+            Item::Newtype { name }
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => Item::Enum {
+            variants: parse_variants(g, &name),
+            name,
+        },
+        _ => panic!("serde stub derive: unsupported item shape for {name}"),
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let out = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let mut body = String::new();
+            for f in &fields {
+                body.push_str(&format!(
+                    "__st.serialize_field(\"{f}\", &self.{f})?;\n",
+                    f = f.name
+                ));
+            }
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {{\n\
+                         use serde::ser::SerializeStruct as _;\n\
+                         let mut __st = serde::Serializer::serialize_struct(serializer, \"{name}\", {n})?;\n\
+                         {body}\
+                         __st.end()\n\
+                     }}\n\
+                 }}",
+                n = fields.len(),
+            )
+        }
+        Item::Newtype { name } => format!(
+            "impl serde::Serialize for {name} {{\n\
+                 fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {{\n\
+                     serde::Serializer::serialize_newtype_struct(serializer, \"{name}\", &self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (idx, v) in variants.iter().enumerate() {
+                match &v.shape {
+                    VariantShape::Newtype => arms.push_str(&format!(
+                        "{name}::{v}(__field) => serde::Serializer::serialize_newtype_variant(serializer, \"{name}\", {idx}u32, \"{v}\", __field),\n",
+                        v = v.name,
+                    )),
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{v} => serde::Serializer::serialize_unit_variant(serializer, \"{name}\", {idx}u32, \"{v}\"),\n",
+                        v = v.name,
+                    )),
+                    VariantShape::Struct(fields) => {
+                        let pat: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut body = String::new();
+                        for f in fields {
+                            body.push_str(&format!(
+                                "__sv.serialize_field(\"{f}\", {f})?;\n",
+                                f = f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {pat} }} => {{\n\
+                                 let mut __sv = serde::Serializer::serialize_struct_variant(serializer, \"{name}\", {idx}u32, \"{v}\", {n})?;\n\
+                                 {body}\
+                                 __sv.end()\n\
+                             }}\n",
+                            v = v.name,
+                            pat = pat.join(", "),
+                            n = fields.len(),
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {{\n\
+                         #[allow(unused_imports)]\n\
+                         use serde::ser::SerializeStruct as _;\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse().expect("serde stub derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let out = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let mut body = String::new();
+            for f in &fields {
+                let getter = if f.default { "field_or_default" } else { "field" };
+                body.push_str(&format!("{f}: __map.{getter}(\"{f}\")?,\n", f = f.name));
+            }
+            format!(
+                "impl<'de> serde::Deserialize<'de> for {name} {{\n\
+                     fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {{\n\
+                         let __content = serde::Deserializer::deserialize_content(deserializer)?;\n\
+                         let mut __map = serde::de::FieldMap::new::<D::Error>(__content, \"{name}\")?;\n\
+                         Ok({name} {{\n{body}}})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Newtype { name } => format!(
+            "impl<'de> serde::Deserialize<'de> for {name} {{\n\
+                 fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {{\n\
+                     let __content = serde::Deserializer::deserialize_content(deserializer)?;\n\
+                     Ok({name}(serde::de::from_content(__content)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in &variants {
+                match &v.shape {
+                    VariantShape::Newtype => arms.push_str(&format!(
+                        "(\"{v}\", Some(__p)) => Ok({name}::{v}(serde::de::from_content(__p)?)),\n",
+                        v = v.name,
+                    )),
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "(\"{v}\", _) => Ok({name}::{v}),\n",
+                        v = v.name,
+                    )),
+                    VariantShape::Struct(fields) => {
+                        let mut body = String::new();
+                        for f in fields {
+                            let getter = if f.default { "field_or_default" } else { "field" };
+                            body.push_str(&format!(
+                                "{f}: __vm.{getter}(\"{f}\")?,\n",
+                                f = f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "(\"{v}\", Some(__p)) => {{\n\
+                                 let mut __vm = serde::de::FieldMap::new::<D::Error>(__p, \"{name}::{v}\")?;\n\
+                                 Ok({name}::{v} {{\n{body}}})\n\
+                             }}\n",
+                            v = v.name,
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl<'de> serde::Deserialize<'de> for {name} {{\n\
+                     fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {{\n\
+                         let __content = serde::Deserializer::deserialize_content(deserializer)?;\n\
+                         let (__variant, __payload) = serde::de::variant_parts::<D::Error>(__content)?;\n\
+                         match (__variant.as_str(), __payload) {{\n\
+                             {arms}\
+                             __other => Err(<D::Error as serde::de::Error>::custom(format!(\n\
+                                 \"invalid variant `{{}}` for {name}\", __other.0\n\
+                             ))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse().expect("serde stub derive: generated invalid Deserialize impl")
+}

@@ -1,0 +1,214 @@
+//! Naive vs bucketed gradient allreduce across world sizes.
+//!
+//! The **naive** arm reproduces the pre-bucket `ddp_step` reduction:
+//! every rank's per-tensor gradients are cloned and collected (world ×
+//! param-bytes resident), then folded tensor-by-tensor into the
+//! accumulator with the `1/world` scale applied per rank.
+//!
+//! The **bucketed** arm is the production schedule from
+//! `matsciml::nn::bucket`: each reduce slot streams its ranks' gradients
+//! into one flat bucket with fused `axpy`/`vadd` sweeps (the rank's
+//! gradients are consumed immediately, never retained), the slot buckets
+//! combine by pairwise tree, and one scale pass averages at the end.
+//!
+//! Both arms consume identical per-rank gradients (regenerated into a
+//! shared scratch buffer, simulating backward-pass output), so the timed
+//! difference is purely the reduction: allocation churn, per-tensor
+//! dispatch, and the cold-memory fold the collect-everything scheme pays.
+//!
+//! Run with `cargo bench --bench allreduce`. Emits `BENCH_allreduce.json`
+//! at the repo root: steps/sec per arm plus peak resident gradient bytes.
+
+use std::time::Instant;
+
+use criterion::black_box;
+use matsciml::nn::bucket::{
+    bucket_bytes_peak, rank_range, reduce_slots, reset_bucket_peak, tree_reduce_into_first,
+    BucketLayout, GradBucket,
+};
+use matsciml::tensor::kernels;
+use serde::Serialize;
+
+/// Span-size mixture resembling a real model: a few large matrices, many
+/// mid-size ones, and a long tail of biases/gains. ~1.1M scalars total.
+fn span_sizes() -> Vec<usize> {
+    (0..240)
+        .map(|i| match i % 4 {
+            0 => 16384,
+            1 => 2048,
+            2 => 256,
+            _ => 8,
+        })
+        .collect()
+}
+
+/// Deterministic stand-in for one rank's backward output, written into the
+/// shared scratch buffer. Both arms pay exactly this cost per rank.
+fn fill_rank_grads(scratch: &mut [f32], rank: usize) {
+    for (j, v) in scratch.iter_mut().enumerate() {
+        *v = ((rank * 31 + j) & 0xff) as f32 - 128.0;
+    }
+}
+
+/// Collect-then-reduce: clone every rank's tensors, keep all of them
+/// resident, then per-tensor left-fold with the scale applied per rank.
+fn naive_step(
+    spans: &[(usize, usize)],
+    scratch: &mut [f32],
+    acc: &mut [Vec<f32>],
+    world: usize,
+) {
+    let mut collected: Vec<Vec<Vec<f32>>> = Vec::with_capacity(world);
+    for rank in 0..world {
+        fill_rank_grads(scratch, rank);
+        let grads: Vec<Vec<f32>> = spans
+            .iter()
+            .map(|&(off, len)| scratch[off..off + len].to_vec())
+            .collect();
+        collected.push(grads);
+    }
+    let scale = 1.0 / world as f32;
+    for a in acc.iter_mut() {
+        a.fill(0.0);
+    }
+    for grads in &collected {
+        for (a, g) in acc.iter_mut().zip(grads) {
+            for (x, &y) in a.iter_mut().zip(g.iter()) {
+                *x += y * scale;
+            }
+        }
+    }
+    black_box(&collected);
+}
+
+/// Streaming slot folds + pairwise tree + one scale pass at the end.
+fn bucketed_step(
+    layout: &BucketLayout,
+    scratch: &mut [f32],
+    acc: &mut [Vec<f32>],
+    world: usize,
+) {
+    let slots = reduce_slots(world);
+    let mut buckets: Vec<GradBucket> = (0..slots)
+        .map(|slot| {
+            let mut b = GradBucket::zeros(layout.clone());
+            let range = rank_range(world, slots, slot);
+            let first_rank = range.start;
+            for rank in range {
+                fill_rank_grads(scratch, rank);
+                for i in 0..layout.num_spans() {
+                    let (off, len) = layout.span(i);
+                    // First rank overwrites (one less read pass), the rest
+                    // accumulate — mirroring the production fold.
+                    if rank == first_rank {
+                        b.copy_span(i, &scratch[off..off + len]);
+                    } else {
+                        b.add_span(i, &scratch[off..off + len], 1.0);
+                    }
+                }
+            }
+            b
+        })
+        .collect();
+    tree_reduce_into_first(&mut buckets);
+    let mut total = buckets.swap_remove(0);
+    drop(buckets);
+    total.scale(1.0 / world as f32);
+    for a in acc.iter_mut() {
+        a.fill(0.0);
+    }
+    for (i, a) in acc.iter_mut().enumerate() {
+        kernels::axpy(a, total.span_slice(i), 1.0);
+    }
+}
+
+/// Median seconds per call over `reps` timed calls (after one warmup).
+fn median_seconds(reps: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+#[derive(Serialize)]
+struct WorldRow {
+    world: usize,
+    naive_steps_per_sec: f64,
+    bucketed_steps_per_sec: f64,
+    speedup: f64,
+    /// Collected rank gradients + accumulator, all resident at the fold.
+    naive_resident_grad_bytes: usize,
+    /// Measured via the bucket live/peak byte accounting.
+    bucketed_peak_grad_bytes: usize,
+}
+
+#[derive(Serialize)]
+struct Report {
+    total_scalars: usize,
+    bucket_bytes: usize,
+    rows: Vec<WorldRow>,
+}
+
+fn main() {
+    let sizes = span_sizes();
+    let layout = BucketLayout::from_numels(&sizes);
+    let spans: Vec<(usize, usize)> = (0..layout.num_spans()).map(|i| layout.span(i)).collect();
+    let total = layout.total_scalars();
+    let bytes = layout.bytes();
+    println!(
+        "allreduce bench: {total} scalars in {} spans ({bytes} bytes per rank)",
+        layout.num_spans()
+    );
+
+    let mut scratch = vec![0.0f32; total];
+    let mut acc: Vec<Vec<f32>> = sizes.iter().map(|&n| vec![0.0f32; n]).collect();
+
+    let mut rows = Vec::new();
+    for &world in &[4usize, 16, 64, 128, 256] {
+        let reps = (256 / world).clamp(5, 9);
+
+        let t_naive = median_seconds(reps, || {
+            naive_step(&spans, &mut scratch, &mut acc, world)
+        });
+
+        reset_bucket_peak();
+        let t_bucketed = median_seconds(reps, || {
+            bucketed_step(&layout, &mut scratch, &mut acc, world)
+        });
+        let peak = bucket_bytes_peak();
+
+        let speedup = t_naive / t_bucketed;
+        println!(
+            "world {world:>3}: naive {:>8.2} ms  bucketed {:>8.2} ms  speedup {speedup:.2}x  \
+             resident {} MB -> peak {:.1} MB",
+            t_naive * 1e3,
+            t_bucketed * 1e3,
+            (world + 1) * bytes / (1 << 20),
+            peak as f64 / (1 << 20) as f64,
+        );
+        rows.push(WorldRow {
+            world,
+            naive_steps_per_sec: 1.0 / t_naive,
+            bucketed_steps_per_sec: 1.0 / t_bucketed,
+            speedup,
+            naive_resident_grad_bytes: (world + 1) * bytes,
+            bucketed_peak_grad_bytes: peak,
+        });
+    }
+
+    let report = Report {
+        total_scalars: total,
+        bucket_bytes: bytes,
+        rows,
+    };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_allreduce.json");
+    std::fs::write(path, serde_json::to_string_pretty(&report).unwrap())
+        .expect("write BENCH_allreduce.json");
+    println!("wrote {path}");
+}

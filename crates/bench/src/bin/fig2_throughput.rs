@@ -60,22 +60,24 @@ fn main() {
         worlds.iter().map(|&n| tmodel.at(n, dataset_size)).collect();
     let slope = tmodel.linear_fit_slope(&worlds, dataset_size);
 
-    // Real-thread validation for world sizes the host can actually run.
+    // Real-thread validation. The bucketed reduction streams ranks through
+    // at most reduce_slots(n) resident buckets, so effective folding
+    // parallelism is min(cores, reduce_slots(n)) — world sizes beyond that
+    // still run (virtual ranks) at constant gradient memory.
     let cores = std::thread::available_parallelism()
         .map(|c| c.get())
         .unwrap_or(1);
-    let mut real_rows: Vec<(usize, f64)> = Vec::new();
+    let mut real_rows: Vec<(usize, usize, f64, usize)> = Vec::new();
     for n in [1usize, 2, 4, 8, 16] {
-        if n > cores {
-            break;
-        }
         let b = 4;
         let need = n * b;
         let pool: Vec<Sample> = (0..need)
             .map(|i| samples[i % samples.len()].clone())
             .collect();
+        matsciml::nn::bucket::reset_bucket_peak();
         let rate = throughput::measure_real_threads(&mut model, &pool, n, b, 3);
-        real_rows.push((n, rate));
+        let threads = cores.min(matsciml::nn::bucket::reduce_slots(n));
+        real_rows.push((n, threads, rate, matsciml::nn::bucket::bucket_bytes_peak()));
     }
 
     // Report.
@@ -98,9 +100,11 @@ fn main() {
     println!("{table}");
     println!("linear fit: samples/s ≈ {slope:.2} × workers  (paper: linear, comm negligible)");
     if !real_rows.is_empty() {
-        println!("\nreal-thread validation on this host ({cores} cores):");
-        for (n, rate) in &real_rows {
-            println!("  {n:>3} threads: {rate:.1} samples/s");
+        println!("\nreal-thread validation on this host ({cores} cores, bucketed reduction):");
+        for (n, threads, rate, peak) in &real_rows {
+            println!(
+                "  world {n:>3} ({threads:>2} fold threads): {rate:.1} samples/s, peak grad bytes {peak}"
+            );
         }
     }
 

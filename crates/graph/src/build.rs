@@ -5,20 +5,74 @@
 //! (atoms cannot overlap), instead of the naive O(n²) all-pairs scan.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 use matsciml_tensor::Vec3;
 
 use crate::material_graph::MaterialGraph;
 
+/// FxHash-style multiply-rotate hasher for the grid's integer-triple keys.
+/// SipHash (std's default) is DoS-resistant but dominates bin lookup cost
+/// for these tiny trusted keys; this folds each word in two arithmetic ops.
+#[derive(Default)]
+struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    const SEED: u64 = 0x517c_c1b7_2722_0a95;
+
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(Self::SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.add(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_i32(&mut self, v: i32) {
+        self.add(v as u32 as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
 /// Cells of side `cell` indexed by integer triple.
 struct SpatialGrid {
     cell: f32,
-    bins: HashMap<(i32, i32, i32), Vec<u32>>,
+    bins: HashMap<(i32, i32, i32), Vec<u32>, FxBuildHasher>,
 }
 
 impl SpatialGrid {
     fn build(points: &[Vec3], cell: f32) -> Self {
-        let mut bins: HashMap<(i32, i32, i32), Vec<u32>> = HashMap::new();
+        let mut bins: HashMap<(i32, i32, i32), Vec<u32>, FxBuildHasher> = HashMap::default();
         for (i, p) in points.iter().enumerate() {
             bins.entry(Self::key(p, cell)).or_default().push(i as u32);
         }

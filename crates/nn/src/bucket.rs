@@ -1,0 +1,312 @@
+//! Flat gradient buckets: the allreduce substrate for the DDP simulator.
+//!
+//! A [`BucketLayout`] maps every parameter tensor of a [`ParamSet`] into one
+//! contiguous `f32` buffer via `(offset, len)` spans, in registration order.
+//! A [`GradBucket`] is one such buffer. Reducing gradients over N ranks then
+//! becomes flat vector adds over a handful of buckets instead of
+//! `N × num_params` tensor-granularity operations — one loop, no per-tensor
+//! dispatch, no `N × params` resident clones.
+//!
+//! The reduction schedule is fixed by the world size alone:
+//!
+//! * ranks are split into [`reduce_slots`]`(world)` contiguous groups
+//!   ([`rank_range`]); each group folds its ranks **in rank order** into one
+//!   slot bucket as soon as each rank's backward pass finishes (streaming —
+//!   the rank's tape is dropped before the next rank runs);
+//! * slot buckets are then combined by a fixed pairwise tree
+//!   ([`tree_reduce_into_first`]).
+//!
+//! Because both the group fold order and the tree shape depend only on
+//! `world_size`, the summation bracketing never depends on the thread
+//! schedule: parallel and sequential execution produce bit-identical sums.
+//!
+//! Every bucket registers its buffer size with a global live/peak byte
+//! counter ([`bucket_bytes_live`] / [`bucket_bytes_peak`]), which is how the
+//! tests assert the memory bound: a world-512 DDP step keeps at most
+//! `reduce_slots(512) = `[`MAX_REDUCE_SLOTS`] buckets resident —
+//! O(threads × param-bytes), not O(world × param-bytes).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use matsciml_tensor::kernels;
+
+use crate::params::ParamSet;
+
+/// Upper bound on simultaneously resident reduction slots (and on useful
+/// reduction threads). Matches one dual-socket node's DDP ranks in the
+/// paper's setup.
+pub const MAX_REDUCE_SLOTS: usize = 16;
+
+static LIVE_BYTES: AtomicUsize = AtomicUsize::new(0);
+static PEAK_BYTES: AtomicUsize = AtomicUsize::new(0);
+
+/// Bytes of gradient-bucket buffers currently alive in this process.
+pub fn bucket_bytes_live() -> usize {
+    LIVE_BYTES.load(Ordering::Relaxed)
+}
+
+/// High-water mark of [`bucket_bytes_live`] since process start (or the
+/// last [`reset_bucket_peak`]).
+pub fn bucket_bytes_peak() -> usize {
+    PEAK_BYTES.load(Ordering::Relaxed)
+}
+
+/// Reset the peak to the current live count (call before the region whose
+/// memory bound you want to measure).
+pub fn reset_bucket_peak() {
+    PEAK_BYTES.store(LIVE_BYTES.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+/// Number of reduction slots (resident partial-sum buckets) for a world
+/// size: `min(world_size, MAX_REDUCE_SLOTS)`, at least 1.
+pub fn reduce_slots(world_size: usize) -> usize {
+    world_size.clamp(1, MAX_REDUCE_SLOTS)
+}
+
+/// The contiguous rank range owned by reduction slot `slot` (of `slots`):
+/// the first `world_size % slots` slots take one extra rank. Ranges
+/// partition `0..world_size` and depend only on the two sizes.
+pub fn rank_range(world_size: usize, slots: usize, slot: usize) -> std::ops::Range<usize> {
+    assert!(slot < slots && slots <= world_size.max(1));
+    let base = world_size / slots;
+    let rem = world_size % slots;
+    let start = slot * base + slot.min(rem);
+    start..start + base + usize::from(slot < rem)
+}
+
+/// The span table mapping parameter tensors into one flat buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BucketLayout {
+    /// `(offset, len)` per parameter, in registration order.
+    spans: Vec<(usize, usize)>,
+    total: usize,
+}
+
+impl BucketLayout {
+    /// Build a layout from per-parameter element counts, packed contiguously
+    /// in order.
+    pub fn from_numels(numels: &[usize]) -> Self {
+        let mut spans = Vec::with_capacity(numels.len());
+        let mut offset = 0;
+        for &n in numels {
+            spans.push((offset, n));
+            offset += n;
+        }
+        BucketLayout {
+            spans,
+            total: offset,
+        }
+    }
+
+    /// Layout of a parameter store's gradients (identical to its values).
+    pub fn of(params: &ParamSet) -> Self {
+        params.bucket_layout()
+    }
+
+    /// Number of parameter spans.
+    pub fn num_spans(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// `(offset, len)` of span `i`.
+    pub fn span(&self, i: usize) -> (usize, usize) {
+        self.spans[i]
+    }
+
+    /// Total scalar count across all spans.
+    pub fn total_scalars(&self) -> usize {
+        self.total
+    }
+
+    /// Buffer size in bytes — the wire size of one gradient allreduce.
+    pub fn bytes(&self) -> usize {
+        self.total * std::mem::size_of::<f32>()
+    }
+}
+
+/// One flat gradient buffer described by a [`BucketLayout`].
+#[derive(Debug)]
+pub struct GradBucket {
+    layout: BucketLayout,
+    data: Vec<f32>,
+}
+
+impl GradBucket {
+    /// A zeroed bucket for `layout`. Registers its bytes with the global
+    /// live/peak counters.
+    pub fn zeros(layout: BucketLayout) -> Self {
+        let bytes = layout.bytes();
+        let live = LIVE_BYTES.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
+        GradBucket {
+            data: vec![0.0; layout.total_scalars()],
+            layout,
+        }
+    }
+
+    /// The span table.
+    pub fn layout(&self) -> &BucketLayout {
+        &self.layout
+    }
+
+    /// The whole flat buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// The slice of span `i` (the scatter side of the round trip).
+    pub fn span_slice(&self, i: usize) -> &[f32] {
+        let (off, len) = self.layout.span(i);
+        &self.data[off..off + len]
+    }
+
+    /// Overwrite span `i` from a flat slice (the gather side).
+    pub fn copy_span(&mut self, i: usize, src: &[f32]) {
+        let (off, len) = self.layout.span(i);
+        assert_eq!(src.len(), len, "copy_span: span {i} length mismatch");
+        self.data[off..off + len].copy_from_slice(src);
+    }
+
+    /// `span_i += src * s` — how a rank's per-parameter gradients stream
+    /// into a slot bucket.
+    pub fn add_span(&mut self, i: usize, src: &[f32], s: f32) {
+        let (off, len) = self.layout.span(i);
+        assert_eq!(src.len(), len, "add_span: span {i} length mismatch");
+        if s == 1.0 {
+            kernels::vadd(&mut self.data[off..off + len], src);
+        } else {
+            kernels::axpy(&mut self.data[off..off + len], src, s);
+        }
+    }
+
+    /// `self += other` over the whole flat buffer — the tree-reduce step.
+    pub fn add(&mut self, other: &GradBucket) {
+        assert_eq!(
+            self.layout, other.layout,
+            "GradBucket::add: layouts differ"
+        );
+        kernels::vadd(&mut self.data, &other.data);
+    }
+
+    /// Scale the whole buffer (the `1/world_size` averaging step).
+    pub fn scale(&mut self, s: f32) {
+        kernels::scale(&mut self.data, s);
+    }
+
+    /// Sum of squares over the buffer (f64 accumulation).
+    pub fn sumsq(&self) -> f64 {
+        kernels::sumsq(&self.data)
+    }
+
+    /// Zero the buffer in place for reuse.
+    pub fn clear(&mut self) {
+        kernels::fill(&mut self.data, 0.0);
+    }
+}
+
+impl Drop for GradBucket {
+    fn drop(&mut self) {
+        LIVE_BYTES.fetch_sub(self.layout.bytes(), Ordering::Relaxed);
+    }
+}
+
+/// Pairwise tree reduction into `slots[0]`: stride-doubling over the slot
+/// array (0+=1, 2+=3, …; then 0+=2, 4+=6, …). The summation order is a
+/// function of `slots.len()` alone, so any two runs with the same world
+/// size — parallel or sequential — sum in the same bracketing.
+pub fn tree_reduce_into_first(slots: &mut [GradBucket]) {
+    let n = slots.len();
+    let mut stride = 1;
+    while stride < n {
+        let mut i = 0;
+        while i + stride < n {
+            let (head, tail) = slots.split_at_mut(i + stride);
+            head[i].add(&tail[0]);
+            i += 2 * stride;
+        }
+        stride *= 2;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout3() -> BucketLayout {
+        BucketLayout::from_numels(&[2, 3, 1])
+    }
+
+    #[test]
+    fn layout_packs_contiguously() {
+        let l = layout3();
+        assert_eq!(l.num_spans(), 3);
+        assert_eq!(l.span(0), (0, 2));
+        assert_eq!(l.span(1), (2, 3));
+        assert_eq!(l.span(2), (5, 1));
+        assert_eq!(l.total_scalars(), 6);
+        assert_eq!(l.bytes(), 24);
+    }
+
+    #[test]
+    fn spans_round_trip() {
+        let mut b = GradBucket::zeros(layout3());
+        b.copy_span(0, &[1.0, 2.0]);
+        b.copy_span(1, &[3.0, 4.0, 5.0]);
+        b.copy_span(2, &[6.0]);
+        assert_eq!(b.as_slice(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(b.span_slice(1), &[3.0, 4.0, 5.0]);
+        b.add_span(1, &[1.0, 1.0, 1.0], 2.0);
+        assert_eq!(b.span_slice(1), &[5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn rank_ranges_partition_the_world() {
+        for world in [1usize, 2, 4, 7, 16, 17, 512] {
+            let slots = reduce_slots(world);
+            assert!(slots <= MAX_REDUCE_SLOTS && slots >= 1);
+            let mut next = 0;
+            for slot in 0..slots {
+                let r = rank_range(world, slots, slot);
+                assert_eq!(r.start, next, "world {world} slot {slot}");
+                assert!(!r.is_empty());
+                next = r.end;
+            }
+            assert_eq!(next, world);
+        }
+    }
+
+    #[test]
+    fn tree_reduce_sums_every_slot_once() {
+        let l = BucketLayout::from_numels(&[4]);
+        for n in 1..=9usize {
+            let mut slots: Vec<GradBucket> = (0..n)
+                .map(|s| {
+                    let mut b = GradBucket::zeros(l.clone());
+                    b.copy_span(0, &[(s + 1) as f32; 4]);
+                    b
+                })
+                .collect();
+            tree_reduce_into_first(&mut slots);
+            let want = (n * (n + 1) / 2) as f32;
+            assert_eq!(slots[0].as_slice(), &[want; 4], "n = {n}");
+        }
+    }
+
+    #[test]
+    fn byte_accounting_tracks_lifetimes() {
+        let before = bucket_bytes_live();
+        let l = BucketLayout::from_numels(&[256]);
+        let a = GradBucket::zeros(l.clone());
+        let b = GradBucket::zeros(l);
+        assert_eq!(bucket_bytes_live(), before + 2 * 1024);
+        assert!(bucket_bytes_peak() >= before + 2 * 1024);
+        drop(a);
+        drop(b);
+        assert_eq!(bucket_bytes_live(), before);
+    }
+}

@@ -10,11 +10,13 @@
 
 #![warn(missing_docs)]
 
+pub mod bucket;
 mod embedding;
 mod layers;
 mod mlp;
 mod params;
 
+pub use bucket::{BucketLayout, GradBucket};
 pub use embedding::Embedding;
 pub use layers::{Activation, BatchNorm, ForwardCtx, Linear, NormKind, RmsNorm};
 pub use mlp::{Mlp, OutputHead, ResidualBlock};

@@ -4,6 +4,8 @@ use matsciml_autograd::{Graph, Var};
 use matsciml_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
+use crate::bucket::{BucketLayout, GradBucket};
+
 /// Handle to one parameter tensor in a [`ParamSet`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct ParamId(pub usize);
@@ -113,6 +115,28 @@ impl ParamSet {
         self.grads[index].add_scaled_inplace(grad, scale);
     }
 
+    /// The flat-bucket span table for this store: span `i` covers parameter
+    /// `i`'s scalars, packed contiguously in registration order.
+    pub fn bucket_layout(&self) -> BucketLayout {
+        let numels: Vec<usize> = self.grads.iter().map(Tensor::numel).collect();
+        BucketLayout::from_numels(&numels)
+    }
+
+    /// Accumulate a reduced flat gradient bucket into the per-parameter
+    /// accumulators, scaled: the final scatter of the bucketed allreduce.
+    pub fn absorb_flat(&mut self, bucket: &GradBucket, scale: f32) {
+        assert_eq!(
+            bucket.layout().num_spans(),
+            self.grads.len(),
+            "absorb_flat: bucket layout does not match parameter count"
+        );
+        for (i, g) in self.grads.iter_mut().enumerate() {
+            let src = bucket.span_slice(i);
+            assert_eq!(src.len(), g.numel(), "absorb_flat: span {i} size mismatch");
+            matsciml_tensor::kernels::axpy(g.as_mut_slice(), src, scale);
+        }
+    }
+
     /// Add another store's gradients into this one, scaled. Both stores
     /// must have identical layouts (clones of the same model).
     pub fn absorb_grads_from(&mut self, other: &ParamSet, scale: f32) {
@@ -126,10 +150,10 @@ impl ParamSet {
         }
     }
 
-    /// Scale every gradient in place.
+    /// Scale every gradient in place (fused slice kernel).
     pub fn scale_grads(&mut self, scale: f32) {
         for g in &mut self.grads {
-            g.map_inplace(|v| v * scale);
+            matsciml_tensor::kernels::scale(g.as_mut_slice(), scale);
         }
     }
 
@@ -264,6 +288,30 @@ mod tests {
         let (mut ps, _, _) = simple_store();
         let other = ParamSet::new();
         ps.absorb_grads_from(&other, 1.0);
+    }
+
+    #[test]
+    fn bucket_layout_matches_registration_order() {
+        let (ps, _, _) = simple_store();
+        let layout = ps.bucket_layout();
+        assert_eq!(layout.num_spans(), 2);
+        assert_eq!(layout.span(0), (0, 2));
+        assert_eq!(layout.span(1), (2, 3));
+        assert_eq!(layout.total_scalars(), ps.num_scalars());
+    }
+
+    #[test]
+    fn absorb_flat_scatters_spans_into_grads() {
+        let (mut ps, a, b) = simple_store();
+        let mut bucket = GradBucket::zeros(ps.bucket_layout());
+        bucket.copy_span(0, &[2.0, 4.0]);
+        bucket.copy_span(1, &[6.0, 8.0, 10.0]);
+        ps.absorb_flat(&bucket, 0.5);
+        assert_eq!(ps.grad(a).as_slice(), &[1.0, 2.0]);
+        assert_eq!(ps.grad(b).as_slice(), &[3.0, 4.0, 5.0]);
+        // Accumulates on a second absorb rather than overwriting.
+        ps.absorb_flat(&bucket, 0.5);
+        assert_eq!(ps.grad(a).as_slice(), &[2.0, 4.0]);
     }
 
     #[test]

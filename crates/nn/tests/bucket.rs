@@ -1,0 +1,111 @@
+//! Equivalence and round-trip properties of the flat-gradient bucket
+//! allreduce.
+//!
+//! The exact-equality tests use integer-valued `f32` gradients: every
+//! partial sum stays well below 2^24, so addition is exact and *any*
+//! bracketing must produce identical bits. That isolates the property
+//! under test — the bucketed slot-fold + pairwise tree visits every rank
+//! exactly once — from floating-point reassociation.
+
+use matsciml_nn::bucket::{
+    rank_range, reduce_slots, tree_reduce_into_first, BucketLayout, GradBucket,
+};
+use proptest::prelude::*;
+
+/// Integer-valued gradient for (rank, span, element): deterministic, in
+/// [-4, 4], so a 512-rank sum is exact in f32.
+fn grad_at(rank: usize, span: usize, j: usize) -> f32 {
+    ((rank * 31 + span * 7 + j) % 9) as f32 - 4.0
+}
+
+fn layout() -> BucketLayout {
+    BucketLayout::from_numels(&[3, 8, 1, 5])
+}
+
+/// Reference allreduce: per-span left-fold over ranks 0..world in order.
+fn naive_reduce(layout: &BucketLayout, world: usize) -> Vec<f32> {
+    let mut total = vec![0.0f32; layout.total_scalars()];
+    for rank in 0..world {
+        for span in 0..layout.num_spans() {
+            let (off, len) = layout.span(span);
+            for j in 0..len {
+                total[off + j] += grad_at(rank, span, j);
+            }
+        }
+    }
+    total
+}
+
+/// The production schedule: stream each slot's ranks into its bucket in
+/// rank order, then pairwise-tree the slot buckets.
+fn bucketed_reduce(layout: &BucketLayout, world: usize) -> Vec<f32> {
+    let slots = reduce_slots(world);
+    let mut buckets: Vec<GradBucket> = (0..slots)
+        .map(|slot| {
+            let mut b = GradBucket::zeros(layout.clone());
+            for rank in rank_range(world, slots, slot) {
+                for span in 0..layout.num_spans() {
+                    let (_, len) = layout.span(span);
+                    let g: Vec<f32> = (0..len).map(|j| grad_at(rank, span, j)).collect();
+                    b.add_span(span, &g, 1.0);
+                }
+            }
+            b
+        })
+        .collect();
+    tree_reduce_into_first(&mut buckets);
+    buckets[0].as_slice().to_vec()
+}
+
+#[test]
+fn bucketed_tree_matches_naive_reduction_exactly() {
+    let layout = layout();
+    for world in [1usize, 2, 4, 7, 512] {
+        assert_eq!(
+            bucketed_reduce(&layout, world),
+            naive_reduce(&layout, world),
+            "world {world}: bucketed allreduce must equal the per-tensor fold bit-for-bit"
+        );
+    }
+}
+
+#[test]
+fn slot_count_is_capped_for_large_worlds() {
+    assert_eq!(reduce_slots(1), 1);
+    assert_eq!(reduce_slots(7), 7);
+    assert_eq!(reduce_slots(512), matsciml_nn::bucket::MAX_REDUCE_SLOTS);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Scatter (copy_span) then gather (span_slice) over a random span
+    /// layout — including empty spans — recovers every per-span payload
+    /// and never bleeds across span boundaries.
+    #[test]
+    fn flat_bucket_scatter_gather_round_trips(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(-1.0e3f32..1.0e3, 0..20),
+            1..12,
+        ),
+    ) {
+        let numels: Vec<usize> = payloads.iter().map(Vec::len).collect();
+        let layout = BucketLayout::from_numels(&numels);
+        prop_assert_eq!(layout.total_scalars(), numels.iter().sum::<usize>());
+
+        let mut bucket = GradBucket::zeros(layout);
+        for (i, p) in payloads.iter().enumerate() {
+            bucket.copy_span(i, p);
+        }
+        for (i, p) in payloads.iter().enumerate() {
+            prop_assert_eq!(
+                bucket.span_slice(i),
+                p.as_slice(),
+                "span {} must round-trip unchanged", i
+            );
+        }
+        // The flat view is exactly the concatenation, in span order.
+        let flat: Vec<f32> = payloads.concat();
+        prop_assert_eq!(bucket.as_slice(), flat.as_slice());
+    }
+}

@@ -86,20 +86,21 @@ impl AdamW {
         let bc2 = 1.0 - beta2.powi(self.t as i32);
 
         for (i, (value, grad)) in params.pairs_mut().enumerate() {
-            let m = self.m[i].as_mut_slice();
-            let v = self.v[i].as_mut_slice();
-            let p = value.as_mut_slice();
-            let g = grad.as_slice();
-            for j in 0..p.len() {
-                m[j] = beta1 * m[j] + (1.0 - beta1) * g[j];
-                v[j] = beta2 * v[j] + (1.0 - beta2) * g[j] * g[j];
-                let mhat = m[j] / bc1;
-                let vhat = v[j] / bc2;
-                // Decoupled decay: shrink the weight directly, not via the
-                // adaptive gradient (the defining difference from Adam+L2).
-                p[j] -= lr * weight_decay * p[j];
-                p[j] -= lr * mhat / (vhat.sqrt() + eps);
-            }
+            // Fused slice kernel: moments, bias correction, and the
+            // decoupled-decay update in one pass over each tensor.
+            matsciml_tensor::kernels::adamw_update(
+                value.as_mut_slice(),
+                self.m[i].as_mut_slice(),
+                self.v[i].as_mut_slice(),
+                grad.as_slice(),
+                lr,
+                beta1,
+                beta2,
+                eps,
+                weight_decay,
+                bc1,
+                bc2,
+            );
         }
     }
 }

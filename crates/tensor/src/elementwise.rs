@@ -75,13 +75,12 @@ impl Tensor {
         self.map(|v| -v)
     }
 
-    /// `self += rhs * s` in place (axpy). Used heavily by the optimizers.
+    /// `self += rhs * s` in place (axpy). Used heavily by the optimizers
+    /// and the DDP gradient reduction; lowers to the fused slice kernel.
     pub fn add_scaled_inplace(&mut self, rhs: &Tensor, s: f32) {
         assert_same_shape("add_scaled_inplace", &self.shape, &rhs.shape);
-        self.as_mut_slice()
-            .iter_mut()
-            .zip(rhs.as_slice())
-            .for_each(|(a, &b)| *a += b * s);
+        let rhs = rhs.as_slice();
+        crate::kernels::axpy(self.as_mut_slice(), rhs, s);
     }
 
     /// Set all elements to zero without reallocating.

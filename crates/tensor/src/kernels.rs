@@ -1,0 +1,194 @@
+//! Fused flat-slice kernels shared by tensor ops, gradient buckets, and the
+//! optimizers.
+//!
+//! Everything here operates on plain `&[f32]` / `&mut [f32]`, so one tuned
+//! loop serves three callers: the `Tensor` inherent methods, the flat
+//! gradient buckets in `matsciml-nn`, and the fused AdamW update in
+//! `matsciml-opt`.
+//!
+//! Parallel kernels split work into fixed [`CHUNK`]-sized blocks.
+//! Elementwise kernels write disjoint outputs, so their results cannot
+//! depend on scheduling; [`sumsq`] accumulates one `f64` partial per block
+//! and folds the partials in block order, so it returns bit-identical
+//! results whether the blocks run on one thread or many.
+
+use rayon::prelude::*;
+
+/// Block size (scalars) for parallel splitting: 16 KiB of f32 — large
+/// enough to amortize dispatch, small enough to load-balance. Fixed (not
+/// thread-count derived) so the `sumsq` partial bracketing never changes.
+const CHUNK: usize = 4096;
+
+/// Below this length the parallel dispatch costs more than it saves.
+const PAR_MIN: usize = 1 << 16;
+
+#[inline]
+fn run_parallel(len: usize) -> bool {
+    len >= PAR_MIN && rayon::current_num_threads() > 1
+}
+
+/// `dst[i] += src[i] * s` (axpy).
+pub fn axpy(dst: &mut [f32], src: &[f32], s: f32) {
+    assert_eq!(dst.len(), src.len(), "axpy: length mismatch");
+    if run_parallel(dst.len()) {
+        dst.par_chunks_mut(CHUNK).enumerate().for_each(|(c, d)| {
+            let lo = c * CHUNK;
+            axpy_seq(d, &src[lo..lo + d.len()], s);
+        });
+    } else {
+        axpy_seq(dst, src, s);
+    }
+}
+
+#[inline]
+fn axpy_seq(dst: &mut [f32], src: &[f32], s: f32) {
+    dst.iter_mut().zip(src).for_each(|(d, &v)| *d += v * s);
+}
+
+/// `dst[i] += src[i]` — the allreduce accumulation step. A dedicated kernel
+/// (rather than `axpy(dst, src, 1.0)`) keeps the multiply out of the inner
+/// loop on targets without fused multiply-add.
+pub fn vadd(dst: &mut [f32], src: &[f32]) {
+    assert_eq!(dst.len(), src.len(), "vadd: length mismatch");
+    if run_parallel(dst.len()) {
+        dst.par_chunks_mut(CHUNK).enumerate().for_each(|(c, d)| {
+            let lo = c * CHUNK;
+            vadd_seq(d, &src[lo..lo + d.len()]);
+        });
+    } else {
+        vadd_seq(dst, src);
+    }
+}
+
+#[inline]
+fn vadd_seq(dst: &mut [f32], src: &[f32]) {
+    dst.iter_mut().zip(src).for_each(|(d, &v)| *d += v);
+}
+
+/// `dst[i] *= s`.
+pub fn scale(dst: &mut [f32], s: f32) {
+    if run_parallel(dst.len()) {
+        dst.par_chunks_mut(CHUNK)
+            .enumerate()
+            .for_each(|(_, d)| d.iter_mut().for_each(|v| *v *= s));
+    } else {
+        dst.iter_mut().for_each(|v| *v *= s);
+    }
+}
+
+/// Fill with a constant. Sequential: this is a memset, already memory-bound.
+pub fn fill(dst: &mut [f32], value: f32) {
+    dst.fill(value);
+}
+
+/// Sum of squares with `f64` accumulation.
+///
+/// Accumulates one partial per [`CHUNK`] block and folds the partials in
+/// block order, so the bracketing — and therefore the bits of the result —
+/// is a function of the input length alone, never of the thread count.
+pub fn sumsq(src: &[f32]) -> f64 {
+    if run_parallel(src.len()) {
+        let blocks: Vec<&[f32]> = src.chunks(CHUNK).collect();
+        let partials: Vec<f64> = blocks.into_par_iter().map(sumsq_seq).collect();
+        partials.into_iter().sum()
+    } else {
+        src.chunks(CHUNK).map(sumsq_seq).sum()
+    }
+}
+
+#[inline]
+fn sumsq_seq(src: &[f32]) -> f64 {
+    src.iter().map(|&v| (v as f64) * (v as f64)).sum()
+}
+
+/// One fused AdamW update over flat parameter / moment / gradient slices.
+///
+/// Single pass, updating both moments and the weight per element, instead
+/// of the five tensor-granularity loops the textbook formulation implies.
+/// The operation order inside the loop (decay the weight, then apply the
+/// adaptive step) matches Loshchilov & Hutter and must not be reordered:
+/// optimizer trajectories are compared bit-for-bit across DDP world sizes.
+#[allow(clippy::too_many_arguments)]
+pub fn adamw_update(
+    p: &mut [f32],
+    m: &mut [f32],
+    v: &mut [f32],
+    g: &[f32],
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    bias_correction1: f32,
+    bias_correction2: f32,
+) {
+    let n = p.len();
+    assert!(
+        m.len() == n && v.len() == n && g.len() == n,
+        "adamw_update: length mismatch"
+    );
+    for j in 0..n {
+        m[j] = beta1 * m[j] + (1.0 - beta1) * g[j];
+        v[j] = beta2 * v[j] + (1.0 - beta2) * g[j] * g[j];
+        let mhat = m[j] / bias_correction1;
+        let vhat = v[j] / bias_correction2;
+        p[j] -= lr * weight_decay * p[j];
+        p[j] -= lr * mhat / (vhat.sqrt() + eps);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axpy_and_vadd_accumulate() {
+        let mut d = vec![1.0f32; 5];
+        axpy(&mut d, &[1.0, 2.0, 3.0, 4.0, 5.0], 0.5);
+        assert_eq!(d, &[1.5, 2.0, 2.5, 3.0, 3.5]);
+        vadd(&mut d, &[1.0; 5]);
+        assert_eq!(d, &[2.5, 3.0, 3.5, 4.0, 4.5]);
+    }
+
+    #[test]
+    fn scale_and_fill() {
+        let mut d = vec![2.0f32; 4];
+        scale(&mut d, 0.25);
+        assert_eq!(d, &[0.5; 4]);
+        fill(&mut d, 7.0);
+        assert_eq!(d, &[7.0; 4]);
+    }
+
+    #[test]
+    fn sumsq_is_chunk_order_deterministic() {
+        // Span several chunks; the chunked fold must match a plain f64 fold
+        // to within the bracketing difference (here: exactly, since every
+        // partial is exactly representable).
+        let n = 3 * CHUNK + 17;
+        let src: Vec<f32> = (0..n).map(|i| ((i % 7) as f32) - 3.0).collect();
+        let expected: f64 = src
+            .chunks(CHUNK)
+            .map(|c| c.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>())
+            .sum();
+        assert_eq!(sumsq(&src), expected);
+    }
+
+    #[test]
+    fn adamw_first_step_is_lr_sign_of_gradient() {
+        let mut p = vec![0.0f32];
+        let mut m = vec![0.0f32];
+        let mut v = vec![0.0f32];
+        let g = vec![100.0f32];
+        let (b1, b2) = (0.9f32, 0.999f32);
+        adamw_update(
+            &mut p, &mut m, &mut v, &g, 0.01, b1, b2, 1e-8, 0.0, 1.0 - b1, 1.0 - b2,
+        );
+        assert!((p[0] + 0.01).abs() < 1e-4, "first step ≈ -lr, got {}", p[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn axpy_rejects_mismatched_lengths() {
+        axpy(&mut [0.0; 2], &[0.0; 3], 1.0);
+    }
+}

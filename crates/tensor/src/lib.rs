@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 mod elementwise;
+pub mod kernels;
 mod linalg;
 mod matmul;
 mod random;

@@ -66,18 +66,32 @@ impl Tensor {
         let mut out = Tensor::zeros(&[m, n]);
         let a = self.as_slice();
         let b = rhs.as_slice();
+        let flops = 2 * m * n * k;
         let dst = out.as_mut_slice();
         // out[i, j] = sum_p a[p, i] * b[p, j]; accumulate rank-1 updates row
-        // by row of the k dimension so both reads stream contiguously.
-        for p in 0..k {
-            let arow = &a[p * m..(p + 1) * m];
-            let brow = &b[p * n..(p + 1) * n];
-            for (i, &av) in arow.iter().enumerate() {
-                if av != 0.0 {
-                    let orow = &mut dst[i * n..(i + 1) * n];
-                    orow.iter_mut().zip(brow).for_each(|(o, &bv)| *o += av * bv);
+        // by row of the k dimension so the reads of `b` and writes of `out`
+        // stream contiguously. Parallelism follows matmul's row-panel
+        // scheme: each task owns a horizontal panel of the output and walks
+        // the full k dimension for its rows, so panels never share writes
+        // and the per-element accumulation order is panel-independent.
+        let kernel = |r0: usize, rows: usize, dst: &mut [f32]| {
+            for p in 0..k {
+                let arow = &a[p * m + r0..p * m + r0 + rows];
+                let brow = &b[p * n..(p + 1) * n];
+                for (i, &av) in arow.iter().enumerate() {
+                    if av != 0.0 {
+                        let orow = &mut dst[i * n..(i + 1) * n];
+                        orow.iter_mut().zip(brow).for_each(|(o, &bv)| *o += av * bv);
+                    }
                 }
             }
+        };
+        if flops < PAR_THRESHOLD_FLOPS || rayon::current_num_threads() == 1 {
+            kernel(0, m, dst);
+        } else {
+            dst.par_chunks_mut(ROW_PANEL * n)
+                .enumerate()
+                .for_each(|(panel, chunk)| kernel(panel * ROW_PANEL, chunk.len() / n, chunk));
         }
         out
     }
@@ -245,6 +259,18 @@ mod tests {
     #[should_panic(expected = "inner dimensions differ")]
     fn matmul_rejects_bad_inner_dim() {
         let _ = Tensor::zeros(&[2, 3]).matmul(&Tensor::zeros(&[4, 2]));
+    }
+
+    #[test]
+    fn parallel_tn_matches_explicit_transpose() {
+        // 192·160·96 ≈ 5.9 Mflop > threshold, rows not panel-aligned.
+        let a = Tensor::from_fn(&[192, 160], |i| ((i * 29 % 23) as f32 - 11.0) * 0.02);
+        let b = Tensor::from_fn(&[192, 96], |i| ((i * 41 % 19) as f32 - 9.0) * 0.02);
+        let tn = a.matmul_tn(&b);
+        let expected = a.transpose().matmul(&b);
+        for (x, y) in tn.as_slice().iter().zip(expected.as_slice()) {
+            assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
     }
 
     #[test]

@@ -82,9 +82,10 @@ impl Tensor {
             .collect()
     }
 
-    /// Squared Frobenius / L2 norm (f64 accumulation).
+    /// Squared Frobenius / L2 norm (f64 accumulation, chunk-deterministic —
+    /// see [`crate::kernels::sumsq`]).
     pub fn sumsq(&self) -> f64 {
-        self.as_slice().iter().map(|&v| (v as f64) * (v as f64)).sum()
+        crate::kernels::sumsq(self.as_slice())
     }
 
     /// Frobenius / L2 norm.

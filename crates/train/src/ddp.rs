@@ -1,4 +1,4 @@
-//! Simulated distributed data parallelism.
+//! Simulated distributed data parallelism over flat gradient buckets.
 //!
 //! A DDP step with world size `N` and per-rank batch `B`:
 //!
@@ -6,19 +6,45 @@
 //! 2. every rank runs forward/backward on its own tape against the shared
 //!    (read-only) parameters, exactly as `DistributedDataParallel` replicas
 //!    do;
-//! 3. rank gradients are averaged (`1/N` each) into the parameter store —
+//! 3. rank gradients are reduced into the parameter store and averaged —
 //!    the allreduce;
 //! 4. the caller applies one optimizer step on the averaged gradient.
 //!
-//! Because gradient averaging is associative, executing ranks on real
-//! threads (up to this machine's core count) or sequentially ("virtual
-//! ranks", for the paper's N up to 512) produces the *same* optimizer
-//! trajectory — which is what lets a laptop reproduce the paper's
-//! large-batch training-dynamics experiments (Figs. 3 and 6) faithfully.
+//! # Bucketed allreduce
+//!
+//! The reduction works on **flat gradient buckets**
+//! ([`matsciml_nn::bucket`]): every parameter tensor owns an `(offset,
+//! len)` span of one contiguous `f32` buffer, so reducing a rank is a
+//! handful of fused `axpy` sweeps instead of per-tensor dispatch.
+//!
+//! Ranks are partitioned into `reduce_slots(N) =
+//! min(N, `[`MAX_REDUCE_SLOTS`]`)` contiguous groups. Each group streams
+//! its ranks **in rank order** into one slot bucket: a rank's tape (and
+//! its gradient tensors) is dropped as soon as it is folded, so only the
+//! slot buckets stay resident. The slot buckets are then combined by a
+//! fixed pairwise tree ([`tree_reduce_into_first`]) and the averaged
+//! result is scattered back into the parameter store.
+//!
+//! # Determinism
+//!
+//! Both the group fold order and the tree shape are functions of
+//! `world_size` alone — never of the thread schedule — so running ranks on
+//! the rayon pool or sequentially produces **bit-identical** gradients
+//! (the tests assert exact equality). That is what lets a laptop replay
+//! the paper's large-batch training-dynamics experiments (Figs. 3 and 6)
+//! at `N` up to 512 on any core count with one optimizer trajectory.
+//!
+//! # Memory bound
+//!
+//! Resident gradient memory during a step is `reduce_slots(N) ×
+//! param-bytes` — O(threads × param-bytes), independent of `N`. A
+//! world-512 step holds at most [`MAX_REDUCE_SLOTS`] buckets, not 512 rank
+//! gradient sets (asserted by the `ddp_memory` integration test via the
+//! bucket byte accounting).
 
 use matsciml_datasets::Sample;
+use matsciml_nn::bucket::{rank_range, reduce_slots, tree_reduce_into_first, GradBucket};
 use matsciml_nn::ForwardCtx;
-use matsciml_tensor::Tensor;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -47,27 +73,39 @@ impl DdpConfig {
     }
 }
 
-/// Per-rank result: parameter gradients and local metrics.
-struct RankResult {
-    grads: Vec<(usize, Tensor)>,
-    metrics: MetricMap,
-}
-
-fn run_rank(model: &TaskModel, shard: &[Sample], ctx_seed: u64) -> RankResult {
+/// Run one rank's forward/backward and fold its gradients straight into a
+/// slot bucket (span index = raw parameter index). The tape — and every
+/// per-rank gradient tensor on it — dies at the end of this call, which is
+/// what keeps resident gradient memory at one bucket per slot.
+///
+/// The slot's first rank overwrites its spans (`copy_span`) rather than
+/// adding into the zeroed buffer — one less full read pass per slot, and
+/// identical sums (untouched spans keep their zeros).
+fn fold_rank(
+    model: &TaskModel,
+    shard: &[Sample],
+    ctx_seed: u64,
+    bucket: &mut GradBucket,
+    first: bool,
+) -> MetricMap {
     let batch = collate(shard);
     let mut ctx = ForwardCtx::train(ctx_seed);
     let (mut g, loss, metrics) = model.forward(&batch, &mut ctx);
     g.backward(loss);
-    let grads = g
-        .param_grads()
-        .map(|(id, t)| (id, t.clone()))
-        .collect();
-    RankResult { grads, metrics }
+    for (id, grad) in g.param_grads() {
+        if first {
+            bucket.copy_span(id, grad.as_slice());
+        } else {
+            bucket.add_span(id, grad.as_slice(), 1.0);
+        }
+    }
+    metrics
 }
 
 /// Execute one DDP training step: shard, per-rank forward/backward,
-/// gradient averaging into `model.params` (the caller zeroes grads before
-/// and steps the optimizer after). Returns rank-averaged metrics.
+/// bucketed gradient allreduce into `model.params` (the caller zeroes
+/// grads before and steps the optimizer after). Returns rank-averaged
+/// metrics.
 ///
 /// Panics unless `samples.len() == world_size * per_rank_batch` — equal
 /// shards are the DDP contract (samplers pad/drop to enforce it).
@@ -88,29 +126,55 @@ pub fn ddp_step(model: &mut TaskModel, samples: &[Sample], cfg: &DdpConfig, step
             .wrapping_add(rank as u64)
     };
 
-    let results: Vec<RankResult> = if cfg.parallel && rayon::current_num_threads() > 1 {
-        shards
-            .par_iter()
-            .enumerate()
-            .map(|(rank, shard)| run_rank(model, shard, seed_of(rank)))
-            .collect()
-    } else {
-        shards
-            .iter()
-            .enumerate()
-            .map(|(rank, shard)| run_rank(model, shard, seed_of(rank)))
-            .collect()
+    let layout = model.params.bucket_layout();
+    let slots = reduce_slots(cfg.world_size);
+    // Reborrow immutably so the per-slot closure is `Fn` and shareable
+    // across the pool; `model.params` is only mutated after all slots
+    // finish.
+    let shared = &*model;
+
+    // One slot = one resident partial-sum bucket; its ranks fold in rank
+    // order, streaming (tape dropped before the next rank runs).
+    let fold_group = |slot: usize| {
+        let mut bucket = GradBucket::zeros(layout.clone());
+        let mut metrics = Vec::new();
+        let range = rank_range(cfg.world_size, slots, slot);
+        let first_rank = range.start;
+        for rank in range {
+            metrics.push(fold_rank(
+                shared,
+                shards[rank],
+                seed_of(rank),
+                &mut bucket,
+                rank == first_rank,
+            ));
+        }
+        (bucket, metrics)
     };
 
-    // Allreduce: average rank gradients into the store.
-    let scale = 1.0 / cfg.world_size as f32;
-    let mut rank_metrics = Vec::with_capacity(results.len());
-    for r in results {
-        for (id, grad) in &r.grads {
-            model.params.accumulate_grad(*id, grad, scale);
-        }
-        rank_metrics.push(r.metrics);
+    // The same closure runs either way, and the slot→rank mapping plus the
+    // tree below depend only on world_size — so parallel and sequential
+    // execution sum in the same bracketing and agree bit-for-bit.
+    let folded: Vec<(GradBucket, Vec<MetricMap>)> =
+        if cfg.parallel && rayon::current_num_threads() > 1 {
+            (0..slots).into_par_iter().map(fold_group).collect()
+        } else {
+            (0..slots).map(fold_group).collect()
+        };
+
+    let mut buckets = Vec::with_capacity(slots);
+    let mut rank_metrics = Vec::with_capacity(cfg.world_size);
+    for (bucket, metrics) in folded {
+        buckets.push(bucket);
+        rank_metrics.extend(metrics);
     }
+
+    tree_reduce_into_first(&mut buckets);
+    let mut total = buckets.swap_remove(0);
+    drop(buckets);
+    total.scale(1.0 / cfg.world_size as f32);
+    model.params.absorb_flat(&total, 1.0);
+
     MetricMap::mean_of(&rank_metrics)
 }
 
@@ -196,26 +260,38 @@ mod tests {
     }
 
     #[test]
-    fn parallel_and_sequential_ranks_agree() {
-        let s = samples(8);
-        let run = |parallel: bool| {
-            let mut m = model();
-            m.params.zero_grads();
-            let cfg = DdpConfig {
-                world_size: 4,
-                per_rank_batch: 2,
-                parallel,
-                seed: 9,
+    fn parallel_and_sequential_ranks_agree_bitwise() {
+        // The reduction schedule (slot→rank groups + pairwise tree) is a
+        // function of world_size alone, so thread execution must not change
+        // a single bit of any gradient — including world sizes that don't
+        // divide evenly into reduce slots.
+        for world in [2usize, 4, 7] {
+            let s = samples(world * 2);
+            let run = |parallel: bool| {
+                let mut m = model();
+                m.params.zero_grads();
+                let cfg = DdpConfig {
+                    world_size: world,
+                    per_rank_batch: 2,
+                    parallel,
+                    seed: 9,
+                };
+                let metrics = ddp_step(&mut m, &s, &cfg, 5);
+                let grads = (0..m.params.len())
+                    .map(|i| m.params.grad(ParamId(i)).clone())
+                    .collect::<Vec<_>>();
+                (metrics, grads)
             };
-            let metrics = ddp_step(&mut m, &s, &cfg, 5);
-            let g0 = m.params.grad(ParamId(0)).clone();
-            (metrics, g0)
-        };
-        let (ma, ga) = run(false);
-        let (mb, gb) = run(true);
-        assert_eq!(ma.get("loss"), mb.get("loss"));
-        for (x, y) in ga.as_slice().iter().zip(gb.as_slice()) {
-            assert!((x - y).abs() < 1e-6);
+            let (ma, ga) = run(false);
+            let (mb, gb) = run(true);
+            assert_eq!(ma.get("loss"), mb.get("loss"), "world {world}");
+            for (i, (a, b)) in ga.iter().zip(&gb).enumerate() {
+                assert_eq!(
+                    a.as_slice(),
+                    b.as_slice(),
+                    "world {world}: param {i} gradients must be bit-identical"
+                );
+            }
         }
     }
 

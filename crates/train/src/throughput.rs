@@ -34,7 +34,9 @@ pub struct RankCost {
     pub step_seconds: f64,
     /// Per-rank batch size the measurement used.
     pub per_rank_batch: usize,
-    /// Total gradient bytes exchanged per step (f32 parameters).
+    /// Total gradient bytes exchanged per step — the flat-bucket wire size
+    /// ([`matsciml_nn::BucketLayout::bytes`]), i.e. f32 scalars packed
+    /// contiguously with no per-tensor framing.
     pub grad_bytes: usize,
 }
 
@@ -61,7 +63,7 @@ pub fn measure_rank_cost(model: &TaskModel, shard: &[Sample], repeats: usize) ->
     RankCost {
         step_seconds: times[times.len() / 2],
         per_rank_batch: shard.len(),
-        grad_bytes: model.params.num_scalars() * std::mem::size_of::<f32>(),
+        grad_bytes: model.params.bucket_layout().bytes(),
     }
 }
 
@@ -146,6 +148,12 @@ impl ThroughputModel {
 /// Measure *real* multi-threaded DDP throughput (ranks on OS threads) for
 /// world sizes that fit this machine; used to validate the model's shape
 /// where hardware permits.
+///
+/// The bucketed reduction caps useful parallelism at
+/// `reduce_slots(world_size)` folding threads, so callers validating
+/// thread scaling should compare against
+/// `min(cores, `[`matsciml_nn::bucket::reduce_slots`]`(world_size))`
+/// effective workers rather than raw `world_size`.
 pub fn measure_real_threads(
     model: &mut TaskModel,
     samples: &[Sample],

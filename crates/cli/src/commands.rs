@@ -113,6 +113,11 @@ pub fn cmd_train(args: &Args) -> Result<(), String> {
     let constant_lr = args.flag("constant-lr");
     // --from FILE trains on a JSON-lines dataset exported by `generate`.
     let from = args.get("from").map(str::to_string);
+    // --run-dir DIR writes the JSONL run record (docs/RUN_RECORD.md) plus
+    // the CSV training log there; --trace prints a phase-timing summary
+    // (works alone via the no-op sink, no artifact written).
+    let run_dir = args.get("run-dir").map(str::to_string);
+    let trace = args.flag("trace");
     args.reject_unknown()?;
 
     let ds: Box<dyn Dataset> = match &from {
@@ -154,7 +159,13 @@ pub fn cmd_train(args: &Args) -> Result<(), String> {
         seed,
         ..Default::default()
     });
-    let log = trainer.train(&mut model, &train_dl, Some(&val_dl));
+    let obs = match &run_dir {
+        Some(dir) => Obs::jsonl(std::path::Path::new(dir).join("run.jsonl"))
+            .map_err(|e| format!("cannot create run record in {dir}: {e}"))?,
+        None if trace => Obs::null(),
+        None => Obs::disabled(),
+    };
+    let log = trainer.train_observed(&mut model, &train_dl, Some(&val_dl), &obs);
     for r in log.records.iter().filter(|r| r.val.is_some()) {
         println!(
             "step {:>5}  lr {:.2e}  train {}  |  val {}",
@@ -163,6 +174,26 @@ pub fn cmd_train(args: &Args) -> Result<(), String> {
             r.train.render(),
             r.val.as_ref().unwrap().render()
         );
+    }
+    if let Some(dir) = &run_dir {
+        log.write_csv(std::path::Path::new(dir).join("train.csv"))
+            .map_err(|e| e.to_string())?;
+        eprintln!("run record: {dir}/run.jsonl  csv: {dir}/train.csv");
+    }
+    if trace {
+        if let Some(rec) = obs.recorder() {
+            eprintln!("phase timings (µs per step):");
+            eprintln!("  {:<22} {:>10} {:>10} {:>10} {:>10}", "phase", "p50", "p95", "p99", "mean");
+            for (name, q) in rec.quantiles() {
+                eprintln!(
+                    "  {:<22} {:>10.0} {:>10.0} {:>10.0} {:>10.0}",
+                    name, q.p50, q.p95, q.p99, q.mean
+                );
+            }
+            for (name, v) in rec.counters() {
+                eprintln!("  {name:<22} {v}");
+            }
+        }
     }
     if let Some(path) = save {
         model.save(&path).map_err(|e| e.to_string())?;
@@ -266,6 +297,8 @@ COMMANDS:
       --dataset mp|cmd|oc20|oc22|lips|symmetry --target band_gap|fermi|e_form|stability|energy|sym
       --steps N --hidden H --world N --batch B --lr LR --save FILE --constant-lr
       --from FILE.jsonl  (train on a dataset exported by `generate`)
+      --run-dir DIR  (write run.jsonl per docs/RUN_RECORD.md + train.csv)
+      --trace        (print per-phase timing quantiles after the run)
   embed                     encoder embeddings as CSV
       --dataset D --count N --hidden H --load CHECKPOINT --out FILE
   bench                     quick throughput probe

@@ -19,6 +19,7 @@
 //! | [`datasets`] | `matsciml-datasets` | synthetic MP/CMD/OC20/OC22/LiPS, transforms, loading |
 //! | [`models`] | `matsciml-models` | E(n)-GNN encoder, MPNN baseline |
 //! | [`train`] | `matsciml-train` | tasks, multi-task models, DDP simulator, trainer |
+//! | [`obs`] | `matsciml-obs` | spans, streaming histograms, JSONL run recorder |
 //! | [`umap`] | `matsciml-umap` | UMAP for the dataset-exploration study |
 //!
 //! ## Quickstart
@@ -52,6 +53,7 @@ pub use matsciml_datasets as datasets;
 pub use matsciml_graph as graph;
 pub use matsciml_models as models;
 pub use matsciml_nn as nn;
+pub use matsciml_obs as obs;
 pub use matsciml_opt as opt;
 pub use matsciml_symmetry as symmetry;
 pub use matsciml_tensor as tensor;
@@ -79,17 +81,19 @@ pub mod prelude {
         Activation, BatchNorm, Embedding, ForwardCtx, Linear, Mlp, NormKind, OutputHead,
         ParamId, ParamSet, ResidualBlock, RmsNorm,
     };
+    pub use matsciml_obs::{
+        Event, Obs, Phase, PhaseAcc, RunRecord, RunRecorder, Span, StreamingHistogram,
+    };
     pub use matsciml_opt::{
         AdamW, AdamWConfig, ConstantLr, InstabilityProbe, LrSchedule, Sgd, WarmupExpDecay,
     };
     pub use matsciml_symmetry::{all_point_groups, group_by_name, PointGroup, SymmetryConfig};
     pub use matsciml_tensor::{Mat3, Tensor, TensorError, Vec3};
     pub use matsciml_train::{
-        collate, ddp::ddp_step, ddp::DdpConfig, sweep::run_sweep, sweep::SweepGrid,
-        sweep::Trial, target_stats, ForceFieldModel, throughput, EncoderKind, LossKind, MetricMap,
-        EarlyStop, TargetKind, TaskHead, TaskHeadConfig, TaskModel, TrainConfig, TrainLog,
-        TrainRecord,
-        Trainer,
+        collate, ddp::ddp_step, ddp::ddp_step_observed, ddp::DdpConfig, sweep::run_sweep,
+        sweep::run_sweep_observed, sweep::SweepGrid, sweep::Trial, target_stats, ForceFieldModel,
+        throughput, EncoderKind, LossKind, MetricMap, EarlyStop, TargetKind, TaskHead,
+        TaskHeadConfig, TaskModel, TrainConfig, TrainLog, TrainRecord, Trainer,
     };
     pub use matsciml_umap::{
         centroid_separation, exact_knn, silhouette, FittedUmap, Umap, UmapConfig,

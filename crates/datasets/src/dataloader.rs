@@ -111,6 +111,19 @@ impl<'d> DataLoader<'d> {
             })
             .collect()
     }
+
+    /// [`Self::load`] with instrumentation: when `obs` is enabled, batch
+    /// materialization (sampling + transforms) is timed under
+    /// [`matsciml_obs::Phase::Data`] and the sample count lands on the
+    /// `data/samples_loaded` counter. Disabled `obs` takes the exact
+    /// untimed path.
+    pub fn load_observed(&self, batch: &[usize], obs: &matsciml_obs::Obs) -> Vec<Sample> {
+        let span = obs.span(matsciml_obs::Phase::Data);
+        let samples = self.load(batch);
+        drop(span);
+        obs.count("data/samples_loaded", batch.len() as u64);
+        samples
+    }
 }
 
 #[cfg(test)]

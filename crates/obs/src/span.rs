@@ -1,0 +1,234 @@
+//! Monotonic, nestable, thread-aware timing: [`Phase`], [`PhaseAcc`], and
+//! the RAII [`Span`] guard.
+//!
+//! The design goal is that DDP rank threads can time their own work
+//! without coordination: a [`PhaseAcc`] is a bank of relaxed atomic
+//! nanosecond counters, one per [`Phase`], so any number of rayon workers
+//! can add elapsed time concurrently and the per-phase totals aggregate
+//! correctly. All timing uses [`std::time::Instant`], which is monotonic —
+//! wall-clock adjustments never corrupt a span.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A named phase of the training loop. The five *step phases*
+/// ([`Phase::STEP_PHASES`]) partition one optimizer step; [`Phase::Eval`]
+/// and [`Phase::Step`] time evaluation passes and whole steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Batch materialization: dataset sampling + transform pipeline.
+    Data,
+    /// Per-rank collate + forward pass (summed across rank threads, then
+    /// apportioned to wall time by the DDP step — see `matsciml-train`).
+    Forward,
+    /// Per-rank backward pass (tape traversal).
+    Backward,
+    /// Gradient reduction: per-rank fold into slot buckets, the pairwise
+    /// bucket tree, and the scatter back into the parameter store.
+    Allreduce,
+    /// Gradient norm/clip, instability probe, and the parameter update.
+    Optimizer,
+    /// A validation pass (not part of the step-phase partition).
+    Eval,
+    /// One whole optimizer step, end to end.
+    Step,
+}
+
+impl Phase {
+    /// Every phase, in declaration order.
+    pub const ALL: [Phase; 7] = [
+        Phase::Data,
+        Phase::Forward,
+        Phase::Backward,
+        Phase::Allreduce,
+        Phase::Optimizer,
+        Phase::Eval,
+        Phase::Step,
+    ];
+
+    /// The five phases that partition one optimizer step; their recorded
+    /// durations sum to (approximately) the step's `total_us`.
+    pub const STEP_PHASES: [Phase; 5] = [
+        Phase::Data,
+        Phase::Forward,
+        Phase::Backward,
+        Phase::Allreduce,
+        Phase::Optimizer,
+    ];
+
+    /// The stable lowercase name used in run-record events and histogram
+    /// keys (documented in `docs/RUN_RECORD.md`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Data => "data",
+            Phase::Forward => "forward",
+            Phase::Backward => "backward",
+            Phase::Allreduce => "allreduce",
+            Phase::Optimizer => "optimizer",
+            Phase::Eval => "eval",
+            Phase::Step => "step",
+        }
+    }
+
+    fn idx(self) -> usize {
+        match self {
+            Phase::Data => 0,
+            Phase::Forward => 1,
+            Phase::Backward => 2,
+            Phase::Allreduce => 3,
+            Phase::Optimizer => 4,
+            Phase::Eval => 5,
+            Phase::Step => 6,
+        }
+    }
+}
+
+/// A bank of per-phase nanosecond accumulators, safe to update from many
+/// threads at once (relaxed atomics — totals are exact, ordering between
+/// phases is irrelevant).
+#[derive(Debug, Default)]
+pub struct PhaseAcc {
+    ns: [AtomicU64; Phase::ALL.len()],
+}
+
+impl PhaseAcc {
+    /// A zeroed accumulator bank.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `ns` nanoseconds to `phase`.
+    #[inline]
+    pub fn add_ns(&self, phase: Phase, ns: u64) {
+        self.ns[phase.idx()].fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Current total for `phase` in nanoseconds.
+    #[inline]
+    pub fn get_ns(&self, phase: Phase) -> u64 {
+        self.ns[phase.idx()].load(Ordering::Relaxed)
+    }
+
+    /// Read *and reset* the total for `phase` — how the trainer drains
+    /// each phase once per step when composing a `step` event.
+    #[inline]
+    pub fn take_ns(&self, phase: Phase) -> u64 {
+        self.ns[phase.idx()].swap(0, Ordering::Relaxed)
+    }
+}
+
+/// An RAII timing guard: measures from construction to drop on a
+/// monotonic clock and adds the elapsed nanoseconds to one [`Phase`] of a
+/// [`PhaseAcc`]. Spans nest naturally (each guard owns its own start
+/// instant) and are thread-aware (the accumulator is atomic).
+///
+/// ```
+/// use matsciml_obs::{Phase, PhaseAcc, Span};
+///
+/// let acc = PhaseAcc::new();
+/// {
+///     let _outer = Span::new(&acc, Phase::Step);
+///     let inner = Span::new(&acc, Phase::Forward); // nested span
+///     std::thread::sleep(std::time::Duration::from_millis(2));
+///     let ns = inner.stop();
+///     assert!(ns >= 1_000_000, "slept ~2ms, recorded {ns}ns");
+/// } // _outer records Phase::Step here
+/// assert!(acc.get_ns(Phase::Step) >= acc.get_ns(Phase::Forward));
+/// ```
+#[derive(Debug)]
+pub struct Span<'a> {
+    acc: &'a PhaseAcc,
+    phase: Phase,
+    start: Instant,
+}
+
+impl<'a> Span<'a> {
+    /// Start timing `phase` against `acc`.
+    #[inline]
+    pub fn new(acc: &'a PhaseAcc, phase: Phase) -> Self {
+        Span {
+            acc,
+            phase,
+            start: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds elapsed so far, without stopping the span.
+    #[inline]
+    pub fn elapsed_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+
+    /// Stop explicitly, record, and return the elapsed nanoseconds
+    /// (dropping the span records the same time but discards the value).
+    pub fn stop(self) -> u64 {
+        let ns = self.elapsed_ns();
+        self.acc.add_ns(self.phase, ns);
+        std::mem::forget(self); // Drop would double-count
+        ns
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        self.acc.add_ns(self.phase, self.start.elapsed().as_nanos() as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_have_stable_names_and_indices() {
+        let names: Vec<&str> = Phase::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(
+            names,
+            ["data", "forward", "backward", "allreduce", "optimizer", "eval", "step"]
+        );
+        // Indices are a bijection onto 0..N.
+        let mut idx: Vec<usize> = Phase::ALL.iter().map(|p| p.idx()).collect();
+        idx.sort_unstable();
+        assert_eq!(idx, (0..Phase::ALL.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn acc_adds_takes_and_resets() {
+        let acc = PhaseAcc::new();
+        acc.add_ns(Phase::Forward, 5);
+        acc.add_ns(Phase::Forward, 7);
+        acc.add_ns(Phase::Backward, 1);
+        assert_eq!(acc.get_ns(Phase::Forward), 12);
+        assert_eq!(acc.take_ns(Phase::Forward), 12);
+        assert_eq!(acc.get_ns(Phase::Forward), 0);
+        assert_eq!(acc.get_ns(Phase::Backward), 1);
+    }
+
+    #[test]
+    fn spans_aggregate_across_threads() {
+        let acc = PhaseAcc::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let span = Span::new(&acc, Phase::Forward);
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                    span.stop();
+                });
+            }
+        });
+        // Four threads × ≥1ms each: thread-summed time is ≥ 4ms even if the
+        // threads overlapped in wall time — that's the "thread-aware" part.
+        assert!(acc.get_ns(Phase::Forward) >= 4_000_000);
+    }
+
+    #[test]
+    fn stop_and_drop_record_once_each() {
+        let acc = PhaseAcc::new();
+        let s = Span::new(&acc, Phase::Eval);
+        s.stop();
+        let before = acc.get_ns(Phase::Eval);
+        drop(Span::new(&acc, Phase::Eval));
+        let after = acc.get_ns(Phase::Eval);
+        assert!(after >= before, "drop records exactly once more");
+    }
+}

@@ -6,7 +6,7 @@
 //! gradient buckets in `matsciml-nn`, and the fused AdamW update in
 //! `matsciml-opt`.
 //!
-//! Parallel kernels split work into fixed [`CHUNK`]-sized blocks.
+//! Parallel kernels split work into fixed `CHUNK`-sized blocks.
 //! Elementwise kernels write disjoint outputs, so their results cannot
 //! depend on scheduling; [`sumsq`] accumulates one `f64` partial per block
 //! and folds the partials in block order, so it returns bit-identical
@@ -83,7 +83,7 @@ pub fn fill(dst: &mut [f32], value: f32) {
 
 /// Sum of squares with `f64` accumulation.
 ///
-/// Accumulates one partial per [`CHUNK`] block and folds the partials in
+/// Accumulates one partial per `CHUNK` block and folds the partials in
 /// block order, so the bracketing — and therefore the bits of the result —
 /// is a function of the input length alone, never of the thread count.
 pub fn sumsq(src: &[f32]) -> f64 {

@@ -17,8 +17,9 @@
 //! len)` span of one contiguous `f32` buffer, so reducing a rank is a
 //! handful of fused `axpy` sweeps instead of per-tensor dispatch.
 //!
-//! Ranks are partitioned into `reduce_slots(N) =
-//! min(N, `[`MAX_REDUCE_SLOTS`]`)` contiguous groups. Each group streams
+//! Ranks are partitioned into `reduce_slots(N) = min(N,
+//! `[`MAX_REDUCE_SLOTS`](matsciml_nn::bucket::MAX_REDUCE_SLOTS)`)`
+//! contiguous groups. Each group streams
 //! its ranks **in rank order** into one slot bucket: a rank's tape (and
 //! its gradient tensors) is dropped as soon as it is folded, so only the
 //! slot buckets stay resident. The slot buckets are then combined by a
@@ -38,19 +39,27 @@
 //!
 //! Resident gradient memory during a step is `reduce_slots(N) ×
 //! param-bytes` — O(threads × param-bytes), independent of `N`. A
-//! world-512 step holds at most [`MAX_REDUCE_SLOTS`] buckets, not 512 rank
+//! world-512 step holds at most
+//! [`MAX_REDUCE_SLOTS`](matsciml_nn::bucket::MAX_REDUCE_SLOTS) buckets,
+//! not 512 rank
 //! gradient sets (asserted by the `ddp_memory` integration test via the
 //! bucket byte accounting).
 
 use matsciml_datasets::Sample;
 use matsciml_nn::bucket::{rank_range, reduce_slots, tree_reduce_into_first, GradBucket};
 use matsciml_nn::ForwardCtx;
+use matsciml_obs::{Obs, Phase, PhaseAcc, Span};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use crate::collate::collate;
 use crate::metrics::MetricMap;
 use crate::model::TaskModel;
+
+/// Counter name for simulated allreduce wire volume (ring payload).
+pub const COMM_ALLREDUCE_BYTES: &str = "comm/allreduce_bytes";
+/// Counter name for raw flat-gradient bytes reduced per step.
+pub const COMM_GRAD_BYTES: &str = "comm/grad_bytes";
 
 /// DDP execution configuration.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -87,11 +96,23 @@ fn fold_rank(
     ctx_seed: u64,
     bucket: &mut GradBucket,
     first: bool,
+    acc: Option<&PhaseAcc>,
 ) -> MetricMap {
+    // Thread-local span timing: each rank thread accumulates its own
+    // forward/backward/fold nanoseconds into the shared atomic bank; the
+    // caller apportions the thread-sums onto the fold section's wall time
+    // so parallel rank execution doesn't inflate the phase split.
+    let fwd = acc.map(|a| Span::new(a, Phase::Forward));
     let batch = collate(shard);
     let mut ctx = ForwardCtx::train(ctx_seed);
     let (mut g, loss, metrics) = model.forward(&batch, &mut ctx);
+    drop(fwd);
+
+    let bwd = acc.map(|a| Span::new(a, Phase::Backward));
     g.backward(loss);
+    drop(bwd);
+
+    let red = acc.map(|a| Span::new(a, Phase::Allreduce));
     for (id, grad) in g.param_grads() {
         if first {
             bucket.copy_span(id, grad.as_slice());
@@ -99,7 +120,30 @@ fn fold_rank(
             bucket.add_span(id, grad.as_slice(), 1.0);
         }
     }
+    drop(red);
     metrics
+}
+
+/// Split `wall_ns` across phases in proportion to the thread-summed
+/// nanoseconds each phase accumulated (u128 arithmetic; the remainder
+/// lands on the last phase so the parts sum exactly to `wall_ns`).
+fn apportion_wall(wall_ns: u64, thread_ns: &[u64]) -> Vec<u64> {
+    let total: u128 = thread_ns.iter().map(|&n| n as u128).sum();
+    if total == 0 {
+        return vec![0; thread_ns.len()];
+    }
+    let mut out = Vec::with_capacity(thread_ns.len());
+    let mut assigned = 0u64;
+    for (i, &n) in thread_ns.iter().enumerate() {
+        let share = if i + 1 == thread_ns.len() {
+            wall_ns - assigned
+        } else {
+            ((wall_ns as u128 * n as u128) / total) as u64
+        };
+        assigned += share;
+        out.push(share);
+    }
+    out
 }
 
 /// Execute one DDP training step: shard, per-rank forward/backward,
@@ -110,6 +154,24 @@ fn fold_rank(
 /// Panics unless `samples.len() == world_size * per_rank_batch` — equal
 /// shards are the DDP contract (samplers pad/drop to enforce it).
 pub fn ddp_step(model: &mut TaskModel, samples: &[Sample], cfg: &DdpConfig, step: u64) -> MetricMap {
+    ddp_step_observed(model, samples, cfg, step, &Obs::disabled())
+}
+
+/// [`ddp_step`] with instrumentation: when `obs` is enabled, the step's
+/// forward/backward/allreduce wall time is recorded into the recorder's
+/// [`PhaseAcc`] (rank-thread times apportioned onto the fold section's
+/// wall clock, so the phase split stays honest under parallel rank
+/// execution) and the simulated comm volume is counted under
+/// [`COMM_ALLREDUCE_BYTES`] (ring payload, `2·(N−1)/N ×` bucket bytes)
+/// and [`COMM_GRAD_BYTES`] (raw flat-gradient bytes). Disabled `obs`
+/// takes the exact untimed path of [`ddp_step`].
+pub fn ddp_step_observed(
+    model: &mut TaskModel,
+    samples: &[Sample],
+    cfg: &DdpConfig,
+    step: u64,
+    obs: &Obs,
+) -> MetricMap {
     assert_eq!(
         samples.len(),
         cfg.effective_batch(),
@@ -133,6 +195,13 @@ pub fn ddp_step(model: &mut TaskModel, samples: &[Sample], cfg: &DdpConfig, step
     // finish.
     let shared = &*model;
 
+    // A LOCAL accumulator for the fold section: rank threads write their
+    // thread-time here, never into the recorder's own bank, so raw loops
+    // that call ddp_step many times (throughput probes) can't leak
+    // partial-phase time across steps.
+    let local = obs.enabled().then(PhaseAcc::new);
+    let t_fold = obs.timer();
+
     // One slot = one resident partial-sum bucket; its ranks fold in rank
     // order, streaming (tape dropped before the next rank runs).
     let fold_group = |slot: usize| {
@@ -147,6 +216,7 @@ pub fn ddp_step(model: &mut TaskModel, samples: &[Sample], cfg: &DdpConfig, step
                 seed_of(rank),
                 &mut bucket,
                 rank == first_rank,
+                local.as_ref(),
             ));
         }
         (bucket, metrics)
@@ -162,6 +232,22 @@ pub fn ddp_step(model: &mut TaskModel, samples: &[Sample], cfg: &DdpConfig, step
             (0..slots).map(fold_group).collect()
         };
 
+    if let Some(acc) = &local {
+        // Thread-summed phase time can exceed wall time when slots ran in
+        // parallel; scale the sums down onto the section's wall clock so
+        // forward+backward+fold still partition real elapsed time.
+        let wall = Obs::lap_ns(t_fold);
+        let thread_ns = [
+            acc.get_ns(Phase::Forward),
+            acc.get_ns(Phase::Backward),
+            acc.get_ns(Phase::Allreduce),
+        ];
+        let split = apportion_wall(wall, &thread_ns);
+        obs.add_phase_ns(Phase::Forward, split[0]);
+        obs.add_phase_ns(Phase::Backward, split[1]);
+        obs.add_phase_ns(Phase::Allreduce, split[2]);
+    }
+
     let mut buckets = Vec::with_capacity(slots);
     let mut rank_metrics = Vec::with_capacity(cfg.world_size);
     for (bucket, metrics) in folded {
@@ -169,11 +255,23 @@ pub fn ddp_step(model: &mut TaskModel, samples: &[Sample], cfg: &DdpConfig, step
         rank_metrics.extend(metrics);
     }
 
+    // The tree combine + average + scatter is the rest of the allreduce.
+    let t_reduce = obs.timer();
     tree_reduce_into_first(&mut buckets);
     let mut total = buckets.swap_remove(0);
     drop(buckets);
     total.scale(1.0 / cfg.world_size as f32);
     model.params.absorb_flat(&total, 1.0);
+    obs.add_phase_ns(Phase::Allreduce, Obs::lap_ns(t_reduce));
+
+    if obs.enabled() {
+        let grad_bytes = layout.bytes() as u64;
+        // Ring allreduce moves 2·(N−1)/N of the payload per rank pair.
+        let n = cfg.world_size as u64;
+        let wire = if n > 1 { 2 * (n - 1) * grad_bytes / n } else { 0 };
+        obs.count(COMM_ALLREDUCE_BYTES, wire);
+        obs.count(COMM_GRAD_BYTES, grad_bytes);
+    }
 
     MetricMap::mean_of(&rank_metrics)
 }

@@ -16,6 +16,12 @@
 //!   with instability probing and metric logging;
 //! * [`throughput`] measures and models scale-out throughput for the
 //!   Fig. 2 reproduction.
+//!
+//! Every run-shaped entry point ([`Trainer::train`], [`ddp::ddp_step`],
+//! [`sweep::run_sweep`], [`throughput::measure_real_threads`]) has an
+//! `_observed` variant taking a [`matsciml_obs::Obs`] handle that emits
+//! the JSONL run record documented in `docs/RUN_RECORD.md`; the plain
+//! names are thin wrappers over `Obs::disabled()`.
 
 #![warn(missing_docs)]
 
@@ -35,3 +41,6 @@ pub use metrics::MetricMap;
 pub use model::{EncoderKind, TaskModel};
 pub use task::{target_stats, LossKind, TargetKind, TaskHead, TaskHeadConfig};
 pub use trainer::{EarlyStop, TrainConfig, Trainer, TrainLog, TrainRecord};
+
+pub use ddp::{ddp_step, ddp_step_observed, DdpConfig, COMM_ALLREDUCE_BYTES, COMM_GRAD_BYTES};
+pub use sweep::{run_sweep, run_sweep_observed, SweepGrid, Trial};

@@ -6,6 +6,18 @@ use serde::{Deserialize, Serialize};
 
 /// An ordered map of metric name → value. Ordered so logs and CSV columns
 /// are stable across runs.
+///
+/// ```
+/// use matsciml_train::MetricMap;
+///
+/// let mut m = MetricMap::new();
+/// m.set("loss", 0.25);
+/// m.set("materials-project/band_gap/mae", 0.8);
+/// assert_eq!(m.get("loss"), Some(0.25));
+/// assert_eq!(m.len(), 2);
+/// // BTreeMap ordering keeps render/CSV columns alphabetical and stable.
+/// assert!(m.render().starts_with("loss=0.2500"));
+/// ```
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct MetricMap(pub BTreeMap<String, f32>);
 
@@ -35,8 +47,32 @@ impl MetricMap {
         self.0.is_empty()
     }
 
-    /// Elementwise mean of several maps; metrics missing from some maps are
-    /// averaged over the maps that do contain them.
+    /// Elementwise mean of several maps.
+    ///
+    /// **Contract:** a metric missing from some maps is averaged over only
+    /// the maps that *do* contain it — absent is "not measured", never an
+    /// implicit zero. This is load-bearing for DDP aggregation: in
+    /// multi-task training each rank's shard may exercise a different
+    /// subset of task heads, so a head's metric must average over the
+    /// ranks that actually computed it. A key present in `k` of the `n`
+    /// maps therefore has denominator `k`, not `n`, and a key present
+    /// nowhere is absent from the result. Non-finite values participate
+    /// like any other (one NaN rank poisons that key's mean — by design,
+    /// since that's a real training signal; see Figs. 3/6).
+    ///
+    /// ```
+    /// use matsciml_train::MetricMap;
+    ///
+    /// let mut rank0 = MetricMap::new();
+    /// rank0.set("loss", 1.0);
+    /// rank0.set("task_a/mae", 4.0); // only rank 0's shard had task-A samples
+    /// let mut rank1 = MetricMap::new();
+    /// rank1.set("loss", 3.0);
+    ///
+    /// let mean = MetricMap::mean_of(&[rank0, rank1]);
+    /// assert_eq!(mean.get("loss"), Some(2.0));      // over both ranks
+    /// assert_eq!(mean.get("task_a/mae"), Some(4.0)); // over rank 0 only
+    /// ```
     pub fn mean_of(maps: &[MetricMap]) -> MetricMap {
         let mut sums: BTreeMap<String, (f64, u32)> = BTreeMap::new();
         for m in maps {
@@ -89,5 +125,34 @@ mod tests {
         let mean = MetricMap::mean_of(&[a, b]);
         assert_eq!(mean.get("x"), Some(2.0));
         assert_eq!(mean.get("y"), Some(10.0));
+    }
+
+    #[test]
+    fn mean_denominator_is_per_key_not_map_count() {
+        // Regression for the documented contract: a key present in k of n
+        // maps averages over k. With 4 maps and "rare" in only 2, the mean
+        // must be (6+10)/2 = 8 — NOT (6+10)/4 = 4, which is what a naive
+        // "missing means zero" aggregation would report.
+        let mk = |pairs: &[(&str, f32)]| {
+            let mut m = MetricMap::new();
+            for &(k, v) in pairs {
+                m.set(k, v);
+            }
+            m
+        };
+        let maps = [
+            mk(&[("loss", 1.0), ("rare", 6.0)]),
+            mk(&[("loss", 2.0)]),
+            mk(&[("loss", 3.0), ("rare", 10.0)]),
+            mk(&[("loss", 6.0)]),
+        ];
+        let mean = MetricMap::mean_of(&maps);
+        assert_eq!(mean.get("loss"), Some(3.0));
+        assert_eq!(mean.get("rare"), Some(8.0));
+        // A key in no map is absent, not zero.
+        assert_eq!(mean.get("never"), None);
+        assert_eq!(mean.len(), 2);
+        // Empty input → empty output.
+        assert!(MetricMap::mean_of(&[]).is_empty());
     }
 }

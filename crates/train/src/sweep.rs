@@ -7,6 +7,7 @@
 //! chosen validation metric.
 
 use matsciml_datasets::DataLoader;
+use matsciml_obs::{Event, Json, Obs, TrialEvent};
 use serde::{Deserialize, Serialize};
 
 use crate::metrics::MetricMap;
@@ -98,6 +99,22 @@ pub fn run_sweep(
     train_loader: &DataLoader<'_>,
     val_loader: &DataLoader<'_>,
 ) -> Vec<Trial> {
+    run_sweep_observed(grid, base, objective, make_model, train_loader, val_loader, &Obs::disabled())
+}
+
+/// [`run_sweep`] with instrumentation: when `obs` is enabled, each
+/// completed trial is emitted as a `trial` event (index, objective,
+/// spike count, full trial config) into the run record, so a sweep's
+/// artifact is replayable without re-parsing its stderr progress lines.
+pub fn run_sweep_observed(
+    grid: &SweepGrid,
+    base: &TrainConfig,
+    objective: &str,
+    make_model: impl Fn() -> TaskModel,
+    train_loader: &DataLoader<'_>,
+    val_loader: &DataLoader<'_>,
+    obs: &Obs,
+) -> Vec<Trial> {
     let mut trials = Vec::new();
     for (i, config) in grid.expand(base).into_iter().enumerate() {
         // The loader's batch must match the trial's effective batch; the
@@ -124,6 +141,16 @@ pub fn run_sweep(
         let log = Trainer::new(config.clone()).train(&mut model, train_loader, Some(val_loader));
         let final_val = log.final_val().cloned().unwrap_or_default();
         let objective_value = final_val.get(objective).unwrap_or(f32::INFINITY);
+        if obs.enabled() {
+            obs.emit(&Event::trial(TrialEvent {
+                index: i as u64,
+                total: grid.len() as u64,
+                objective_metric: objective.to_string(),
+                objective: objective_value,
+                spikes: log.spike_steps.len() as u64,
+                config: Json::snapshot(&config).unwrap_or_else(|_| Json::null()),
+            }));
+        }
         trials.push(Trial {
             config,
             final_val,

@@ -161,7 +161,29 @@ pub fn measure_real_threads(
     per_rank_batch: usize,
     steps: u64,
 ) -> f64 {
-    use crate::ddp::{ddp_step, DdpConfig};
+    measure_real_threads_observed(
+        model,
+        samples,
+        world_size,
+        per_rank_batch,
+        steps,
+        &matsciml_obs::Obs::disabled(),
+    )
+}
+
+/// [`measure_real_threads`] with instrumentation: when `obs` is enabled,
+/// every DDP step records its phase split and comm counters into the
+/// recorder (the measured rate itself is unchanged — the probe loop pays
+/// only the per-step span cost, which the overhead test bounds).
+pub fn measure_real_threads_observed(
+    model: &mut TaskModel,
+    samples: &[Sample],
+    world_size: usize,
+    per_rank_batch: usize,
+    steps: u64,
+    obs: &matsciml_obs::Obs,
+) -> f64 {
+    use crate::ddp::{ddp_step_observed, DdpConfig};
     let cfg = DdpConfig {
         world_size,
         per_rank_batch,
@@ -172,8 +194,10 @@ pub fn measure_real_threads(
     assert!(samples.len() >= need, "need at least {need} samples");
     let t0 = Instant::now();
     for step in 0..steps {
+        let t_step = obs.timer();
         model.params.zero_grads();
-        ddp_step(model, &samples[..need], &cfg, step);
+        ddp_step_observed(model, &samples[..need], &cfg, step, obs);
+        obs.observe("throughput/step_us", (matsciml_obs::Obs::lap_ns(t_step) / 1_000) as f64);
     }
     (need as u64 * steps) as f64 / t0.elapsed().as_secs_f64()
 }

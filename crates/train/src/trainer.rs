@@ -1,14 +1,14 @@
 //! The training loop: the paper's AdamW + warmup/exponential-decay recipe
 //! over the DDP simulator, with instability probing and metric logging.
 
-use std::io::Write;
 use std::path::Path;
 
 use matsciml_datasets::DataLoader;
+use matsciml_obs::{Event, EvalEvent, Json, Obs, Phase, RunStartEvent, StepEvent, SummaryEvent, SCHEMA};
 use matsciml_opt::{AdamW, AdamWConfig, InstabilityProbe, LrSchedule, WarmupExpDecay};
 use serde::{Deserialize, Serialize};
 
-use crate::ddp::{ddp_step, DdpConfig};
+use crate::ddp::{ddp_step_observed, DdpConfig, COMM_ALLREDUCE_BYTES};
 use crate::metrics::MetricMap;
 use crate::model::TaskModel;
 
@@ -223,13 +223,17 @@ impl TrainLog {
             .collect()
     }
 
-    /// Write the CSV to disk, creating parent directories.
+    /// Write the CSV through a recorder [`matsciml_obs::FileSink`]
+    /// (buffered, parent directories created) — the same sink type the
+    /// JSONL run record uses, so all run artifacts share one write path.
     pub fn write_csv(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
-        if let Some(dir) = path.as_ref().parent() {
-            std::fs::create_dir_all(dir)?;
+        use matsciml_obs::Sink;
+        let mut sink = matsciml_obs::FileSink::create(path)?;
+        for line in self.to_csv().lines() {
+            sink.write_line(line);
         }
-        let mut f = std::fs::File::create(path)?;
-        f.write_all(self.to_csv().as_bytes())
+        sink.flush();
+        Ok(())
     }
 }
 
@@ -253,6 +257,25 @@ impl Trainer {
         model: &mut TaskModel,
         train_loader: &DataLoader<'_>,
         val_loader: Option<&DataLoader<'_>>,
+    ) -> TrainLog {
+        self.train_observed(model, train_loader, val_loader, &Obs::disabled())
+    }
+
+    /// [`Trainer::train`] with instrumentation: when `obs` is enabled, the
+    /// run emits the JSONL event stream documented in `docs/RUN_RECORD.md`
+    /// — a `run_start` header with the full config snapshot, one `step`
+    /// event per optimizer step carrying the data/forward/backward/
+    /// allreduce/optimizer wall-time split and the step's simulated
+    /// allreduce wire volume, one `eval` event per validation pass, and a
+    /// final `summary` with per-phase quantiles and counters. With
+    /// [`Obs::disabled`] this is exactly [`Trainer::train`]: every
+    /// instrumentation point is one branch, no clocks are read.
+    pub fn train_observed(
+        &self,
+        model: &mut TaskModel,
+        train_loader: &DataLoader<'_>,
+        val_loader: Option<&DataLoader<'_>>,
+        obs: &Obs,
     ) -> TrainLog {
         let cfg = &self.config;
         assert!(
@@ -296,15 +319,34 @@ impl Trainer {
         let mut best_metric = f32::INFINITY;
         let mut evals_without_improvement = 0u32;
 
+        if obs.enabled() {
+            obs.emit(&Event::run_start(RunStartEvent {
+                schema: SCHEMA.to_string(),
+                world_size: cfg.world_size as u64,
+                per_rank_batch: cfg.per_rank_batch as u64,
+                steps: cfg.steps,
+                seed: cfg.seed,
+                config: Json::snapshot(cfg).unwrap_or_else(|_| Json::null()),
+            }));
+        }
+        let t_run = obs.timer();
+        // Per-step comm volume is the counter's delta since the last step.
+        let mut comm_seen = obs.counter(COMM_ALLREDUCE_BYTES);
+
         let mut step = 0u64;
         'outer: for epoch in 0.. {
             for batch_idx in train_loader.epoch_batches(epoch) {
                 if step >= cfg.steps {
                     break 'outer;
                 }
-                let samples = train_loader.load(&batch_idx);
-                model.params.zero_grads();
-                let train_metrics = ddp_step(model, &samples, &ddp, step);
+                let t_step = obs.timer();
+                let samples = train_loader.load_observed(&batch_idx, obs);
+                {
+                    let _prep = obs.span(Phase::Optimizer);
+                    model.params.zero_grads();
+                }
+                let train_metrics = ddp_step_observed(model, &samples, &ddp, step, obs);
+                let opt_span = obs.span(Phase::Optimizer);
                 let loss = train_metrics.get("loss").unwrap_or(f32::NAN);
                 probe.observe(loss, &model.params);
                 let grad_norm = match cfg.clip_norm {
@@ -318,11 +360,61 @@ impl Trainer {
                 } else {
                     opt.step(&mut model.params);
                 }
+                drop(opt_span);
+
+                // The step event closes before any evaluation runs, so the
+                // five phase durations partition `total_us` (the acceptance
+                // bound: phases sum to within 10% of the step wall time).
+                if obs.enabled() {
+                    let total_us = Obs::lap_ns(t_step) / 1_000;
+                    let data_us = obs.take_phase_us(Phase::Data);
+                    let forward_us = obs.take_phase_us(Phase::Forward);
+                    let backward_us = obs.take_phase_us(Phase::Backward);
+                    let allreduce_us = obs.take_phase_us(Phase::Allreduce);
+                    let optimizer_us = obs.take_phase_us(Phase::Optimizer);
+                    let comm_total = obs.counter(COMM_ALLREDUCE_BYTES);
+                    let comm_bytes = comm_total - comm_seen;
+                    comm_seen = comm_total;
+                    obs.observe("phase/data_us", data_us as f64);
+                    obs.observe("phase/forward_us", forward_us as f64);
+                    obs.observe("phase/backward_us", backward_us as f64);
+                    obs.observe("phase/allreduce_us", allreduce_us as f64);
+                    obs.observe("phase/optimizer_us", optimizer_us as f64);
+                    obs.observe("phase/step_us", total_us as f64);
+                    obs.emit(&Event::step(StepEvent {
+                        step,
+                        epoch,
+                        lr,
+                        loss,
+                        grad_norm,
+                        data_us,
+                        forward_us,
+                        backward_us,
+                        allreduce_us,
+                        optimizer_us,
+                        total_us,
+                        comm_bytes,
+                        train: train_metrics.0.clone(),
+                    }));
+                }
 
                 let due = cfg.eval_every > 0
                     && (step.is_multiple_of(cfg.eval_every) || step + 1 == cfg.steps);
                 let val = match val_loader {
-                    Some(loader) if due => Some(self.evaluate(model, loader, step)),
+                    Some(loader) if due => {
+                        let t_eval = obs.timer();
+                        let metrics = self.evaluate(model, loader, step);
+                        if obs.enabled() {
+                            let duration_us = Obs::lap_ns(t_eval) / 1_000;
+                            obs.observe("phase/eval_us", duration_us as f64);
+                            obs.emit(&Event::eval(EvalEvent {
+                                step,
+                                duration_us,
+                                metrics: metrics.0.clone(),
+                            }));
+                        }
+                        Some(metrics)
+                    }
                     _ => None,
                 };
 
@@ -356,13 +448,29 @@ impl Trainer {
             }
         }
 
-        TrainLog {
+        let log = TrainLog {
             records,
             stopped_early,
             skipped_updates,
             spike_steps: probe.spikes.iter().map(|s| s.step).collect(),
             mean_grad_time_correlation: probe.mean_time_correlation(),
+        };
+
+        if let Some(rec) = obs.recorder() {
+            obs.emit(&Event::summary(SummaryEvent {
+                steps: step,
+                wall_time_us: Obs::lap_ns(t_run) / 1_000,
+                stopped_early: log.stopped_early,
+                skipped_updates: log.skipped_updates,
+                spike_steps: log.spike_steps.clone(),
+                phases: rec.quantiles(),
+                counters: rec.counters(),
+                final_val: log.final_val().map(|m| m.0.clone()).unwrap_or_default(),
+            }));
+            obs.flush();
         }
+
+        log
     }
 
     /// Mean metrics over up to `eval_batches` validation batches.

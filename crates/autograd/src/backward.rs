@@ -1,6 +1,6 @@
 //! The reverse sweep: vector–Jacobian products for every op.
 
-use matsciml_tensor::Tensor;
+use matsciml_tensor::{fused, Tensor};
 
 use crate::graph::{Graph, Op, Var};
 use crate::ops::{sigmoid, SELU_ALPHA, SELU_SCALE};
@@ -44,6 +44,22 @@ impl Graph {
                 (*a, g.matmul_nt(self.value(*b))),
                 (*b, self.value(*a).matmul_tn(g)),
             ],
+            Op::Linear { x, w, b, act, z } => {
+                // One fused VJP for the matmul→add_row→activation triple.
+                // dz folds the activation derivative into g in one pass;
+                // the blocked nt/tn kernels then reproduce the unfused
+                // Matmul VJP bit-for-bit, and the bias adjoint is the
+                // same column sum AddRow uses.
+                let dz = fused::act_backward(g, z, *act);
+                let mut deltas = vec![
+                    (*x, fused::matmul_nt_blocked(&dz, self.value(*w))),
+                    (*w, fused::matmul_tn_blocked(self.value(*x), &dz)),
+                ];
+                if let Some(bias) = b {
+                    deltas.push((*bias, dz.sum_axis0()));
+                }
+                deltas
+            }
             Op::AddRow(x, bias) => vec![(*x, g.clone()), (*bias, g.sum_axis0())],
             Op::MulRow(x, gain) => vec![
                 (*x, g.mul_row_broadcast(self.value(*gain))),

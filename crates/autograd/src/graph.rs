@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use matsciml_tensor::Tensor;
+use matsciml_tensor::{Act, Tensor};
 
 /// Handle to a node in a [`Graph`]. Cheap to copy; only valid for the graph
 /// that created it.
@@ -21,6 +21,11 @@ pub(crate) enum Op {
     Neg(Var),
     Scale(Var, f32),
     Matmul(Var, Var),
+    /// Fused dense layer `y = act(x @ w + b)`: one node (and one VJP)
+    /// replacing the `Matmul → AddRow → activation` triple. Caches the
+    /// pre-activation `z`, which every activation derivative is computed
+    /// from.
+    Linear { x: Var, w: Var, b: Option<Var>, act: Act, z: Tensor },
     /// `x [m,n] + bias [n]` broadcast over rows.
     AddRow(Var, Var),
     /// `x [m,n] * gain [n]` broadcast over rows.
@@ -91,6 +96,19 @@ impl Graph {
     /// An empty tape.
     pub fn new() -> Self {
         Graph { nodes: Vec::with_capacity(256) }
+    }
+
+    /// Clear the tape for reuse without releasing its node arena.
+    ///
+    /// Every node (value, cached VJP state, gradient) is dropped — which
+    /// returns the tensors' buffers to the
+    /// [buffer pool](matsciml_tensor::pool) — while the `Vec` of nodes
+    /// keeps its capacity. A long-lived graph `reset` between
+    /// micro-batches therefore records its next tape with zero allocator
+    /// traffic: node slots reuse the arena, tensor buffers reuse the
+    /// pool.
+    pub fn reset(&mut self) {
+        self.nodes.clear();
     }
 
     /// Number of recorded nodes.

@@ -3,24 +3,15 @@
 
 use std::sync::Arc;
 
-use matsciml_tensor::Tensor;
+use matsciml_tensor::{fused, Act, Tensor};
 use rand::Rng;
 
 use crate::graph::{Graph, Op, Var};
 
-/// SELU constants from Klambauer et al., "Self-Normalizing Neural Networks".
-pub(crate) const SELU_SCALE: f32 = 1.050_701;
-pub(crate) const SELU_ALPHA: f32 = 1.673_263_2;
-
-#[inline]
-pub(crate) fn sigmoid(x: f32) -> f32 {
-    if x >= 0.0 {
-        1.0 / (1.0 + (-x).exp())
-    } else {
-        let e = x.exp();
-        e / (1.0 + e)
-    }
-}
+// The activation scalar formulas live in `matsciml_tensor::fused` so the
+// fused kernels and the op-by-op builders/VJPs here share one source and
+// stay bit-identical.
+pub(crate) use matsciml_tensor::fused::{sigmoid, SELU_ALPHA, SELU_SCALE};
 
 impl Graph {
     /// Elementwise sum.
@@ -57,6 +48,24 @@ impl Graph {
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
         let v = self.value(a).matmul(self.value(b));
         self.push(v, Op::Matmul(a, b))
+    }
+
+    /// Fused dense layer `act(x @ w + b)` as a single tape node.
+    ///
+    /// Bit-identical to composing [`Graph::matmul`], [`Graph::add_row`],
+    /// and the activation builder, but records one node instead of three
+    /// and backpropagates with one VJP (the register-blocked kernels in
+    /// [`matsciml_tensor::fused`] preserve the unfused accumulation order
+    /// exactly). The pre-activation `z` is cached for the backward pass;
+    /// with [`Act::Identity`] it shares the output's buffer.
+    pub fn linear(&mut self, x: Var, w: Var, b: Option<Var>, act: Act) -> Var {
+        let (z, y) = {
+            let vx = self.value(x);
+            let vw = self.value(w);
+            let vb = b.map(|bv| self.value(bv));
+            fused::linear(vx, vw, vb, act)
+        };
+        self.push(y, Op::Linear { x, w, b, act, z })
     }
 
     /// Add a `[n]` bias row-broadcast over `[m,n]`.

@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use matsciml_autograd::gradcheck::assert_gradients_close;
 use matsciml_autograd::Graph;
-use matsciml_tensor::Tensor;
+use matsciml_tensor::{Act, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -314,6 +314,138 @@ fn rbf_peaks_at_matching_center() {
     let v = g.value(rbf);
     assert!((v.at2(0, 1) - 1.0).abs() < 1e-6, "exact center match gives 1");
     assert!(v.at2(0, 0) < 0.01 && v.at2(0, 2) < 0.01);
+}
+
+#[test]
+fn grad_fused_linear_smooth_activations() {
+    // The fused dense node y = act(x @ w + b) must carry the same gradient
+    // as the triple it replaces; check it directly against central
+    // differences for every smooth activation.
+    for (k, act) in [Act::Identity, Act::Silu, Act::Selu, Act::Tanh, Act::Sigmoid]
+        .into_iter()
+        .enumerate()
+    {
+        let params = vec![
+            seeded(&[5, 4], 40 + k as u64).scale(0.6),
+            seeded(&[4, 3], 50 + k as u64).scale(0.6),
+            seeded(&[3], 60 + k as u64).scale(0.2),
+        ];
+        assert_gradients_close(&params, 5e-3, TOL, move |g, ps| {
+            let x = g.param(0, ps[0].clone());
+            let w = g.param(1, ps[1].clone());
+            let b = g.param(2, ps[2].clone());
+            let y = g.linear(x, w, Some(b), act);
+            let sq = g.mul(y, y);
+            g.sum_all(sq)
+        });
+    }
+}
+
+#[test]
+fn grad_fused_linear_no_bias() {
+    let params = vec![seeded(&[6, 5], 70).scale(0.6), seeded(&[5, 2], 71).scale(0.6)];
+    assert_gradients_close(&params, 5e-3, TOL, |g, ps| {
+        let x = g.param(0, ps[0].clone());
+        let w = g.param(1, ps[1].clone());
+        let y = g.linear(x, w, None, Act::Silu);
+        g.mean_all(y)
+    });
+}
+
+#[test]
+fn grad_fused_linear_relu_offset_from_kink() {
+    // Relu's kink breaks finite differences near z = 0, so pick a bias
+    // large enough that every pre-activation is comfortably positive and
+    // a negated copy to keep the dead branch covered too.
+    let params = vec![seeded(&[4, 3], 72).scale(0.3), seeded(&[3, 2], 73).scale(0.3)];
+    let b_hot = Tensor::from_vec(&[2], vec![4.0, 4.0]).unwrap();
+    let b_cold = Tensor::from_vec(&[2], vec![-4.0, -4.0]).unwrap();
+    assert_gradients_close(&params, 1e-3, TOL, move |g, ps| {
+        let x = g.param(0, ps[0].clone());
+        let w = g.param(1, ps[1].clone());
+        let hot = g.input(b_hot.clone());
+        let cold = g.input(b_cold.clone());
+        let live = g.linear(x, w, Some(hot), Act::Relu);
+        let dead = g.linear(x, w, Some(cold), Act::Relu);
+        let s1 = g.sum_all(live);
+        let s2 = g.sum_all(dead);
+        g.add(s1, s2)
+    });
+}
+
+#[test]
+fn fused_linear_grads_bit_match_unfused_triple() {
+    // Stronger than gradcheck: the fused node's VJP must reproduce the
+    // unfused Matmul → AddRow → activation tape's gradients bit for bit,
+    // for every activation, with and without bias.
+    let x0 = seeded(&[7, 5], 80);
+    let w0 = seeded(&[5, 6], 81);
+    let b0 = seeded(&[6], 82);
+    for act in [Act::Identity, Act::Silu, Act::Selu, Act::Relu, Act::Tanh, Act::Sigmoid] {
+        for with_bias in [true, false] {
+            let mut fused = Graph::new();
+            let fx = fused.param(0, x0.clone());
+            let fw = fused.param(1, w0.clone());
+            let fb = with_bias.then(|| fused.param(2, b0.clone()));
+            let fy = fused.linear(fx, fw, fb, act);
+            let floss = fused.sum_all(fy);
+            fused.backward(floss);
+
+            let mut plain = Graph::new();
+            let px = plain.param(0, x0.clone());
+            let pw = plain.param(1, w0.clone());
+            let z = plain.matmul(px, pw);
+            let z = if with_bias {
+                let pb = plain.param(2, b0.clone());
+                plain.add_row(z, pb)
+            } else {
+                z
+            };
+            let py = match act {
+                Act::Identity => z,
+                Act::Silu => plain.silu(z),
+                Act::Selu => plain.selu(z),
+                Act::Relu => plain.relu(z),
+                Act::Tanh => plain.tanh(z),
+                Act::Sigmoid => plain.sigmoid(z),
+            };
+            let ploss = plain.sum_all(py);
+            plain.backward(ploss);
+
+            assert_eq!(fused.value(fy).as_slice(), plain.value(py).as_slice(), "{act:?} fwd");
+            let fg: Vec<_> = fused.param_grads().collect();
+            let pg: Vec<_> = plain.param_grads().collect();
+            assert_eq!(fg.len(), pg.len());
+            for ((fid, fgrad), (pid, pgrad)) in fg.iter().zip(pg.iter()) {
+                assert_eq!(fid, pid);
+                assert_eq!(
+                    fgrad.as_slice(),
+                    pgrad.as_slice(),
+                    "{act:?} bias={with_bias} grad of param {fid} diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn grad_gather_scatter_above_parallel_threshold() {
+    // Output sizes past ROWS_PAR_MIN (1 << 16 elements) so the parallel
+    // gather/scatter dispatch is the code under test when worker threads
+    // exist; the gradient must match finite differences regardless.
+    let params = vec![seeded(&[4, 32], 90).scale(0.5)];
+    let idx = Arc::new((0..2100u32).map(|i| i % 4).collect::<Vec<_>>());
+    let seg = Arc::new((0..2100u32).map(|i| i % 2050).collect::<Vec<_>>());
+    // The loss is exactly quadratic in x (gather/scatter are linear), so
+    // central differences carry no truncation error and a generous eps
+    // only suppresses the f32 summation roundoff of the 65k-element loss.
+    assert_gradients_close(&params, 1e-1, TOL, move |g, ps| {
+        let x = g.param(0, ps[0].clone());
+        let gathered = g.gather_rows(x, idx.clone()); // [2100, 32] = 67200 elems
+        let spread = g.scatter_add_rows(gathered, seg.clone(), 2050); // [2050, 32] = 65600 elems
+        let sq = g.mul(spread, spread);
+        g.sum_all(sq)
+    });
 }
 
 #[test]

@@ -1,0 +1,173 @@
+//! Seed vs pooled+fused forward/backward on the paper-shape E(n)-GNN.
+//!
+//! The **seed** arm reproduces the pre-pool hot path exactly: buffer
+//! pooling off, fused dense emission off, and a fresh `Graph` allocated
+//! for every step — every tensor of the tape is a heap allocation and
+//! every dense layer is the `Matmul → AddRow → activation` triple.
+//!
+//! The **pooled** arm is the production configuration: one persistent
+//! tape reset per step, tensor buffers recycled through the size-class
+//! pool, and each dense layer recorded as one fused `Linear` node whose
+//! kernels are register-blocked. The two arms produce bit-identical
+//! losses and gradients (asserted here and by the train crate's
+//! `pooled_bitwise` test), so the timed difference is pure overhead:
+//! allocator traffic, tape dispatch, and memory round-trips between the
+//! unfused kernels.
+//!
+//! Run with `cargo bench --bench fwdbwd`. Emits `BENCH_fwdbwd.json` at
+//! the repo root: steps/sec per arm, speedup, and per-step allocator
+//! traffic (fresh-allocated bytes observed by the pool).
+
+use std::time::Instant;
+
+use matsciml::autograd::Graph;
+use matsciml::datasets::{Dataset, DatasetId, GraphTransform, SyntheticMaterialsProject, Transform};
+use matsciml::models::EgnnConfig;
+use matsciml::nn::{set_fused_linear, ForwardCtx};
+use matsciml::tensor::{pool_stats, set_pool_enabled};
+use matsciml::train::{collate, TargetKind, TaskHeadConfig, TaskModel};
+use serde::Serialize;
+
+/// Median of a set of per-call timings.
+fn median(mut times: Vec<f64>) -> f64 {
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+#[derive(Serialize)]
+struct Arm {
+    steps_per_sec: f64,
+    /// Bytes served by fresh allocations per step (pool-observed).
+    fresh_bytes_per_step: u64,
+    /// Bytes served from recycled pool buffers per step.
+    recycled_bytes_per_step: u64,
+    /// Tape nodes recorded per step.
+    tape_nodes: usize,
+}
+
+#[derive(Serialize)]
+struct Report {
+    hidden: usize,
+    batch: usize,
+    loss_bits_match: bool,
+    seed: Arm,
+    pooled: Arm,
+    speedup: f64,
+}
+
+fn main() {
+    // Paper shape: hidden/message width 256. A single rank's batch.
+    let config = EgnnConfig::paper();
+    let hidden = config.hidden;
+    let model = TaskModel::egnn(
+        config,
+        &[TaskHeadConfig::regression(DatasetId::MaterialsProject, TargetKind::BandGap, 256, 3)],
+        17,
+    );
+    let ds = SyntheticMaterialsProject::new(8, 17);
+    let t = GraphTransform::radius(4.5, Some(12));
+    let samples: Vec<_> = (0..4).map(|i| t.apply(ds.sample(i))).collect();
+    let batch = collate(&samples);
+    let reps = 9;
+
+    // Seed arm: no pool, no fusion, fresh tape every step.
+    let mut seed_loss = 0.0f32;
+    let mut seed_nodes = 0usize;
+    let seed_step = |loss_out: &mut f32, nodes_out: &mut usize| {
+        set_pool_enabled(false);
+        set_fused_linear(false);
+        let mut ctx = ForwardCtx::train(17);
+        let (mut g, loss, _m) = model.forward(&batch, &mut ctx);
+        g.backward(loss);
+        *loss_out = g.value(loss).item();
+        *nodes_out = g.len();
+    };
+
+    // Pooled arm: pool + fusion on, one persistent tape reset per step.
+    let mut pooled_loss = 0.0f32;
+    let mut pooled_nodes = 0usize;
+    let mut tape = Graph::new();
+    let pooled_step = |g: &mut Graph, loss_out: &mut f32, nodes_out: &mut usize| {
+        set_pool_enabled(true);
+        set_fused_linear(true);
+        let mut ctx = ForwardCtx::train(17);
+        let (loss, _m) = model.forward_into(g, &batch, &mut ctx);
+        g.backward(loss);
+        *loss_out = g.value(loss).item();
+        *nodes_out = g.len();
+    };
+
+    // Warmup both arms (the second pooled pass starts from a populated
+    // pool), then time them in alternation: background load perturbs
+    // adjacent reps of BOTH arms instead of biasing whichever arm owned
+    // the noisier window, so the per-arm medians stay comparable.
+    seed_step(&mut seed_loss, &mut seed_nodes);
+    pooled_step(&mut tape, &mut pooled_loss, &mut pooled_nodes);
+    pooled_step(&mut tape, &mut pooled_loss, &mut pooled_nodes);
+    let mut seed_times = Vec::with_capacity(reps);
+    let mut pooled_times = Vec::with_capacity(reps);
+    let mut seed_fresh = 0u64;
+    let mut pooled_fresh = 0u64;
+    let mut pooled_recycled = 0u64;
+    for _ in 0..reps {
+        let s0 = pool_stats();
+        let t0 = Instant::now();
+        seed_step(&mut seed_loss, &mut seed_nodes);
+        seed_times.push(t0.elapsed().as_secs_f64());
+        let s1 = pool_stats();
+        seed_fresh += s1.since(&s0).bytes_fresh;
+
+        let t0 = Instant::now();
+        pooled_step(&mut tape, &mut pooled_loss, &mut pooled_nodes);
+        pooled_times.push(t0.elapsed().as_secs_f64());
+        let p = pool_stats().since(&s1);
+        pooled_fresh += p.bytes_fresh;
+        pooled_recycled += p.bytes_recycled;
+    }
+    let t_seed = median(seed_times);
+    let t_pooled = median(pooled_times);
+    let calls = reps as u64;
+
+    let bits_match = seed_loss.to_bits() == pooled_loss.to_bits();
+    assert!(bits_match, "seed and pooled losses must agree bit for bit");
+
+    let speedup = t_seed / t_pooled;
+    println!(
+        "fwdbwd bench (EGNN hidden={hidden}, batch={}): seed {:.2} ms ({} nodes), \
+         pooled+fused {:.2} ms ({} nodes), speedup {speedup:.2}x",
+        samples.len(),
+        t_seed * 1e3,
+        seed_nodes,
+        t_pooled * 1e3,
+        pooled_nodes,
+    );
+    println!(
+        "allocator traffic per step: seed {} fresh bytes, pooled {} fresh / {} recycled bytes",
+        seed_fresh / calls,
+        pooled_fresh / calls,
+        pooled_recycled / calls,
+    );
+
+    let report = Report {
+        hidden,
+        batch: samples.len(),
+        loss_bits_match: bits_match,
+        seed: Arm {
+            steps_per_sec: 1.0 / t_seed,
+            fresh_bytes_per_step: seed_fresh / calls,
+            recycled_bytes_per_step: 0,
+            tape_nodes: seed_nodes,
+        },
+        pooled: Arm {
+            steps_per_sec: 1.0 / t_pooled,
+            fresh_bytes_per_step: pooled_fresh / calls,
+            recycled_bytes_per_step: pooled_recycled / calls,
+            tape_nodes: pooled_nodes,
+        },
+        speedup,
+    };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fwdbwd.json");
+    std::fs::write(path, serde_json::to_string_pretty(&report).unwrap())
+        .expect("write BENCH_fwdbwd.json");
+    println!("wrote {path}");
+}

@@ -1,13 +1,32 @@
 //! Primitive layers: [`Linear`], [`RmsNorm`], activations, and the
 //! per-forward context.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+
 use matsciml_autograd::{Graph, Var};
-use matsciml_tensor::Tensor;
+use matsciml_tensor::{Act, Tensor};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use crate::params::{ParamId, ParamSet};
+
+/// Process-wide switch for fused dense emission (default on). When set,
+/// [`Linear::forward_act`] records one fused `Linear` tape node instead of
+/// the `Matmul → AddRow → activation` triple. The two paths are bit-exact;
+/// the switch exists so regression tests and benchmarks can pin the seed
+/// (unfused) path.
+static FUSED_LINEAR: AtomicBool = AtomicBool::new(true);
+
+/// Enable or disable fused dense emission process-wide.
+pub fn set_fused_linear(enabled: bool) {
+    FUSED_LINEAR.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether [`Linear::forward_act`] currently emits fused tape nodes.
+pub fn fused_linear() -> bool {
+    FUSED_LINEAR.load(Ordering::Relaxed)
+}
 
 /// Per-forward-pass context: training/eval mode and the RNG that feeds
 /// stochastic layers (dropout). One per rank per step; seeding it from
@@ -67,6 +86,19 @@ impl Activation {
             Activation::Identity => x,
         }
     }
+
+    /// The scalar kernel used when this activation runs inside a fused
+    /// dense layer.
+    pub fn kernel(self) -> Act {
+        match self {
+            Activation::Silu => Act::Silu,
+            Activation::Selu => Act::Selu,
+            Activation::Relu => Act::Relu,
+            Activation::Tanh => Act::Tanh,
+            Activation::Sigmoid => Act::Sigmoid,
+            Activation::Identity => Act::Identity,
+        }
+    }
 }
 
 /// A fully-connected layer `y = x W + b`.
@@ -120,15 +152,28 @@ impl Linear {
 
     /// `x [batch, in_dim] -> [batch, out_dim]`.
     pub fn forward(&self, g: &mut Graph, ps: &ParamSet, x: Var) -> Var {
+        self.forward_act(g, ps, x, Activation::Identity)
+    }
+
+    /// `act(x W + b)` as one fused tape node when
+    /// [fused emission](fused_linear) is on, or as the equivalent
+    /// `Matmul → AddRow → activation` triple when it is off. The two
+    /// emissions are bit-identical in values and gradients.
+    pub fn forward_act(&self, g: &mut Graph, ps: &ParamSet, x: Var, act: Activation) -> Var {
         let w = ps.leaf(g, self.w);
+        if fused_linear() {
+            let bias = self.b.map(|b| ps.leaf(g, b));
+            return g.linear(x, w, bias, act.kernel());
+        }
         let y = g.matmul(x, w);
-        match self.b {
+        let y = match self.b {
             Some(b) => {
                 let bias = ps.leaf(g, b);
                 g.add_row(y, bias)
             }
             None => y,
-        }
+        };
+        act.apply(g, y)
     }
 }
 

@@ -18,6 +18,8 @@ mod params;
 
 pub use bucket::{BucketLayout, GradBucket};
 pub use embedding::Embedding;
-pub use layers::{Activation, BatchNorm, ForwardCtx, Linear, NormKind, RmsNorm};
+pub use layers::{
+    fused_linear, set_fused_linear, Activation, BatchNorm, ForwardCtx, Linear, NormKind, RmsNorm,
+};
 pub use mlp::{Mlp, OutputHead, ResidualBlock};
 pub use params::{ParamId, ParamSet};

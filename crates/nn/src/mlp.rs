@@ -51,15 +51,19 @@ impl Mlp {
         self.layers.last().expect("non-empty").out_dim
     }
 
-    /// Forward through all layers.
+    /// Forward through all layers. Each `Linear → activation` pair is
+    /// emitted as one fused dense node (see [`Linear::forward_act`]), so a
+    /// φ-MLP's tape is one node per layer instead of three.
     pub fn forward(&self, g: &mut Graph, ps: &ParamSet, x: Var) -> Var {
         let last = self.layers.len() - 1;
         let mut h = x;
         for (i, layer) in self.layers.iter().enumerate() {
-            h = layer.forward(g, ps, h);
-            if i < last || self.activate_last {
-                h = self.activation.apply(g, h);
-            }
+            let act = if i < last || self.activate_last {
+                self.activation
+            } else {
+                Activation::Identity
+            };
+            h = layer.forward_act(g, ps, h, act);
         }
         h
     }
@@ -132,8 +136,7 @@ impl ResidualBlock {
 
     /// `x + Dropout(Norm(act(Linear(x))))`.
     pub fn forward(&self, g: &mut Graph, ps: &ParamSet, ctx: &mut ForwardCtx, x: Var) -> Var {
-        let h = self.linear.forward(g, ps, x);
-        let h = self.activation.apply(g, h);
+        let h = self.linear.forward_act(g, ps, x, self.activation);
         let h = self.norm.forward(g, ps, h);
         let h = g.dropout(h, self.dropout_p, ctx.training, &mut ctx.rng);
         g.add(x, h)
@@ -256,6 +259,35 @@ mod tests {
         let x = g.input(Tensor::randn(&[64, 4], 0.0, 2.0, &mut rng));
         let y = mlp.forward(&mut g, &ps, x);
         assert!(g.value(y).min() < -0.3 || g.value(y).max() > 0.3);
+    }
+
+    #[test]
+    fn fused_emission_shrinks_tape_and_matches_unfused() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut ps = ParamSet::new();
+        let mlp = Mlp::new(&mut ps, "m", &[6, 16, 16, 3], Activation::Silu, false, &mut rng);
+        let input = Tensor::randn(&[10, 6], 0.0, 1.0, &mut rng);
+
+        let run = |ps: &ParamSet| {
+            let mut g = Graph::new();
+            let x = g.input(input.clone());
+            let y = mlp.forward(&mut g, ps, x);
+            (g.len(), g.value(y).clone())
+        };
+
+        assert!(crate::layers::fused_linear(), "fused emission is the default");
+        let (fused_len, fused_out) = run(&ps);
+        crate::layers::set_fused_linear(false);
+        let (plain_len, plain_out) = run(&ps);
+        crate::layers::set_fused_linear(true);
+
+        // 3 fused layers + input + 6 param leaves vs matmul/add_row/act
+        // triples (last layer has no activation).
+        assert!(
+            fused_len + 5 <= plain_len,
+            "fused tape ({fused_len}) should be well short of unfused ({plain_len})"
+        );
+        assert_eq!(fused_out, plain_out, "the two emissions must agree bit for bit");
     }
 
     #[test]

@@ -1,0 +1,598 @@
+//! Fused linear-layer kernels: `act(x @ W + b)` in one pass, bit-exact
+//! with the unfused composition.
+//!
+//! The training hot path lowers every dense layer to the triple
+//! `matmul → add_row_broadcast → activation`, which costs three full
+//! passes (and two intermediate tensors) over the `[m, n]` output. The
+//! kernels here compute the same result in a single sweep: each output
+//! row is accumulated with the same contiguous-axpy panel kernel the
+//! generic matmul uses, then the bias add and activation are applied to
+//! the row while it is still L1-resident, storing both the
+//! pre-activation `z` (needed by the backward pass) and the activated
+//! `y` without materializing intermediates.
+//!
+//! **Bit-exactness is a hard contract.** Every kernel reproduces the
+//! per-element accumulation order of its unfused counterpart in
+//! `matmul.rs` exactly:
+//!
+//! * forward / [`matmul_tn_blocked`]: each output element starts at
+//!   `0.0` and adds `a·b` terms in increasing-`p` order, skipping terms
+//!   whose `a` factor is exactly `0.0` — precisely the generic kernels'
+//!   per-element sequence. The fused kernels interleave `MR` output
+//!   rows per sweep of the streamed operand (interleaving rows does not
+//!   reorder any single element's terms), and the forward adds the bias
+//!   once after the full sum — the same single rounding
+//!   `add_row_broadcast` applies to a stored matmul result — before the
+//!   activation reads the final `z`;
+//! * [`matmul_nt_blocked`]: each element reproduces `dot`'s four-lane
+//!   bracketing `(s0 + s1) + (s2 + s3) + tail` with the same stride-4
+//!   lane assignment, but processes `NJ` rows of `b` per strip of the
+//!   `a` row — `NJ` independent accumulator vectors keep the FMA
+//!   pipeline full where a one-at-a-time `dot` is latency-bound on its
+//!   single reduction chain;
+//! * [`Act::eval`] / [`Act::dz`] are the byte-identical scalar formulas
+//!   the autograd ops use (shared from here so there is one source).
+//!
+//! The blocked kernels are used **only** by the fused path; the generic
+//! `matmul` / `matmul_tn` / `matmul_nt` methods are untouched, so the
+//! pre-fusion code path (and the `fwdbwd` bench's seed arm) behaves
+//! exactly as before this optimization.
+
+use rayon::prelude::*;
+
+use crate::matmul::{dot, PAR_THRESHOLD_FLOPS, ROW_PANEL};
+use crate::tensor::Tensor;
+
+/// SELU constants from Klambauer et al., "Self-Normalizing Neural
+/// Networks". Shared with `matsciml-autograd` so the fused and unfused
+/// formulas cannot drift.
+pub const SELU_SCALE: f32 = 1.050_701;
+/// See [`SELU_SCALE`].
+pub const SELU_ALPHA: f32 = 1.673_263_2;
+
+/// Numerically-stable logistic sigmoid (both branches avoid computing
+/// `exp` of a positive argument).
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Activation applied by a fused linear op.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Act {
+    /// No activation: `y = z` (the fused op shares one buffer for both).
+    Identity,
+    /// SiLU / swish: `z * sigmoid(z)`.
+    Silu,
+    /// SELU (Klambauer et al. 2017).
+    Selu,
+    /// Rectified linear unit.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+}
+
+impl Act {
+    /// `act(z)` — byte-identical to the unfused activation builders.
+    #[inline]
+    pub fn eval(self, a: f32) -> f32 {
+        match self {
+            Act::Identity => a,
+            Act::Silu => a * sigmoid(a),
+            Act::Selu => {
+                if a > 0.0 {
+                    SELU_SCALE * a
+                } else {
+                    SELU_SCALE * SELU_ALPHA * (a.exp() - 1.0)
+                }
+            }
+            Act::Relu => a.max(0.0),
+            Act::Tanh => a.tanh(),
+            Act::Sigmoid => sigmoid(a),
+        }
+    }
+
+    /// `d act / d z` at pre-activation `z` — byte-identical to the
+    /// unfused VJP derivative formulas (for `Tanh`/`Sigmoid`, which the
+    /// unfused path derives from the *output*, recomputing the output
+    /// from `z` yields the same bits because `eval` is deterministic).
+    #[inline]
+    pub fn dz(self, z: f32) -> f32 {
+        match self {
+            Act::Identity => 1.0,
+            Act::Silu => {
+                let s = sigmoid(z);
+                s * (1.0 + z * (1.0 - s))
+            }
+            Act::Selu => {
+                if z > 0.0 {
+                    SELU_SCALE
+                } else {
+                    SELU_SCALE * SELU_ALPHA * z.exp()
+                }
+            }
+            Act::Relu => {
+                if z > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Act::Tanh => {
+                let t = z.tanh();
+                1.0 - t * t
+            }
+            Act::Sigmoid => {
+                let s = sigmoid(z);
+                s * (1.0 - s)
+            }
+        }
+    }
+}
+
+/// Rows of `b` (output columns) per blocked-`nt` group: one independent
+/// four-lane accumulator set per row, so the reduction has `NJ` parallel
+/// dependency chains instead of `dot`'s one.
+const NJ: usize = 8;
+
+/// Output rows accumulated per sweep of the weight matrix in the fused
+/// forward / `tn` kernels. The weight matrix is by far the largest
+/// operand (it outsizes L1/L2 at the paper's hidden width), and the
+/// unblocked kernels stream all of it once **per output row**; reusing
+/// each streamed row for `MR` outputs while it is cache-hot divides that
+/// dominant traffic by `MR`. Per-element accumulation order is
+/// untouched — every output element still adds its terms in
+/// increasing-`p` order — so the bit contract with the generic kernels
+/// holds.
+const MR: usize = 4;
+
+/// Fused linear forward: `z = x @ w (+ bias)`, `y = act(z)`.
+///
+/// Shapes: `x: [m, k]`, `w: [k, n]`, `bias: [n]`. Returns `(z, y)`; for
+/// [`Act::Identity`] the two share one buffer (`y` is an O(1) clone).
+pub fn linear(x: &Tensor, w: &Tensor, bias: Option<&Tensor>, act: Act) -> (Tensor, Tensor) {
+    assert_eq!(x.ndim(), 2, "fused linear: x must be 2-D, got {:?}", x.shape());
+    assert_eq!(w.ndim(), 2, "fused linear: w must be 2-D, got {:?}", w.shape());
+    let (m, k) = (x.dim(0), x.dim(1));
+    let (k2, n) = (w.dim(0), w.dim(1));
+    assert_eq!(k, k2, "fused linear: inner dimensions differ, x {:?} vs w {:?}", x.shape(), w.shape());
+    if let Some(b) = bias {
+        assert_eq!(b.numel(), n, "fused linear: bias has {} elements, expected {n}", b.numel());
+    }
+
+    let mut z = Tensor::zeros(&[m, n]);
+    let a = x.as_slice();
+    let ws = w.as_slice();
+    let bs = bias.map(|b| b.as_slice());
+    let flops = 2 * m * n * k;
+
+    if act == Act::Identity {
+        let dst = z.as_mut_slice();
+        if flops < PAR_THRESHOLD_FLOPS || rayon::current_num_threads() == 1 {
+            linear_rows(a, ws, bs, act, dst, None, 0, m, k, n);
+        } else {
+            dst.par_chunks_mut(ROW_PANEL * n).enumerate().for_each(|(panel, chunk)| {
+                linear_rows(a, ws, bs, act, chunk, None, panel * ROW_PANEL, chunk.len() / n, k, n);
+            });
+        }
+        let y = z.clone();
+        return (z, y);
+    }
+
+    let mut y = Tensor::zeros(&[m, n]);
+    {
+        let ydst = y.as_mut_slice();
+        let zdst = z.as_mut_slice();
+        if flops < PAR_THRESHOLD_FLOPS || rayon::current_num_threads() == 1 {
+            linear_rows(a, ws, bs, act, zdst, Some(ydst), 0, m, k, n);
+        } else {
+            // Panels of z are distributed by rayon; the matching panel of
+            // y is reconstructed from a raw pointer. Sound because panels
+            // are disjoint row ranges.
+            let yp = SendPtr(ydst.as_mut_ptr());
+            zdst.par_chunks_mut(ROW_PANEL * n).enumerate().for_each(|(panel, chunk)| {
+                let r0 = panel * ROW_PANEL;
+                let rows = chunk.len() / n;
+                let ypanel =
+                    unsafe { std::slice::from_raw_parts_mut(yp.get().add(r0 * n), rows * n) };
+                linear_rows(a, ws, bs, act, chunk, Some(ypanel), r0, rows, k, n);
+            });
+        }
+    }
+    (z, y)
+}
+
+/// `a^T @ b` for `[k, m] x [k, n] -> [m, n]`, row-blocked, bit-identical
+/// to [`Tensor::matmul_tn`]. Used by the fused VJP for the weight
+/// gradient.
+pub fn matmul_tn_blocked(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.ndim(), 2, "matmul_tn_blocked: lhs must be 2-D");
+    assert_eq!(b.ndim(), 2, "matmul_tn_blocked: rhs must be 2-D");
+    let (k, m) = (a.dim(0), a.dim(1));
+    let (k2, n) = (b.dim(0), b.dim(1));
+    assert_eq!(k, k2, "matmul_tn_blocked: leading dimensions differ, lhs {:?} vs rhs {:?}", a.shape(), b.shape());
+    let mut out = Tensor::zeros(&[m, n]);
+    let asl = a.as_slice();
+    let bsl = b.as_slice();
+    let flops = 2 * m * n * k;
+    let dst = out.as_mut_slice();
+    if flops < PAR_THRESHOLD_FLOPS || rayon::current_num_threads() == 1 {
+        tn_rows(asl, bsl, dst, 0, m, k, m, n);
+    } else {
+        dst.par_chunks_mut(ROW_PANEL * n).enumerate().for_each(|(panel, chunk)| {
+            tn_rows(asl, bsl, chunk, panel * ROW_PANEL, chunk.len() / n, k, m, n);
+        });
+    }
+    out
+}
+
+/// `a @ b^T` for `[m, k] x [n, k] -> [m, n]` with the `b`-row loop
+/// blocked `MR` rows by `NJB` columns wide, bit-identical to [`Tensor::matmul_nt`]. Used by
+/// the fused VJP for the input gradient — the hottest backward kernel,
+/// since every dense layer's `dx` flows through it.
+pub fn matmul_nt_blocked(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.ndim(), 2, "matmul_nt_blocked: lhs must be 2-D");
+    assert_eq!(b.ndim(), 2, "matmul_nt_blocked: rhs must be 2-D");
+    let (m, k) = (a.dim(0), a.dim(1));
+    let (n, k2) = (b.dim(0), b.dim(1));
+    assert_eq!(k, k2, "matmul_nt_blocked: inner dimensions differ, lhs {:?} vs rhs {:?}", a.shape(), b.shape());
+    let mut out = Tensor::zeros(&[m, n]);
+    let asl = a.as_slice();
+    let bsl = b.as_slice();
+    let flops = 2 * m * n * k;
+    let dst = out.as_mut_slice();
+    let kernel = |r0: usize, rows: usize, dst: &mut [f32]| {
+        let mut i = 0;
+        while i + MR <= rows {
+            nt_block(asl, bsl, &mut dst[i * n..(i + MR) * n], r0 + i, k, n);
+            i += MR;
+        }
+        while i < rows {
+            let arow = &asl[(r0 + i) * k..(r0 + i + 1) * k];
+            nt_row(arow, bsl, &mut dst[i * n..(i + 1) * n], k, n);
+            i += 1;
+        }
+    };
+    if flops < PAR_THRESHOLD_FLOPS || rayon::current_num_threads() == 1 {
+        kernel(0, m, dst);
+    } else {
+        dst.par_chunks_mut(ROW_PANEL * n)
+            .enumerate()
+            .for_each(|(panel, chunk)| kernel(panel * ROW_PANEL, chunk.len() / n, chunk));
+    }
+    out
+}
+
+/// One fused backward sweep for the activation: `dz[i] = g[i] * act'(z[i])`
+/// — the same two factors the unfused path multiplies (it materializes
+/// `act'(z)` as a tensor first; the product's bits are identical). For
+/// [`Act::Identity`] this is an O(1) clone of `g`.
+pub fn act_backward(g: &Tensor, z: &Tensor, act: Act) -> Tensor {
+    if act == Act::Identity {
+        return g.clone();
+    }
+    g.zip_map(z, |gv, zv| gv * act.dz(zv))
+}
+
+struct SendPtr(*mut f32);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+impl SendPtr {
+    /// Accessor (rather than field access) so closures capture the
+    /// `Sync` wrapper, not the raw pointer.
+    #[inline]
+    fn get(&self) -> *mut f32 {
+        self.0
+    }
+}
+
+/// Compute output rows `[r0, r0+rows)` of the fused linear: [`MR`]-row
+/// blocks accumulate with the generic axpy order (each streamed `w` row
+/// feeds every row of the block while cache-hot), then the bias add and
+/// activation run over the block while it is still resident. `z` (and
+/// `y` when present) are the destination slices covering exactly those
+/// rows; `z` must arrive zeroed (it is the accumulator).
+#[allow(clippy::too_many_arguments)]
+fn linear_rows(
+    a: &[f32],
+    w: &[f32],
+    bias: Option<&[f32]>,
+    act: Act,
+    z: &mut [f32],
+    mut y: Option<&mut [f32]>,
+    r0: usize,
+    rows: usize,
+    k: usize,
+    n: usize,
+) {
+    let mut i = 0;
+    while i < rows {
+        let r = MR.min(rows - i);
+        let zblock = &mut z[i * n..(i + r) * n];
+        for p in 0..k {
+            let wrow = &w[p * n..(p + 1) * n];
+            for rr in 0..r {
+                let av = a[(r0 + i + rr) * k + p];
+                if av != 0.0 {
+                    let zrow = &mut zblock[rr * n..(rr + 1) * n];
+                    zrow.iter_mut().zip(wrow).for_each(|(o, &wv)| *o += av * wv);
+                }
+            }
+        }
+        for rr in 0..r {
+            let zrow = &mut zblock[rr * n..(rr + 1) * n];
+            if let Some(bs) = bias {
+                zrow.iter_mut().zip(bs).for_each(|(zv, &bv)| *zv += bv);
+            }
+            if let Some(yd) = y.as_deref_mut() {
+                let yrow = &mut yd[(i + rr) * n..(i + rr + 1) * n];
+                yrow.iter_mut().zip(zrow.iter()).for_each(|(yv, &zv)| *yv = act.eval(zv));
+            }
+        }
+        i += r;
+    }
+}
+
+/// Compute output rows `[r0, r0+rows)` of `a^T @ b` (`a: [k, m]`,
+/// `b: [k, n]`), [`MR`] rows per sweep of the `k` dimension: the block's
+/// rows stay L1-resident across the whole sweep, so the `[m, n]` output
+/// is written once instead of being re-walked for every `p`. Element
+/// `(i, j)` still accumulates `a[p, i] * b[p, j]` in increasing-`p`
+/// order with the `a == 0.0` skip — the generic `matmul_tn` sequence.
+#[allow(clippy::too_many_arguments)]
+fn tn_rows(
+    a: &[f32],
+    b: &[f32],
+    dst: &mut [f32],
+    r0: usize,
+    rows: usize,
+    k: usize,
+    m: usize,
+    n: usize,
+) {
+    let mut i = 0;
+    while i < rows {
+        let r = MR.min(rows - i);
+        let oblock = &mut dst[i * n..(i + r) * n];
+        for p in 0..k {
+            let brow = &b[p * n..(p + 1) * n];
+            let acol = &a[p * m + r0 + i..p * m + r0 + i + r];
+            for (rr, &av) in acol.iter().enumerate() {
+                if av != 0.0 {
+                    let orow = &mut oblock[rr * n..(rr + 1) * n];
+                    orow.iter_mut().zip(brow).for_each(|(o, &bv)| *o += av * bv);
+                }
+            }
+        }
+        i += r;
+    }
+}
+
+/// Columns per group in [`nt_block`]: with [`MR`] rows that is
+/// `MR * NJB` concurrent four-lane accumulator sets — enough parallel
+/// reduction chains to hide FMA latency, while every loaded strip of `b`
+/// serves [`MR`] outputs.
+const NJB: usize = 4;
+
+/// An [`MR`]-row × [`NJB`]-column block of the `nt` product: the main
+/// body walks the stride-4 lane grid with one accumulator set per
+/// output, so each element's bits match [`dot`]'s
+/// `(s0 + s1) + (s2 + s3) + tail` bracketing exactly. `dst` covers the
+/// `MR` output rows; `ar0` is the first `a` row of the block.
+fn nt_block(a: &[f32], b: &[f32], dst: &mut [f32], ar0: usize, k: usize, n: usize) {
+    let kc = k / 4 * 4;
+    let ar: [&[f32]; MR] = std::array::from_fn(|r| &a[(ar0 + r) * k..(ar0 + r) * k + kc]);
+    let mut j = 0;
+    while j + NJB <= n {
+        let bt: [&[f32]; NJB] = std::array::from_fn(|t| &b[(j + t) * k..(j + t) * k + kc]);
+        let mut s = [[[0.0f32; 4]; NJB]; MR];
+        for ch in 0..kc / 4 {
+            let i = ch * 4;
+            // SAFETY: every `ar`/`bt` slice has length `kc` and
+            // `i + 4 <= kc` for every `ch < kc / 4`; checked indexing
+            // here keeps the reduction loop from vectorizing.
+            let aq: [&[f32]; MR] =
+                std::array::from_fn(|r| unsafe { ar[r].get_unchecked(i..i + 4) });
+            for t in 0..NJB {
+                let bq = unsafe { bt[t].get_unchecked(i..i + 4) };
+                for (sr, aqr) in s.iter_mut().zip(&aq) {
+                    for l in 0..4 {
+                        sr[t][l] += aqr[l] * bq[l];
+                    }
+                }
+            }
+        }
+        let mut tails = [[0.0f32; NJB]; MR];
+        for i in kc..k {
+            for (r, tr) in tails.iter_mut().enumerate() {
+                let av = a[(ar0 + r) * k + i];
+                for (t, tl) in tr.iter_mut().enumerate() {
+                    *tl += av * b[(j + t) * k + i];
+                }
+            }
+        }
+        for r in 0..MR {
+            for t in 0..NJB {
+                let st = &s[r][t];
+                dst[r * n + j + t] = (st[0] + st[1]) + (st[2] + st[3]) + tails[r][t];
+            }
+        }
+        j += NJB;
+    }
+    while j < n {
+        let brow = &b[j * k..(j + 1) * k];
+        for r in 0..MR {
+            dst[r * n + j] = dot(&a[(ar0 + r) * k..(ar0 + r + 1) * k], brow);
+        }
+        j += 1;
+    }
+}
+
+/// One output row of the blocked `nt` product: [`NJ`] rows of `b` are
+/// consumed per strip of `a_row`, each output element carrying its own
+/// `(s0, s1, s2, s3, tail)` lane set so the bits match [`dot`] exactly.
+/// The `b` rows are re-sliced to the truncated length up front so the
+/// inner loop indexes provably in-bounds arrays and vectorizes.
+fn nt_row(a_row: &[f32], b: &[f32], o_row: &mut [f32], k: usize, n: usize) {
+    let kc = k / 4 * 4;
+    let am = &a_row[..kc];
+    let mut j = 0;
+    while j + NJ <= n {
+        let bt: [&[f32]; NJ] = std::array::from_fn(|t| &b[(j + t) * k..(j + t) * k + kc]);
+        let mut s = [[0.0f32; 4]; NJ];
+        for (ch, aq) in am.chunks_exact(4).enumerate() {
+            let i = ch * 4;
+            for (st, brow) in s.iter_mut().zip(&bt) {
+                // SAFETY: every `bt` slice has length `kc`, and
+                // `i + 4 <= kc` for every index `chunks_exact(4)` yields;
+                // checked indexing here keeps the reduction loop from
+                // vectorizing.
+                let bq = unsafe { brow.get_unchecked(i..i + 4) };
+                st[0] += aq[0] * bq[0];
+                st[1] += aq[1] * bq[1];
+                st[2] += aq[2] * bq[2];
+                st[3] += aq[3] * bq[3];
+            }
+        }
+        let mut tails = [0.0f32; NJ];
+        for i in kc..k {
+            let av = a_row[i];
+            for (t, tl) in tails.iter_mut().enumerate() {
+                *tl += av * b[(j + t) * k + i];
+            }
+        }
+        for (t, (st, tl)) in s.iter().zip(tails).enumerate() {
+            o_row[j + t] = (st[0] + st[1]) + (st[2] + st[3]) + tl;
+        }
+        j += NJ;
+    }
+    while j < n {
+        o_row[j] = dot(a_row, &b[j * k..(j + 1) * k]);
+        j += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic matrix with a sprinkling of exact zeros, so the
+    /// `av != 0.0` skip paths are exercised.
+    fn mat(shape: &[usize], seed: usize) -> Tensor {
+        Tensor::from_fn(shape, |i| {
+            let v = ((i * 31 + seed * 17) % 23) as f32 - 11.0;
+            if (i + seed) % 9 == 0 {
+                0.0
+            } else {
+                v * 0.07
+            }
+        })
+    }
+
+    const ACTS: [Act; 6] = [Act::Identity, Act::Silu, Act::Selu, Act::Relu, Act::Tanh, Act::Sigmoid];
+
+    #[test]
+    fn fused_linear_bits_match_unfused_composition() {
+        // Odd sizes cross both the full-tile and remainder paths.
+        for &(m, k, n) in &[(1usize, 3usize, 1usize), (4, 8, 8), (7, 13, 11), (67, 31, 45)] {
+            let x = mat(&[m, k], 1);
+            let w = mat(&[k, n], 2);
+            let b = mat(&[n], 3);
+            for act in ACTS {
+                let zref = x.matmul(&w).add_row_broadcast(&b);
+                let yref = zref.map(|a| act.eval(a));
+                let (z, y) = linear(&x, &w, Some(&b), act);
+                assert_eq!(z.as_slice(), zref.as_slice(), "z bits {m}x{k}x{n} {act:?}");
+                assert_eq!(y.as_slice(), yref.as_slice(), "y bits {m}x{k}x{n} {act:?}");
+
+                // No-bias case.
+                let zref = x.matmul(&w);
+                let yref = zref.map(|a| act.eval(a));
+                let (z, y) = linear(&x, &w, None, act);
+                assert_eq!(z.as_slice(), zref.as_slice(), "no-bias z bits {m}x{k}x{n} {act:?}");
+                assert_eq!(y.as_slice(), yref.as_slice(), "no-bias y bits {m}x{k}x{n} {act:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn identity_linear_shares_one_buffer() {
+        let x = mat(&[5, 4], 1);
+        let w = mat(&[4, 6], 2);
+        let (z, y) = linear(&x, &w, None, Act::Identity);
+        assert_eq!(z.as_slice(), y.as_slice());
+        assert_eq!(z.as_slice().as_ptr(), y.as_slice().as_ptr(), "Identity y must alias z");
+    }
+
+    #[test]
+    fn blocked_tn_bits_match_generic_tn() {
+        for &(k, m, n) in &[(3usize, 1usize, 2usize), (9, 7, 4), (31, 67, 45), (192, 160, 96)] {
+            let a = mat(&[k, m], 4);
+            let b = mat(&[k, n], 5);
+            assert_eq!(
+                matmul_tn_blocked(&a, &b).as_slice(),
+                a.matmul_tn(&b).as_slice(),
+                "tn bits {k}x{m}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_nt_bits_match_generic_nt() {
+        // k values off the stride-4 grid exercise the tail lanes; n values
+        // off the NJ grid exercise the remainder-column `dot` path.
+        for &(m, k, n) in &[(1usize, 2usize, 1usize), (6, 7, 9), (13, 21, 5), (67, 45, 31)] {
+            let a = mat(&[m, k], 6);
+            let b = mat(&[n, k], 7);
+            assert_eq!(
+                matmul_nt_blocked(&a, &b).as_slice(),
+                a.matmul_nt(&b).as_slice(),
+                "nt bits {m}x{k}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn act_backward_bits_match_two_pass_formula() {
+        let z = mat(&[9, 7], 8);
+        let g = mat(&[9, 7], 9);
+        for act in ACTS {
+            let d = z.map(|a| act.dz(a));
+            let expected = g.mul(&d);
+            assert_eq!(
+                act_backward(&g, &z, act).as_slice(),
+                expected.as_slice(),
+                "{act:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn act_scalar_formulas_are_sane() {
+        assert_eq!(Act::Relu.eval(-1.0), 0.0);
+        assert_eq!(Act::Relu.dz(-1.0), 0.0);
+        assert_eq!(Act::Identity.eval(0.25), 0.25);
+        assert!((Act::Sigmoid.eval(0.0) - 0.5).abs() < 1e-7);
+        assert!((Act::Tanh.dz(0.0) - 1.0).abs() < 1e-7);
+        // Central difference cross-check of every derivative.
+        for act in ACTS {
+            for &z in &[-1.3f32, -0.2, 0.4, 1.7] {
+                let h = 1e-3;
+                let num = (act.eval(z + h) - act.eval(z - h)) / (2.0 * h);
+                assert!(
+                    (num - act.dz(z)).abs() < 1e-2,
+                    "{act:?} derivative at {z}: analytic {} vs numeric {num}",
+                    act.dz(z)
+                );
+            }
+        }
+    }
+}

@@ -13,10 +13,16 @@ use crate::tensor::Tensor;
 /// Rows of `a` handled per parallel task. Tuned for small-to-medium GEMMs
 /// (the toolkit's matrices are at most a few thousand rows by 256 columns);
 /// large enough to amortize task overhead, small enough to load-balance.
-const ROW_PANEL: usize = 64;
+/// Shared with the fused kernels in [`crate::fused`].
+pub(crate) const ROW_PANEL: usize = 64;
 
 /// Below this flop count the parallel dispatch costs more than it saves.
-const PAR_THRESHOLD_FLOPS: usize = 1 << 20;
+pub(crate) const PAR_THRESHOLD_FLOPS: usize = 1 << 20;
+
+/// Side of the square tile the blocked [`Tensor::transpose`] copies at a
+/// time: 32×32 f32 = two 4 KiB sub-blocks, comfortably L1-resident for
+/// both the row-major reads and the column-major writes.
+const TRANSPOSE_TILE: usize = 32;
 
 impl Tensor {
     /// Matrix product `self @ rhs` for `[m, k] x [k, n] -> [m, n]`.
@@ -68,30 +74,14 @@ impl Tensor {
         let b = rhs.as_slice();
         let flops = 2 * m * n * k;
         let dst = out.as_mut_slice();
-        // out[i, j] = sum_p a[p, i] * b[p, j]; accumulate rank-1 updates row
-        // by row of the k dimension so the reads of `b` and writes of `out`
-        // stream contiguously. Parallelism follows matmul's row-panel
-        // scheme: each task owns a horizontal panel of the output and walks
-        // the full k dimension for its rows, so panels never share writes
-        // and the per-element accumulation order is panel-independent.
-        let kernel = |r0: usize, rows: usize, dst: &mut [f32]| {
-            for p in 0..k {
-                let arow = &a[p * m + r0..p * m + r0 + rows];
-                let brow = &b[p * n..(p + 1) * n];
-                for (i, &av) in arow.iter().enumerate() {
-                    if av != 0.0 {
-                        let orow = &mut dst[i * n..(i + 1) * n];
-                        orow.iter_mut().zip(brow).for_each(|(o, &bv)| *o += av * bv);
-                    }
-                }
-            }
-        };
         if flops < PAR_THRESHOLD_FLOPS || rayon::current_num_threads() == 1 {
-            kernel(0, m, dst);
+            matmul_tn_panel(a, b, dst, 0, m, k, m, n);
         } else {
             dst.par_chunks_mut(ROW_PANEL * n)
                 .enumerate()
-                .for_each(|(panel, chunk)| kernel(panel * ROW_PANEL, chunk.len() / n, chunk));
+                .for_each(|(panel, chunk)| {
+                    matmul_tn_panel(a, b, chunk, panel * ROW_PANEL, chunk.len() / n, k, m, n);
+                });
         }
         out
     }
@@ -135,23 +125,80 @@ impl Tensor {
     }
 
     /// Transposed copy of a 2-D tensor.
+    ///
+    /// Cache-blocked: the matrix is walked in `TRANSPOSE_TILE`-square
+    /// tiles so both the source rows and the destination columns of a tile
+    /// stay L1-resident, instead of the naive double loop whose writes
+    /// stride by `m` floats and miss on every element once `m` outgrows
+    /// the cache.
     pub fn transpose(&self) -> Tensor {
         assert_eq!(self.ndim(), 2, "transpose requires a 2-D tensor");
         let (m, n) = (self.shape[0], self.shape[1]);
         let src = self.as_slice();
         let mut out = Tensor::zeros(&[n, m]);
         let dst = out.as_mut_slice();
-        for i in 0..m {
-            for j in 0..n {
-                dst[j * m + i] = src[i * n + j];
+        let mut i0 = 0;
+        while i0 < m {
+            let i1 = (i0 + TRANSPOSE_TILE).min(m);
+            let mut j0 = 0;
+            while j0 < n {
+                let j1 = (j0 + TRANSPOSE_TILE).min(n);
+                for i in i0..i1 {
+                    for j in j0..j1 {
+                        dst[j * m + i] = src[i * n + j];
+                    }
+                }
+                j0 = j1;
             }
+            i0 = i1;
         }
         out
     }
 }
 
+/// `rows` output rows of `a^T @ b` starting at `r0`, into `dst`
+/// (`rows * n`). `out[i, j] = sum_p a[p, i] * b[p, j]`; accumulates
+/// rank-1 updates row by row of the k dimension so the reads of `b` and
+/// writes of `dst` stream contiguously. Each caller task owns a
+/// horizontal panel of the output and walks the full k dimension for its
+/// rows, so panels never share writes and the per-element accumulation
+/// order is panel-independent. [`crate::fused`]'s weight-gradient kernel
+/// reproduces this per-element order exactly (row-blocked).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn matmul_tn_panel(
+    a: &[f32],
+    b: &[f32],
+    dst: &mut [f32],
+    r0: usize,
+    rows: usize,
+    k: usize,
+    m: usize,
+    n: usize,
+) {
+    for p in 0..k {
+        let arow = &a[p * m + r0..p * m + r0 + rows];
+        let brow = &b[p * n..(p + 1) * n];
+        for (i, &av) in arow.iter().enumerate() {
+            if av != 0.0 {
+                let orow = &mut dst[i * n..(i + 1) * n];
+                orow.iter_mut().zip(brow).for_each(|(o, &bv)| *o += av * bv);
+            }
+        }
+    }
+}
+
 /// Multiply `rows` rows of `a` starting at `r0` into `dst` (`rows * n`).
-fn matmul_panel(a: &[f32], b: &[f32], dst: &mut [f32], r0: usize, rows: usize, k: usize, n: usize) {
+/// [`crate::fused`]'s forward kernel accumulates with this exact
+/// per-element order (row-blocked) before fusing the bias + activation.
+fn matmul_panel(
+    a: &[f32],
+    b: &[f32],
+    dst: &mut [f32],
+    r0: usize,
+    rows: usize,
+    k: usize,
+    n: usize,
+) {
     for i in 0..rows {
         let arow = &a[(r0 + i) * k..(r0 + i + 1) * k];
         let orow = &mut dst[i * n..(i + 1) * n];
@@ -166,8 +213,10 @@ fn matmul_panel(a: &[f32], b: &[f32], dst: &mut [f32], r0: usize, rows: usize, k
 
 /// Unrolled dot product with four independent accumulators, so the compiler
 /// can keep the FMA pipeline full without needing `-ffast-math` reassociation.
+/// Shared with [`crate::fused`], whose blocked `nt` kernel must reproduce
+/// this exact lane bracketing.
 #[inline]
-fn dot(a: &[f32], b: &[f32]) -> f32 {
+pub(crate) fn dot(a: &[f32], b: &[f32]) -> f32 {
     let chunks = a.len() / 4;
     let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
     for c in 0..chunks {
@@ -256,6 +305,22 @@ mod tests {
     }
 
     #[test]
+    fn transpose_odd_sizes_match_naive() {
+        // Sizes straddle the tile edge in both dimensions (including
+        // degenerate single-row/column shapes).
+        for &(m, n) in &[(1usize, 1usize), (1, 77), (77, 1), (31, 33), (67, 45), (96, 96)] {
+            let a = Tensor::from_fn(&[m, n], |i| ((i * 29 % 101) as f32) - 50.0);
+            let t = a.transpose();
+            assert_eq!(t.shape(), &[n, m]);
+            for i in 0..m {
+                for j in 0..n {
+                    assert_eq!(t.at2(j, i), a.at2(i, j), "({i},{j}) of {m}x{n}");
+                }
+            }
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "inner dimensions differ")]
     fn matmul_rejects_bad_inner_dim() {
         let _ = Tensor::zeros(&[2, 3]).matmul(&Tensor::zeros(&[4, 2]));
@@ -269,6 +334,20 @@ mod tests {
         let tn = a.matmul_tn(&b);
         let expected = a.transpose().matmul(&b);
         for (x, y) in tn.as_slice().iter().zip(expected.as_slice()) {
+            assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn parallel_nt_matches_explicit_transpose() {
+        // 160·192·96 ≈ 5.9 Mflop > threshold, rows not panel-aligned —
+        // covers matmul_nt's row-panel parallel dispatch the way
+        // parallel_tn_matches_explicit_transpose covers matmul_tn's.
+        let a = Tensor::from_fn(&[160, 192], |i| ((i * 37 % 29) as f32 - 14.0) * 0.02);
+        let b = Tensor::from_fn(&[96, 192], |i| ((i * 43 % 31) as f32 - 15.0) * 0.02);
+        let nt = a.matmul_nt(&b);
+        let expected = a.matmul(&b.transpose());
+        for (x, y) in nt.as_slice().iter().zip(expected.as_slice()) {
             assert!((x - y).abs() < 1e-3, "{x} vs {y}");
         }
     }

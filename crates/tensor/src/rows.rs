@@ -8,8 +8,29 @@
 //! * `scatter_add_rows(msgs, dst, n_nodes)` — aggregate messages per node,
 //! * `segment_sum(h, graph_ids, n_graphs)` — pool node features per graph,
 //! * `concat_cols` — assemble MLP inputs from several feature blocks.
+//!
+//! Gather and scatter-add are rayon-parallel above a size threshold.
+//! Both are bit-identical to their sequential forms by construction:
+//! gather writes disjoint output rows, and parallel scatter partitions
+//! the *output* rows — each task scans the full index list for its own
+//! row range, so every output row still accumulates its colliding inputs
+//! in increasing input order, exactly as the sequential loop does.
+
+use rayon::prelude::*;
 
 use crate::tensor::Tensor;
+
+/// Below this output element count the parallel dispatch costs more than
+/// it saves.
+const ROWS_PAR_MIN: usize = 1 << 16;
+
+/// Output rows per parallel task for gather/scatter.
+const ROWS_CHUNK: usize = 128;
+
+#[inline]
+fn run_parallel(out_elems: usize) -> bool {
+    out_elems >= ROWS_PAR_MIN && rayon::current_num_threads() > 1
+}
 
 impl Tensor {
     /// Select rows by index: `out[i, :] = self[idx[i], :]`.
@@ -21,16 +42,31 @@ impl Tensor {
         let src = self.as_slice();
         let mut out = Tensor::zeros(&[idx.len(), n]);
         let dst = out.as_mut_slice();
-        for (i, &j) in idx.iter().enumerate() {
-            let j = j as usize;
-            assert!(j < m, "gather_rows: index {j} out of range for {m} rows");
-            dst[i * n..(i + 1) * n].copy_from_slice(&src[j * n..(j + 1) * n]);
+        let kernel = |i0: usize, chunk: &mut [f32]| {
+            for (i, &j) in idx[i0..i0 + chunk.len() / n].iter().enumerate() {
+                let j = j as usize;
+                assert!(j < m, "gather_rows: index {j} out of range for {m} rows");
+                chunk[i * n..(i + 1) * n].copy_from_slice(&src[j * n..(j + 1) * n]);
+            }
+        };
+        if run_parallel(dst.len()) {
+            dst.par_chunks_mut(ROWS_CHUNK * n)
+                .enumerate()
+                .for_each(|(c, chunk)| kernel(c * ROWS_CHUNK, chunk));
+        } else {
+            kernel(0, dst);
         }
         out
     }
 
     /// Scatter rows with addition: `out[idx[i], :] += self[i, :]`, where
     /// `out` has `out_rows` rows. The adjoint of [`Tensor::gather_rows`].
+    ///
+    /// The parallel path partitions the output rows: each task owns a
+    /// contiguous destination range and replays the whole index list for
+    /// it, so colliding inputs still fold in increasing input order and
+    /// the result is bit-identical to the sequential loop regardless of
+    /// thread count.
     pub fn scatter_add_rows(&self, idx: &[u32], out_rows: usize) -> Tensor {
         let n = self.cols();
         assert_eq!(
@@ -40,20 +76,39 @@ impl Tensor {
             self.rows(),
             idx.len()
         );
+        for &j in idx {
+            assert!(
+                (j as usize) < out_rows,
+                "scatter_add_rows: index {j} out of range for {out_rows} rows"
+            );
+        }
         let src = self.as_slice();
         let mut out = Tensor::zeros(&[out_rows, n]);
         let dst = out.as_mut_slice();
-        for (i, &j) in idx.iter().enumerate() {
-            let j = j as usize;
-            assert!(
-                j < out_rows,
-                "scatter_add_rows: index {j} out of range for {out_rows} rows"
-            );
-            let row = &src[i * n..(i + 1) * n];
-            dst[j * n..(j + 1) * n]
-                .iter_mut()
-                .zip(row)
-                .for_each(|(o, &v)| *o += v);
+        if run_parallel(dst.len()) {
+            dst.par_chunks_mut(ROWS_CHUNK * n).enumerate().for_each(|(c, chunk)| {
+                let lo = c * ROWS_CHUNK;
+                let hi = lo + chunk.len() / n;
+                for (i, &j) in idx.iter().enumerate() {
+                    let j = j as usize;
+                    if j >= lo && j < hi {
+                        let row = &src[i * n..(i + 1) * n];
+                        chunk[(j - lo) * n..(j - lo + 1) * n]
+                            .iter_mut()
+                            .zip(row)
+                            .for_each(|(o, &v)| *o += v);
+                    }
+                }
+            });
+        } else {
+            for (i, &j) in idx.iter().enumerate() {
+                let j = j as usize;
+                let row = &src[i * n..(i + 1) * n];
+                dst[j * n..(j + 1) * n]
+                    .iter_mut()
+                    .zip(row)
+                    .for_each(|(o, &v)| *o += v);
+            }
         }
         out
     }
@@ -190,6 +245,30 @@ mod tests {
         let lhs: f32 = x.gather_rows(&idx).mul(&y).sum();
         let rhs: f32 = x.mul(&y.scatter_add_rows(&idx, 4)).sum();
         assert!((lhs - rhs).abs() < 1e-4);
+    }
+
+    #[test]
+    fn large_gather_scatter_cross_threshold_match_naive() {
+        // 2048 rows × 64 cols = 131072 elements > ROWS_PAR_MIN, so the
+        // parallel dispatch (when threads are available) is covered; the
+        // result must equal a naive per-element loop either way.
+        let (rows, n, out_rows) = (2048usize, 64usize, 300usize);
+        let x = Tensor::from_fn(&[rows, n], |i| ((i * 31 % 97) as f32) * 0.03 - 1.4);
+        let idx: Vec<u32> = (0..rows).map(|i| ((i * 7 + i / 3) % out_rows) as u32).collect();
+
+        let scattered = x.scatter_add_rows(&idx, out_rows);
+        let mut expect = vec![0.0f32; out_rows * n];
+        for (i, &j) in idx.iter().enumerate() {
+            for c in 0..n {
+                expect[j as usize * n + c] += x.at(i * n + c);
+            }
+        }
+        assert_eq!(scattered.as_slice(), &expect[..]);
+
+        let gathered = scattered.gather_rows(&idx);
+        for (i, &j) in idx.iter().enumerate() {
+            assert_eq!(gathered.row(i), scattered.row(j as usize), "row {i}");
+        }
     }
 
     #[test]

@@ -5,17 +5,21 @@ use std::sync::Arc;
 use serde::de::Error as _;
 use serde::{Deserialize, Deserializer, Serialize, Serializer};
 
+use crate::pool::Buf;
 use crate::shape::{volume, TensorError};
 
 /// A dense, row-major, always-contiguous `f32` tensor.
 ///
 /// Clones are O(1) (`Arc`-backed storage); the first mutation after a clone
-/// copies the buffer (copy-on-write). All arithmetic lives in sibling
-/// modules and is exposed as inherent methods.
+/// copies the buffer (copy-on-write). Storage is a pool-backed [`Buf`]:
+/// allocation draws from and drop returns to the size-class freelists in
+/// [`crate::pool`], so steady-state tensor churn never touches the global
+/// allocator. All arithmetic lives in sibling modules and is exposed as
+/// inherent methods.
 #[derive(Clone, PartialEq)]
 pub struct Tensor {
     pub(crate) shape: Vec<usize>,
-    pub(crate) data: Arc<Vec<f32>>,
+    pub(crate) data: Arc<Buf>,
 }
 
 impl Tensor {
@@ -23,7 +27,7 @@ impl Tensor {
     pub fn zeros(shape: &[usize]) -> Self {
         Tensor {
             shape: shape.to_vec(),
-            data: Arc::new(vec![0.0; volume(shape)]),
+            data: Arc::new(Buf::zeroed(volume(shape))),
         }
     }
 
@@ -36,7 +40,7 @@ impl Tensor {
     pub fn full(shape: &[usize], value: f32) -> Self {
         Tensor {
             shape: shape.to_vec(),
-            data: Arc::new(vec![value; volume(shape)]),
+            data: Arc::new(Buf::filled(volume(shape), value)),
         }
     }
 
@@ -55,16 +59,16 @@ impl Tensor {
         }
         Ok(Tensor {
             shape: shape.to_vec(),
-            data: Arc::new(data),
+            data: Arc::new(Buf::from_vec(data)),
         })
     }
 
     /// Build a tensor by evaluating `f` at every flat index.
-    pub fn from_fn(shape: &[usize], mut f: impl FnMut(usize) -> f32) -> Self {
+    pub fn from_fn(shape: &[usize], f: impl FnMut(usize) -> f32) -> Self {
         let n = volume(shape);
         Tensor {
             shape: shape.to_vec(),
-            data: Arc::new((0..n).map(&mut f).collect()),
+            data: Arc::new(Buf::from_fn(n, f)),
         }
     }
 
@@ -72,13 +76,13 @@ impl Tensor {
     pub fn scalar(value: f32) -> Self {
         Tensor {
             shape: vec![1],
-            data: Arc::new(vec![value]),
+            data: Arc::new(Buf::filled(1, value)),
         }
     }
 
     /// The identity matrix of side `n`.
     pub fn eye(n: usize) -> Self {
-        let mut data = vec![0.0; n * n];
+        let mut data = Buf::zeroed(n * n);
         for i in 0..n {
             data[i * n + i] = 1.0;
         }
@@ -141,7 +145,7 @@ impl Tensor {
     /// Mutable view of the backing buffer (copy-on-write).
     #[inline]
     pub fn as_mut_slice(&mut self) -> &mut [f32] {
-        Arc::make_mut(&mut self.data).as_mut_slice()
+        &mut *Arc::make_mut(&mut self.data)
     }
 
     /// Element at flat index `i`.
@@ -195,7 +199,7 @@ impl Tensor {
 
     /// Deep copy of the backing buffer as a `Vec`.
     pub fn to_vec(&self) -> Vec<f32> {
-        self.data.as_ref().clone()
+        self.data.to_vec()
     }
 
     /// True when every element is finite (no NaN / ±inf).
@@ -228,7 +232,7 @@ impl Serialize for Tensor {
         use serde::ser::SerializeStruct;
         let mut s = serializer.serialize_struct("Tensor", 2)?;
         s.serialize_field("shape", &self.shape)?;
-        s.serialize_field("data", self.data.as_ref())?;
+        s.serialize_field("data", self.as_slice())?;
         s.end()
     }
 }

@@ -20,9 +20,10 @@
 //! Ranks are partitioned into `reduce_slots(N) = min(N,
 //! `[`MAX_REDUCE_SLOTS`](matsciml_nn::bucket::MAX_REDUCE_SLOTS)`)`
 //! contiguous groups. Each group streams
-//! its ranks **in rank order** into one slot bucket: a rank's tape (and
-//! its gradient tensors) is dropped as soon as it is folded, so only the
-//! slot buckets stay resident. The slot buckets are then combined by a
+//! its ranks **in rank order** into one slot bucket over one reusable
+//! tape: a rank's tape is reset (arena kept, tensor buffers recycled to
+//! the [pool](matsciml_tensor::pool)) as soon as it is folded, so only
+//! the slot buckets stay resident. The slot buckets are then combined by a
 //! fixed pairwise tree ([`tree_reduce_into_first`]) and the averaged
 //! result is scattered back into the parameter store.
 //!
@@ -45,10 +46,12 @@
 //! gradient sets (asserted by the `ddp_memory` integration test via the
 //! bucket byte accounting).
 
+use matsciml_autograd::Graph;
 use matsciml_datasets::Sample;
 use matsciml_nn::bucket::{rank_range, reduce_slots, tree_reduce_into_first, GradBucket};
 use matsciml_nn::ForwardCtx;
 use matsciml_obs::{Obs, Phase, PhaseAcc, Span};
+use matsciml_tensor::pool_stats;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -60,6 +63,17 @@ use crate::model::TaskModel;
 pub const COMM_ALLREDUCE_BYTES: &str = "comm/allreduce_bytes";
 /// Counter name for raw flat-gradient bytes reduced per step.
 pub const COMM_GRAD_BYTES: &str = "comm/grad_bytes";
+/// Counter name for tensor-buffer pool hits during rank execution.
+pub const POOL_HITS: &str = "pool/hits";
+/// Counter name for tensor-buffer pool misses (fresh allocations) during
+/// rank execution.
+pub const POOL_MISSES: &str = "pool/misses";
+/// Counter name for bytes served from recycled pool buffers.
+pub const POOL_BYTES_RECYCLED: &str = "pool/bytes_recycled";
+/// Counter name for bytes served by fresh allocations.
+pub const POOL_BYTES_FRESH: &str = "pool/bytes_fresh";
+/// Counter name for tape nodes recorded across all rank tapes.
+pub const TAPE_NODES: &str = "tape/nodes";
 
 /// DDP execution configuration.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -82,10 +96,12 @@ impl DdpConfig {
     }
 }
 
-/// Run one rank's forward/backward and fold its gradients straight into a
-/// slot bucket (span index = raw parameter index). The tape — and every
-/// per-rank gradient tensor on it — dies at the end of this call, which is
-/// what keeps resident gradient memory at one bucket per slot.
+/// Run one rank's forward/backward on the slot's reusable tape and fold
+/// its gradients straight into a slot bucket (span index = raw parameter
+/// index). The tape is reset (not freed) when the slot's next rank runs:
+/// node slots reuse the arena and tensor buffers return to the
+/// [buffer pool](matsciml_tensor::pool), so resident gradient memory
+/// stays at one bucket per slot with zero steady-state allocator traffic.
 ///
 /// The slot's first rank overwrites its spans (`copy_span`) rather than
 /// adding into the zeroed buffer — one less full read pass per slot, and
@@ -94,6 +110,7 @@ fn fold_rank(
     model: &TaskModel,
     shard: &[Sample],
     ctx_seed: u64,
+    g: &mut Graph,
     bucket: &mut GradBucket,
     first: bool,
     acc: Option<&PhaseAcc>,
@@ -105,7 +122,7 @@ fn fold_rank(
     let fwd = acc.map(|a| Span::new(a, Phase::Forward));
     let batch = collate(shard);
     let mut ctx = ForwardCtx::train(ctx_seed);
-    let (mut g, loss, metrics) = model.forward(&batch, &mut ctx);
+    let (loss, metrics) = model.forward_into(g, &batch, &mut ctx);
     drop(fwd);
 
     let bwd = acc.map(|a| Span::new(a, Phase::Backward));
@@ -122,6 +139,36 @@ fn fold_rank(
     }
     drop(red);
     metrics
+}
+
+/// One reduce slot's persistent state: the reusable tape its virtual
+/// ranks stream through, and the slot output the parallel dispatch
+/// writes in place (the rayon stub's `for_each` takes a `Fn`, so results
+/// can't be collected through the closure).
+struct Slot {
+    graph: Graph,
+    out: Option<(GradBucket, Vec<MetricMap>)>,
+}
+
+/// Reusable per-slot tapes threaded through [`ddp_step_pooled`]. A caller
+/// that holds one across its step loop (as [`crate::Trainer`] does) never
+/// constructs a tape per step: each slot's graph is reset, re-recorded
+/// from pooled buffers, and kept.
+#[derive(Default)]
+pub struct DdpTapes {
+    slots: Vec<Slot>,
+}
+
+impl DdpTapes {
+    /// No tapes yet; slots are created on first use and kept thereafter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total nodes currently recorded across all slot tapes.
+    pub fn tape_nodes(&self) -> usize {
+        self.slots.iter().map(|s| s.graph.len()).sum()
+    }
 }
 
 /// Split `wall_ns` across phases in proportion to the thread-summed
@@ -172,6 +219,25 @@ pub fn ddp_step_observed(
     step: u64,
     obs: &Obs,
 ) -> MetricMap {
+    ddp_step_pooled(model, samples, cfg, step, obs, &mut DdpTapes::new())
+}
+
+/// [`ddp_step_observed`] over caller-owned tapes: the pooled hot path.
+/// Each reduce slot reuses one persistent [`Graph`] for all of its
+/// streamed virtual ranks, and across calls when the caller keeps the
+/// [`DdpTapes`] alive — no per-step tape construction. When `obs` is
+/// enabled the step additionally counts buffer-pool traffic
+/// ([`POOL_HITS`], [`POOL_MISSES`], [`POOL_BYTES_RECYCLED`],
+/// [`POOL_BYTES_FRESH`]) and recorded tape nodes ([`TAPE_NODES`]), and
+/// observes the step's pool hit rate under `pool/hit_rate`.
+pub fn ddp_step_pooled(
+    model: &mut TaskModel,
+    samples: &[Sample],
+    cfg: &DdpConfig,
+    step: u64,
+    obs: &Obs,
+    tapes: &mut DdpTapes,
+) -> MetricMap {
     assert_eq!(
         samples.len(),
         cfg.effective_batch(),
@@ -201,10 +267,15 @@ pub fn ddp_step_observed(
     // partial-phase time across steps.
     let local = obs.enabled().then(PhaseAcc::new);
     let t_fold = obs.timer();
+    let pool_before = obs.enabled().then(pool_stats);
+
+    while tapes.slots.len() < slots {
+        tapes.slots.push(Slot { graph: Graph::new(), out: None });
+    }
 
     // One slot = one resident partial-sum bucket; its ranks fold in rank
-    // order, streaming (tape dropped before the next rank runs).
-    let fold_group = |slot: usize| {
+    // order, streaming (tape reset before the next rank records).
+    let fold_group = |slot: usize, graph: &mut Graph| {
         let mut bucket = GradBucket::zeros(layout.clone());
         let mut metrics = Vec::new();
         let range = rank_range(cfg.world_size, slots, slot);
@@ -214,6 +285,7 @@ pub fn ddp_step_observed(
                 shared,
                 shards[rank],
                 seed_of(rank),
+                graph,
                 &mut bucket,
                 rank == first_rank,
                 local.as_ref(),
@@ -225,12 +297,17 @@ pub fn ddp_step_observed(
     // The same closure runs either way, and the slot→rank mapping plus the
     // tree below depend only on world_size — so parallel and sequential
     // execution sum in the same bracketing and agree bit-for-bit.
-    let folded: Vec<(GradBucket, Vec<MetricMap>)> =
-        if cfg.parallel && rayon::current_num_threads() > 1 {
-            (0..slots).into_par_iter().map(fold_group).collect()
-        } else {
-            (0..slots).map(fold_group).collect()
-        };
+    let state = &mut tapes.slots[..slots];
+    if cfg.parallel && rayon::current_num_threads() > 1 {
+        state.par_chunks_mut(1).enumerate().for_each(|(slot, chunk)| {
+            let s = &mut chunk[0];
+            s.out = Some(fold_group(slot, &mut s.graph));
+        });
+    } else {
+        for (slot, s) in state.iter_mut().enumerate() {
+            s.out = Some(fold_group(slot, &mut s.graph));
+        }
+    }
 
     if let Some(acc) = &local {
         // Thread-summed phase time can exceed wall time when slots ran in
@@ -250,7 +327,8 @@ pub fn ddp_step_observed(
 
     let mut buckets = Vec::with_capacity(slots);
     let mut rank_metrics = Vec::with_capacity(cfg.world_size);
-    for (bucket, metrics) in folded {
+    for s in tapes.slots[..slots].iter_mut() {
+        let (bucket, metrics) = s.out.take().expect("every slot folded");
         buckets.push(bucket);
         rank_metrics.extend(metrics);
     }
@@ -271,6 +349,16 @@ pub fn ddp_step_observed(
         let wire = if n > 1 { 2 * (n - 1) * grad_bytes / n } else { 0 };
         obs.count(COMM_ALLREDUCE_BYTES, wire);
         obs.count(COMM_GRAD_BYTES, grad_bytes);
+        // Buffer-pool traffic this step (deltas of the process-global
+        // stats) and tape volume: a steady-state pooled step shows zero
+        // misses and a hit rate of 1.0.
+        let delta = pool_stats().since(&pool_before.expect("snapshot taken when enabled"));
+        obs.count(POOL_HITS, delta.hits);
+        obs.count(POOL_MISSES, delta.misses);
+        obs.count(POOL_BYTES_RECYCLED, delta.bytes_recycled);
+        obs.count(POOL_BYTES_FRESH, delta.bytes_fresh);
+        obs.count(TAPE_NODES, tapes.tape_nodes() as u64);
+        obs.observe("pool/hit_rate", delta.hit_rate());
     }
 
     MetricMap::mean_of(&rank_metrics)

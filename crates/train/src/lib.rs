@@ -42,5 +42,8 @@ pub use model::{EncoderKind, TaskModel};
 pub use task::{target_stats, LossKind, TargetKind, TaskHead, TaskHeadConfig};
 pub use trainer::{EarlyStop, TrainConfig, Trainer, TrainLog, TrainRecord};
 
-pub use ddp::{ddp_step, ddp_step_observed, DdpConfig, COMM_ALLREDUCE_BYTES, COMM_GRAD_BYTES};
+pub use ddp::{
+    ddp_step, ddp_step_observed, ddp_step_pooled, DdpConfig, DdpTapes, COMM_ALLREDUCE_BYTES,
+    COMM_GRAD_BYTES,
+};
 pub use sweep::{run_sweep, run_sweep_observed, SweepGrid, Trial};

@@ -141,11 +141,21 @@ impl TaskModel {
     /// nothing, exactly the paper's masked multi-task objective.
     pub fn forward(&self, batch: &Batch, ctx: &mut ForwardCtx) -> (Graph, Var, MetricMap) {
         let mut g = Graph::new();
-        let embedding = self.encoder.encode(&mut g, &self.params, ctx, &batch.input);
+        let (total, metrics) = self.forward_into(&mut g, batch, ctx);
+        (g, total, metrics)
+    }
+
+    /// [`TaskModel::forward`] into a caller-owned tape. The graph is
+    /// [reset](Graph::reset) first, so a long-lived graph threaded through
+    /// a step loop records each batch with recycled node and buffer
+    /// storage — the pooled hot path used by `ddp_step` and the trainer.
+    pub fn forward_into(&self, g: &mut Graph, batch: &Batch, ctx: &mut ForwardCtx) -> (Var, MetricMap) {
+        g.reset();
+        let embedding = self.encoder.encode(g, &self.params, ctx, &batch.input);
         let mut metrics = MetricMap::new();
         let mut total: Option<Var> = None;
         for head in &self.heads {
-            if let Some((loss, m)) = head.loss(&mut g, &self.params, ctx, embedding, batch) {
+            if let Some((loss, m)) = head.loss(g, &self.params, ctx, embedding, batch) {
                 for (k, v) in m.0 {
                     metrics.set(k, v);
                 }
@@ -157,7 +167,7 @@ impl TaskModel {
         }
         let total = total.expect("batch matched no task head — check dataset/head wiring");
         metrics.set("loss", g.value(total).item());
-        (g, total, metrics)
+        (total, metrics)
     }
 
     /// Convenience: collate + forward in eval mode, returning metrics only.

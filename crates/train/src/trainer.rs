@@ -8,7 +8,7 @@ use matsciml_obs::{Event, EvalEvent, Json, Obs, Phase, RunStartEvent, StepEvent,
 use matsciml_opt::{AdamW, AdamWConfig, InstabilityProbe, LrSchedule, WarmupExpDecay};
 use serde::{Deserialize, Serialize};
 
-use crate::ddp::{ddp_step_observed, DdpConfig, COMM_ALLREDUCE_BYTES};
+use crate::ddp::{ddp_step_pooled, DdpConfig, DdpTapes, COMM_ALLREDUCE_BYTES};
 use crate::metrics::MetricMap;
 use crate::model::TaskModel;
 
@@ -313,6 +313,11 @@ impl Trainer {
             seed: cfg.seed,
         };
         let mut probe = InstabilityProbe::new(16, 3.0);
+        // Tapes live for the whole run: every step re-records onto the
+        // same per-slot graphs (pooled buffers, retained arenas) — the
+        // loop body constructs no graphs.
+        let mut tapes = DdpTapes::new();
+        let mut eval_tape = matsciml_autograd::Graph::new();
         let mut records = Vec::with_capacity(cfg.steps as usize);
         let mut stopped_early = false;
         let mut skipped_updates = 0u64;
@@ -345,7 +350,7 @@ impl Trainer {
                     let _prep = obs.span(Phase::Optimizer);
                     model.params.zero_grads();
                 }
-                let train_metrics = ddp_step_observed(model, &samples, &ddp, step, obs);
+                let train_metrics = ddp_step_pooled(model, &samples, &ddp, step, obs, &mut tapes);
                 let opt_span = obs.span(Phase::Optimizer);
                 let loss = train_metrics.get("loss").unwrap_or(f32::NAN);
                 probe.observe(loss, &model.params);
@@ -403,7 +408,7 @@ impl Trainer {
                 let val = match val_loader {
                     Some(loader) if due => {
                         let t_eval = obs.timer();
-                        let metrics = self.evaluate(model, loader, step);
+                        let metrics = self.evaluate_pooled(&mut eval_tape, model, loader, step);
                         if obs.enabled() {
                             let duration_us = Obs::lap_ns(t_eval) / 1_000;
                             obs.observe("phase/eval_us", duration_us as f64);
@@ -475,6 +480,19 @@ impl Trainer {
 
     /// Mean metrics over up to `eval_batches` validation batches.
     pub fn evaluate(&self, model: &TaskModel, val_loader: &DataLoader<'_>, step: u64) -> MetricMap {
+        self.evaluate_pooled(&mut matsciml_autograd::Graph::new(), model, val_loader, step)
+    }
+
+    /// [`Trainer::evaluate`] over a caller-owned tape, reset per batch —
+    /// the pooled path the training loop uses so evaluation allocates no
+    /// graphs either.
+    pub fn evaluate_pooled(
+        &self,
+        g: &mut matsciml_autograd::Graph,
+        model: &TaskModel,
+        val_loader: &DataLoader<'_>,
+        step: u64,
+    ) -> MetricMap {
         let batches = val_loader.epoch_batches(step); // deterministic per step
         assert!(
             !batches.is_empty(),
@@ -486,7 +504,10 @@ impl Trainer {
         let mut all = Vec::with_capacity(take);
         for b in batches.iter().take(take) {
             let samples = val_loader.load(b);
-            all.push(model.evaluate_batch(&samples));
+            let batch = crate::collate::collate(&samples);
+            let mut ctx = matsciml_nn::ForwardCtx::eval();
+            let (_loss, metrics) = model.forward_into(g, &batch, &mut ctx);
+            all.push(metrics);
         }
         MetricMap::mean_of(&all)
     }

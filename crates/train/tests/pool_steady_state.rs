@@ -1,0 +1,50 @@
+//! Steady-state allocation acceptance: after warmup, pooled DDP steps on
+//! a fixed batch must allocate **zero** new tensor buffers — every take
+//! is a pool hit. Lives in its own test binary (one test, nothing
+//! parallel) because the pool counters are process-global.
+
+use matsciml_datasets::{Dataset, DatasetId, GraphTransform, SyntheticMaterialsProject, Transform};
+use matsciml_models::EgnnConfig;
+use matsciml_obs::Obs;
+use matsciml_train::ddp::{ddp_step_pooled, DdpConfig, DdpTapes};
+use matsciml_train::{TargetKind, TaskHeadConfig, TaskModel};
+use matsciml_tensor::pool_stats;
+
+#[test]
+fn steady_state_steps_are_all_pool_hits() {
+    assert!(matsciml_tensor::pool_enabled(), "pooling is the default");
+
+    let mut model = TaskModel::egnn(
+        EgnnConfig::small(8),
+        &[TaskHeadConfig::regression(DatasetId::MaterialsProject, TargetKind::BandGap, 16, 1)],
+        17,
+    );
+    let ds = SyntheticMaterialsProject::new(16, 17);
+    let t = GraphTransform::radius(4.5, Some(12));
+    let samples: Vec<_> = (0..8).map(|i| t.apply(ds.sample(i))).collect();
+    let cfg = DdpConfig { world_size: 2, per_rank_batch: 4, parallel: true, seed: 17 };
+    let obs = Obs::disabled();
+    let mut tapes = DdpTapes::new();
+
+    // Warmup: first steps populate the pool (misses are expected here) and
+    // the optimizer-free loop reaches its steady buffer census.
+    for step in 0..3 {
+        model.params.zero_grads();
+        ddp_step_pooled(&mut model, &samples, &cfg, step, &obs, &mut tapes);
+    }
+
+    let before = pool_stats();
+    for step in 3..13 {
+        model.params.zero_grads();
+        ddp_step_pooled(&mut model, &samples, &cfg, step, &obs, &mut tapes);
+    }
+    let delta = pool_stats().since(&before);
+
+    assert!(delta.hits > 0, "steady-state steps must draw from the pool");
+    assert_eq!(
+        delta.misses, 0,
+        "steady-state steps allocated {} fresh buffers ({} bytes) — the pool must serve all of them",
+        delta.misses, delta.bytes_fresh
+    );
+    assert_eq!(delta.hit_rate(), 1.0);
+}

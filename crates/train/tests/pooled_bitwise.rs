@@ -1,0 +1,85 @@
+//! The tentpole acceptance test: the pooled + fused hot path must be a
+//! pure performance change. A 2-rank, 20-step training run with buffer
+//! pooling and fused dense emission enabled (the defaults) must reproduce
+//! the seed path — pool off, fused emission off, per-rank graphs freshly
+//! allocated — **bit for bit**: every per-step loss, every validation
+//! metric, and every final parameter tensor.
+//!
+//! Both arms run sequentially inside ONE test (this file is its own test
+//! binary) because the toggles are process-global.
+
+use matsciml_datasets::{Compose, DataLoader, DatasetId, Split, SyntheticMaterialsProject};
+use matsciml_models::EgnnConfig;
+use matsciml_nn::ParamId;
+use matsciml_train::{
+    TargetKind, TaskHeadConfig, TaskModel, TrainConfig, TrainLog, Trainer,
+};
+
+const WORLD: usize = 2;
+const PER_RANK: usize = 4;
+const STEPS: u64 = 20;
+
+fn run() -> (TrainLog, TaskModel) {
+    let ds = SyntheticMaterialsProject::new(160, 17);
+    let pipeline = Compose::standard(4.5, Some(12));
+    let batch = WORLD * PER_RANK;
+    let train_dl = DataLoader::new(&ds, Some(&pipeline), Split::Train, 0.2, batch, 17);
+    let val_dl = DataLoader::new(&ds, Some(&pipeline), Split::Val, 0.2, batch, 17);
+    let mut model = TaskModel::egnn(
+        EgnnConfig::small(8),
+        &[TaskHeadConfig::regression(DatasetId::MaterialsProject, TargetKind::BandGap, 16, 1)],
+        17,
+    );
+    let cfg = TrainConfig {
+        world_size: WORLD,
+        per_rank_batch: PER_RANK,
+        steps: STEPS,
+        base_lr: 1e-3,
+        eval_every: 5,
+        eval_batches: 2,
+        parallel_ranks: true,
+        seed: 17,
+        ..Default::default()
+    };
+    let log = Trainer::new(cfg).train(&mut model, &train_dl, Some(&val_dl));
+    (log, model)
+}
+
+#[test]
+fn pooled_fused_training_is_bit_identical_to_seed_path() {
+    // Seed arm: the exact pre-optimization configuration.
+    matsciml_tensor::set_pool_enabled(false);
+    matsciml_nn::set_fused_linear(false);
+    let (seed_log, seed_model) = run();
+
+    // Pooled arm: the defaults this PR ships.
+    matsciml_tensor::set_pool_enabled(true);
+    matsciml_nn::set_fused_linear(true);
+    let (pooled_log, pooled_model) = run();
+
+    assert_eq!(seed_log.records.len(), pooled_log.records.len());
+    for (a, b) in seed_log.records.iter().zip(&pooled_log.records) {
+        assert_eq!(
+            a.train.get("loss"),
+            b.train.get("loss"),
+            "step {}: training loss diverged",
+            a.step
+        );
+        assert_eq!(a.grad_norm, b.grad_norm, "step {}: grad norm diverged", a.step);
+        assert_eq!(a.lr, b.lr, "step {}", a.step);
+        match (&a.val, &b.val) {
+            (Some(va), Some(vb)) => assert_eq!(va.0, vb.0, "step {}: val metrics diverged", a.step),
+            (None, None) => {}
+            _ => panic!("step {}: eval schedule diverged", a.step),
+        }
+    }
+
+    assert_eq!(seed_model.params.len(), pooled_model.params.len());
+    for i in 0..seed_model.params.len() {
+        assert_eq!(
+            seed_model.params.value(ParamId(i)).as_slice(),
+            pooled_model.params.value(ParamId(i)).as_slice(),
+            "final parameter {i} diverged between seed and pooled paths"
+        );
+    }
+}

@@ -4,13 +4,16 @@
 #   ./scripts/verify.sh          # build + tests + doc gate
 #
 # The doc gate is scoped to the matsciml crates: the hermetic stubs under
-# third_party/ intentionally carry minimal docs and pre-existing warnings
-# (e.g. the criterion stub's unused_mut) and are not held to the gate.
+# third_party/ intentionally carry minimal docs and are not held to the
+# gate. The clippy gate covers the whole workspace (stubs included).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "== tier-1: build =="
 cargo build --release
+
+echo "== lint gate: clippy, warnings are errors =="
+cargo clippy --workspace -- -D warnings
 
 echo "== tier-1: tests (root package) =="
 cargo test -q

@@ -168,7 +168,7 @@ impl Criterion {
 
     /// Benchmark a closure outside any group.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
-        let mut group = self.benchmark_group("");
+        let group = self.benchmark_group("");
         let mut b = Bencher {
             samples: group.samples,
             budget: group.budget,

@@ -11,16 +11,44 @@ impl Graph {
     /// each node's grad slot and are read with [`Graph::grad`] /
     /// [`Graph::param_grads`].
     pub fn backward(&mut self, loss: Var) {
+        self.backward_with_hook(loss, |_, _| {});
+    }
+
+    /// [`Graph::backward`] with a grad-finalization hook.
+    ///
+    /// Nodes are recorded in topological order, so the reverse index sweep
+    /// visits a node only after every one of its consumers: when the sweep
+    /// reaches index `i`, no later accumulation can touch node `i`'s
+    /// gradient — it is **final**. For parameter leaves that moment is the
+    /// earliest a DDP reduction may ship the gradient, so the hook fires
+    /// right there: `hook(param_id, grad)` for every parameter leaf at
+    /// tape positions `0..=loss`, in reverse recording order (`grad` is
+    /// `None` when the leaf did not participate in the loss).
+    ///
+    /// The hook only observes finalized gradients — it cannot mutate the
+    /// tape — so `backward` and `backward_with_hook` produce identical
+    /// gradients; overlap schedulers change *when* a gradient is consumed,
+    /// never its value.
+    pub fn backward_with_hook<F>(&mut self, loss: Var, mut hook: F)
+    where
+        F: FnMut(usize, Option<&Tensor>),
+    {
         let seed = Tensor::ones(self.nodes[loss.0].value.shape());
         self.accum(loss, seed);
         // Nodes are recorded in topological order, so a reverse index sweep
         // visits every node after all of its consumers.
         for i in (0..=loss.0).rev() {
-            let Some(g) = self.nodes[i].grad.clone() else { continue };
-            let deltas = self.vjp(i, &g);
-            for (parent, delta) in deltas {
-                let fitted = fit(delta, self.nodes[parent.0].value.shape());
-                self.accum(parent, fitted);
+            if let Some(g) = self.nodes[i].grad.clone() {
+                let deltas = self.vjp(i, &g);
+                for (parent, delta) in deltas {
+                    let fitted = fit(delta, self.nodes[parent.0].value.shape());
+                    self.accum(parent, fitted);
+                }
+            }
+            // All consumers (indices > i) are processed: node i's gradient
+            // is final. Report parameter leaves the moment this happens.
+            if let Op::Leaf { param: Some(id) } = self.nodes[i].op {
+                hook(id, self.nodes[i].grad.as_ref());
             }
         }
     }
@@ -382,6 +410,38 @@ mod tests {
         let loss = g.sum_all(y);
         g.backward(loss);
         assert!(g.grad(x).unwrap().as_slice().iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn hook_fires_per_leaf_in_reverse_touch_order_with_final_grads() {
+        // Tape touches params 3, then 1, then 5 (id order deliberately
+        // scrambled vs touch order); param 9 is recorded but unused.
+        let mut g = Graph::new();
+        let a = g.param(3, Tensor::scalar(2.0));
+        let b = g.param(1, Tensor::scalar(4.0));
+        let _unused = g.param(9, Tensor::scalar(7.0));
+        let c = g.param(5, Tensor::scalar(3.0));
+        let ab = g.mul(a, b); // d/da = 4, d/db = 2
+        let abc = g.mul(ab, c); // d/dc = 8, grads of a,b scale by 3
+        let loss = g.sum_all(abc);
+
+        let mut fired: Vec<(usize, Option<f32>)> = Vec::new();
+        g.backward_with_hook(loss, |id, grad| {
+            fired.push((id, grad.map(|t| t.item())));
+        });
+        // Reverse recording order: last-touched finalizes first; the
+        // unused leaf still fires (with no gradient) so countdowns close.
+        assert_eq!(
+            fired,
+            vec![(5, Some(8.0)), (9, None), (1, Some(6.0)), (3, Some(12.0))]
+        );
+        // The hook saw exactly the final gradients backward() reports.
+        assert_eq!(g.grad(a).unwrap().item(), 12.0);
+        assert_eq!(g.grad(c).unwrap().item(), 8.0);
+        // And the forward-scan helper enumerates the same population in
+        // touch order.
+        let leaves: Vec<usize> = g.param_leaves_upto(loss).collect();
+        assert_eq!(leaves, vec![3, 1, 9, 5]);
     }
 
     #[test]

@@ -157,6 +157,20 @@ impl Graph {
         })
     }
 
+    /// Parameter ids of every parameter leaf recorded at tape positions
+    /// `0..=upto`, in recording (forward-touch) order, one entry per leaf
+    /// occurrence — whether or not the leaf will receive a gradient.
+    ///
+    /// This is the exact population [`Graph::backward_with_hook`] fires
+    /// over (in reverse), which is what lets an overlap scheduler size its
+    /// per-bucket readiness countdowns from a forward-only tape scan.
+    pub fn param_leaves_upto(&self, upto: Var) -> impl Iterator<Item = usize> + '_ {
+        self.nodes[..=upto.0].iter().filter_map(|n| match n.op {
+            Op::Leaf { param: Some(id) } => Some(id),
+            _ => None,
+        })
+    }
+
     /// Accumulate `delta` into the gradient slot of `v`.
     pub(crate) fn accum(&mut self, v: Var, delta: Tensor) {
         let slot = &mut self.nodes[v.0].grad;

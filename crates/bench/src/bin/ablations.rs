@@ -92,6 +92,8 @@ fn run_symmetry(
         seed: 51,
         early_stop: None,
         skip_nonfinite_updates: false,
+        overlap_comm: false,
+        prefetch_data: false,
     });
     let log = trainer.train(&mut model, &train_dl, Some(&val_dl));
     let fv = log.final_val().cloned().unwrap_or_default();
@@ -165,6 +167,8 @@ fn run_multitask_norm(name: &str, norm: NormKind, steps: u64, scale: Scale) -> O
         seed: 53,
         early_stop: None,
         skip_nonfinite_updates: false,
+        overlap_comm: false,
+        prefetch_data: false,
     });
     let log = trainer.train(&mut model, &train_dl, Some(&val_dl));
     let fv = log.final_val().cloned().unwrap_or_default();

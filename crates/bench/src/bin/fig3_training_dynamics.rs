@@ -50,6 +50,8 @@ fn run(world: usize, base_lr: f32, steps: u64, scale: Scale) -> RunResult {
         seed: 3,
         early_stop: None,
         skip_nonfinite_updates: false,
+        overlap_comm: false,
+        prefetch_data: false,
     });
     let log = trainer.train(&mut model, &train_dl, Some(&val_dl));
     let series = log.val_series("symmetry/sym/ce");

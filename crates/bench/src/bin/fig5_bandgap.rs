@@ -61,6 +61,8 @@ fn train_run(
         seed: 13,
         early_stop: None,
         skip_nonfinite_updates: false,
+        overlap_comm: false,
+        prefetch_data: false,
     });
     trainer.train(&mut model, &train_dl, Some(&val_dl))
 }

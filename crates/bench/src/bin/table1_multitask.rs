@@ -111,6 +111,8 @@ fn train_run(pretrained: Option<&TaskModel>, steps: u64, base_lr: f32, scale: Sc
         seed: 23,
         early_stop: None,
         skip_nonfinite_updates: false,
+        overlap_comm: false,
+        prefetch_data: false,
     });
     trainer.train(&mut model, &train_dl, Some(&val_dl))
 }

@@ -179,6 +179,8 @@ pub fn pretrained_model(scale: Scale) -> (TaskModel, TrainLog) {
         seed: 7,
         early_stop: None,
         skip_nonfinite_updates: false,
+        overlap_comm: false,
+        prefetch_data: false,
     });
     let log = trainer.train(&mut model, &train_dl, Some(&val_dl));
     std::fs::write(&cache, serde_json::to_string(&model.params).unwrap()).ok();

@@ -40,7 +40,7 @@ mod sample;
 mod synthetic;
 mod transform;
 
-pub use dataloader::{DataLoader, Split};
+pub use dataloader::{DataLoader, Prefetcher, Split, DATA_PREFETCH_HIT, DATA_PREFETCH_MISS};
 pub use file::JsonlDataset;
 pub use prototypes::{Prototype, ALL_PROTOTYPES, CUBIC_PROTOTYPES};
 pub use sample::{ConcatDataset, Dataset, DatasetId, Sample, Targets};

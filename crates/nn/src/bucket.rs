@@ -124,6 +124,146 @@ impl BucketLayout {
     }
 }
 
+/// One size-capped bucket of a [`PartitionedLayout`]: a [`BucketLayout`]
+/// over a subset of the parameters, plus the global parameter index each
+/// local span maps back to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BucketPart {
+    layout: BucketLayout,
+    param_ids: Vec<usize>,
+}
+
+impl BucketPart {
+    /// The span table of this part's flat buffer (span `i` ↔
+    /// `param_ids()[i]`).
+    pub fn layout(&self) -> &BucketLayout {
+        &self.layout
+    }
+
+    /// Global parameter index of each local span, in part order.
+    pub fn param_ids(&self) -> &[usize] {
+        &self.param_ids
+    }
+}
+
+/// A [`BucketLayout`] split into K size-capped buckets ordered by
+/// **reverse parameter-touch order** — the allreduce substrate for
+/// backward↔comm overlap.
+///
+/// During a reverse sweep, gradients finalize in reverse touch order:
+/// the last-touched parameter is ready first. Packing buckets in that
+/// order means bucket 0 fills while most of backward is still ahead, so a
+/// comm worker can reduce it *under* the remaining backward work. Every
+/// bucket covers a contiguous run of the reverse-touch sequence capped at
+/// `cap_bytes` (a parameter larger than the cap gets a bucket of its
+/// own); parameters absent from the touch order (never inserted into the
+/// tape) are appended to the final bucket — their spans stay zero, which
+/// reduces and scatters to exactly the no-op the single-bucket path
+/// performs for them.
+///
+/// Splitting changes no arithmetic: per-span copy/add folds, the pairwise
+/// slot tree, the `1/world` scale, and the scatter are all elementwise
+/// within a span, so K per-part reductions are bit-identical to one
+/// whole-layout reduction — only *when* each span reduces moves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionedLayout {
+    parts: Vec<BucketPart>,
+    /// Per global parameter: `(part, span-within-part)`.
+    lookup: Vec<(u32, u32)>,
+}
+
+impl PartitionedLayout {
+    /// Partition `numels` (per-parameter element counts, indexed by global
+    /// parameter id) into size-capped buckets along the reverse of
+    /// `touch_order` (parameter ids in forward-touch order; duplicates
+    /// keep their first occurrence, unknown ids panic).
+    pub fn by_reverse_touch(numels: &[usize], touch_order: &[usize], cap_bytes: usize) -> Self {
+        let cap = cap_bytes.max(1);
+        let mut seen = vec![false; numels.len()];
+        let mut order: Vec<usize> = Vec::with_capacity(numels.len());
+        for &id in touch_order.iter().rev() {
+            assert!(id < numels.len(), "touch_order id {id} out of range");
+            if !seen[id] {
+                seen[id] = true;
+                order.push(id);
+            }
+        }
+        // Reversed iteration keeps the *last* duplicate occurrence, but a
+        // leaf finalizes once per occurrence and spans are id-keyed, so
+        // any single placement is correct; reverse-of-first-touch and
+        // last-touch only differ for re-inserted parameters.
+        let untouched: Vec<usize> = (0..numels.len()).filter(|&id| !seen[id]).collect();
+
+        let mut parts: Vec<Vec<usize>> = Vec::new();
+        let mut cur: Vec<usize> = Vec::new();
+        let mut cur_bytes = 0usize;
+        for id in order {
+            let bytes = numels[id] * std::mem::size_of::<f32>();
+            if !cur.is_empty() && cur_bytes + bytes > cap {
+                parts.push(std::mem::take(&mut cur));
+                cur_bytes = 0;
+            }
+            cur.push(id);
+            cur_bytes += bytes;
+        }
+        if !cur.is_empty() {
+            parts.push(cur);
+        }
+        // Untouched parameters ride in the final bucket: they gate nothing
+        // (no leaf ever fires for them) and scatter only zeros.
+        match parts.last_mut() {
+            Some(last) => last.extend(untouched),
+            None if !untouched.is_empty() => parts.push(untouched),
+            None => {}
+        }
+
+        let mut lookup = vec![(u32::MAX, u32::MAX); numels.len()];
+        let parts: Vec<BucketPart> = parts
+            .into_iter()
+            .enumerate()
+            .map(|(p, ids)| {
+                let sizes: Vec<usize> = ids.iter().map(|&id| numels[id]).collect();
+                for (s, &id) in ids.iter().enumerate() {
+                    lookup[id] = (p as u32, s as u32);
+                }
+                BucketPart {
+                    layout: BucketLayout::from_numels(&sizes),
+                    param_ids: ids,
+                }
+            })
+            .collect();
+        PartitionedLayout { parts, lookup }
+    }
+
+    /// Number of buckets.
+    pub fn num_parts(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Bucket `p`.
+    pub fn part(&self, p: usize) -> &BucketPart {
+        &self.parts[p]
+    }
+
+    /// Iterate the buckets in firing order (bucket 0 finalizes first).
+    pub fn parts(&self) -> impl Iterator<Item = &BucketPart> {
+        self.parts.iter()
+    }
+
+    /// `(part, span-within-part)` of global parameter `id`.
+    pub fn locate(&self, id: usize) -> (usize, usize) {
+        let (p, s) = self.lookup[id];
+        assert!(p != u32::MAX, "parameter {id} not covered by the partition");
+        (p as usize, s as usize)
+    }
+
+    /// Total scalar count across every bucket (equals the unsplit
+    /// layout's).
+    pub fn total_scalars(&self) -> usize {
+        self.parts.iter().map(|p| p.layout.total_scalars()).sum()
+    }
+}
+
 /// One flat gradient buffer described by a [`BucketLayout`].
 #[derive(Debug)]
 pub struct GradBucket {
@@ -278,6 +418,96 @@ mod tests {
             }
             assert_eq!(next, world);
         }
+    }
+
+    #[test]
+    fn world_one_gets_one_slot_owning_rank_zero() {
+        assert_eq!(reduce_slots(1), 1);
+        assert_eq!(rank_range(1, 1, 0), 0..1);
+        // world=0 (empty sweep config) still yields one slot; its range is
+        // empty rather than panicking.
+        assert_eq!(reduce_slots(0), 1);
+        assert_eq!(rank_range(0, 1, 0), 0..0);
+    }
+
+    #[test]
+    fn world_below_slot_cap_gives_one_rank_per_slot() {
+        for world in 1..MAX_REDUCE_SLOTS {
+            let slots = reduce_slots(world);
+            assert_eq!(slots, world, "small worlds get exactly one slot per rank");
+            for slot in 0..slots {
+                assert_eq!(rank_range(world, slots, slot), slot..slot + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn non_divisible_worlds_spread_the_remainder_over_leading_slots() {
+        for world in [17usize, 19, 23, 31, 33, 100, 511, 513] {
+            let slots = reduce_slots(world);
+            assert_eq!(slots, MAX_REDUCE_SLOTS);
+            let base = world / slots;
+            let rem = world % slots;
+            let mut covered = vec![false; world];
+            let mut next = 0;
+            for slot in 0..slots {
+                let r = rank_range(world, slots, slot);
+                let want = base + usize::from(slot < rem);
+                assert_eq!(r.len(), want, "world {world} slot {slot}");
+                assert_eq!(r.start, next, "ranges must be contiguous");
+                for rank in r.clone() {
+                    assert!(!covered[rank], "rank {rank} assigned twice");
+                    covered[rank] = true;
+                }
+                next = r.end;
+            }
+            assert_eq!(next, world, "ranges must end at world");
+            assert!(covered.iter().all(|&c| c), "every rank must be covered");
+        }
+    }
+
+    #[test]
+    fn partition_orders_buckets_by_reverse_touch() {
+        // params: 0 (2 elems), 1 (3), 2 (1), 3 (4, untouched).
+        // Touch order 2,0,1 → reverse touch 1,0,2. Cap of 20 bytes = 5
+        // floats per bucket.
+        let p = PartitionedLayout::by_reverse_touch(&[2, 3, 1, 4], &[2, 0, 1], 20);
+        assert_eq!(p.num_parts(), 2);
+        assert_eq!(p.part(0).param_ids(), &[1, 0]); // 3+2 floats fit
+        assert_eq!(p.part(1).param_ids(), &[2, 3]); // 2 spills; 3 untouched rides last
+        assert_eq!(p.locate(1), (0, 0));
+        assert_eq!(p.locate(0), (0, 1));
+        assert_eq!(p.locate(2), (1, 0));
+        assert_eq!(p.locate(3), (1, 1));
+        assert_eq!(p.total_scalars(), 10);
+        assert_eq!(p.part(0).layout().span(1), (3, 2));
+    }
+
+    #[test]
+    fn partition_covers_every_param_exactly_once_at_any_cap() {
+        let numels = [5usize, 1, 7, 3, 2, 9, 4];
+        let touch = [3usize, 5, 0, 5, 1, 6, 3]; // duplicates, params 2 & 4 untouched
+        for cap in [1usize, 8, 24, 64, 1 << 20] {
+            let p = PartitionedLayout::by_reverse_touch(&numels, &touch, cap);
+            let mut seen = vec![0usize; numels.len()];
+            for (pi, part) in p.parts().enumerate() {
+                assert!(!part.param_ids().is_empty());
+                for (s, &id) in part.param_ids().iter().enumerate() {
+                    seen[id] += 1;
+                    assert_eq!(p.locate(id), (pi, s));
+                    assert_eq!(part.layout().span(s).1, numels[id]);
+                }
+            }
+            assert!(seen.iter().all(|&c| c == 1), "cap {cap}: cover exactly once");
+            assert_eq!(p.total_scalars(), numels.iter().sum::<usize>());
+        }
+    }
+
+    #[test]
+    fn partition_with_giant_cap_is_a_single_bucket() {
+        let p = PartitionedLayout::by_reverse_touch(&[2, 3], &[0, 1], usize::MAX);
+        assert_eq!(p.num_parts(), 1);
+        assert_eq!(p.part(0).param_ids(), &[1, 0]);
     }
 
     #[test]

@@ -16,7 +16,7 @@ mod layers;
 mod mlp;
 mod params;
 
-pub use bucket::{BucketLayout, GradBucket};
+pub use bucket::{BucketLayout, BucketPart, GradBucket, PartitionedLayout};
 pub use embedding::Embedding;
 pub use layers::{
     fused_linear, set_fused_linear, Activation, BatchNorm, ForwardCtx, Linear, NormKind, RmsNorm,

@@ -137,6 +137,30 @@ impl ParamSet {
         }
     }
 
+    /// Accumulate one reduced bucket of a partitioned layout into the
+    /// per-parameter accumulators: span `i` of `bucket` lands in parameter
+    /// `param_ids[i]`. Per-span this is the same `axpy` as
+    /// [`ParamSet::absorb_flat`], so scattering every part of a
+    /// [`crate::bucket::PartitionedLayout`] is bit-identical to one
+    /// whole-layout `absorb_flat`.
+    pub fn absorb_flat_part(&mut self, param_ids: &[usize], bucket: &GradBucket, scale: f32) {
+        assert_eq!(
+            bucket.layout().num_spans(),
+            param_ids.len(),
+            "absorb_flat_part: bucket layout does not match part span count"
+        );
+        for (i, &id) in param_ids.iter().enumerate() {
+            let src = bucket.span_slice(i);
+            let g = &mut self.grads[id];
+            assert_eq!(
+                src.len(),
+                g.numel(),
+                "absorb_flat_part: span {i} (param {id}) size mismatch"
+            );
+            matsciml_tensor::kernels::axpy(g.as_mut_slice(), src, scale);
+        }
+    }
+
     /// Add another store's gradients into this one, scaled. Both stores
     /// must have identical layouts (clones of the same model).
     pub fn absorb_grads_from(&mut self, other: &ParamSet, scale: f32) {

@@ -96,6 +96,16 @@ impl DdpConfig {
     }
 }
 
+/// The per-rank dropout seed for a step: a splitmix-style hash of the
+/// config seed, step, and rank. Shared by the sequential and overlapped
+/// step paths so both replay the identical dropout streams.
+pub(crate) fn rank_seed(cfg: &DdpConfig, step: u64, rank: usize) -> u64 {
+    cfg.seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(step.wrapping_mul(0x85EB_CA6B))
+        .wrapping_add(rank as u64)
+}
+
 /// Run one rank's forward/backward on the slot's reusable tape and fold
 /// its gradients straight into a slot bucket (span index = raw parameter
 /// index). The tape is reset (not freed) when the slot's next rank runs:
@@ -145,9 +155,9 @@ fn fold_rank(
 /// ranks stream through, and the slot output the parallel dispatch
 /// writes in place (the rayon stub's `for_each` takes a `Fn`, so results
 /// can't be collected through the closure).
-struct Slot {
-    graph: Graph,
-    out: Option<(GradBucket, Vec<MetricMap>)>,
+pub(crate) struct Slot {
+    pub(crate) graph: Graph,
+    pub(crate) out: Option<(GradBucket, Vec<MetricMap>)>,
 }
 
 /// Reusable per-slot tapes threaded through [`ddp_step_pooled`]. A caller
@@ -156,7 +166,7 @@ struct Slot {
 /// from pooled buffers, and kept.
 #[derive(Default)]
 pub struct DdpTapes {
-    slots: Vec<Slot>,
+    pub(crate) slots: Vec<Slot>,
 }
 
 impl DdpTapes {
@@ -169,12 +179,19 @@ impl DdpTapes {
     pub fn tape_nodes(&self) -> usize {
         self.slots.iter().map(|s| s.graph.len()).sum()
     }
+
+    /// Ensure at least `slots` reusable tapes exist.
+    pub(crate) fn grow_to(&mut self, slots: usize) {
+        while self.slots.len() < slots {
+            self.slots.push(Slot { graph: Graph::new(), out: None });
+        }
+    }
 }
 
 /// Split `wall_ns` across phases in proportion to the thread-summed
 /// nanoseconds each phase accumulated (u128 arithmetic; the remainder
 /// lands on the last phase so the parts sum exactly to `wall_ns`).
-fn apportion_wall(wall_ns: u64, thread_ns: &[u64]) -> Vec<u64> {
+pub(crate) fn apportion_wall(wall_ns: u64, thread_ns: &[u64]) -> Vec<u64> {
     let total: u128 = thread_ns.iter().map(|&n| n as u128).sum();
     if total == 0 {
         return vec![0; thread_ns.len()];
@@ -247,12 +264,7 @@ pub fn ddp_step_pooled(
     );
 
     let shards: Vec<&[Sample]> = samples.chunks(cfg.per_rank_batch).collect();
-    let seed_of = |rank: usize| {
-        cfg.seed
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add(step.wrapping_mul(0x85EB_CA6B))
-            .wrapping_add(rank as u64)
-    };
+    let seed_of = |rank: usize| rank_seed(cfg, step, rank);
 
     let layout = model.params.bucket_layout();
     let slots = reduce_slots(cfg.world_size);
@@ -269,9 +281,7 @@ pub fn ddp_step_pooled(
     let t_fold = obs.timer();
     let pool_before = obs.enabled().then(pool_stats);
 
-    while tapes.slots.len() < slots {
-        tapes.slots.push(Slot { graph: Graph::new(), out: None });
-    }
+    tapes.grow_to(slots);
 
     // One slot = one resident partial-sum bucket; its ranks fold in rank
     // order, streaming (tape reset before the next rank records).

@@ -30,6 +30,7 @@ pub mod ddp;
 mod forcefield;
 mod metrics;
 mod model;
+pub mod overlap;
 mod task;
 pub mod sweep;
 pub mod throughput;
@@ -45,5 +46,9 @@ pub use trainer::{EarlyStop, TrainConfig, Trainer, TrainLog, TrainRecord};
 pub use ddp::{
     ddp_step, ddp_step_observed, ddp_step_pooled, DdpConfig, DdpTapes, COMM_ALLREDUCE_BYTES,
     COMM_GRAD_BYTES,
+};
+pub use overlap::{
+    ddp_step_overlapped, BUCKET_CAP_BYTES, DDP_EXPOSED_COMM_MS, DDP_OVERLAPPED_COMM_MS,
+    DDP_OVERLAP_FRAC,
 };
 pub use sweep::{run_sweep, run_sweep_observed, SweepGrid, Trial};

@@ -51,6 +51,19 @@ pub struct TrainConfig {
     /// (a spike-mitigation used by production trainers). Off by default:
     /// the paper's runs take the hit, which is what Figs. 3/6 show.
     pub skip_nonfinite_updates: bool,
+    /// Overlap the gradient allreduce under backward
+    /// ([`crate::ddp_step_overlapped`]): bucket-ready hooks ship
+    /// size-capped gradient buckets to a comm-worker thread as their last
+    /// gradient finalizes. Bit-identical trajectories to the sequential
+    /// path; only the schedule changes. Off by default.
+    #[serde(default)]
+    pub overlap_comm: bool,
+    /// Double-buffer the data path: a background thread prefetches batch
+    /// *i+1* while batch *i* trains
+    /// ([`matsciml_datasets::DataLoader::spawn_prefetcher`]). Prefetched
+    /// batches are identical to synchronous loads. Off by default.
+    #[serde(default)]
+    pub prefetch_data: bool,
 }
 
 /// Early-stopping policy: stop when a validation metric has not improved
@@ -82,6 +95,8 @@ impl Default for TrainConfig {
             seed: 0,
             early_stop: None,
             skip_nonfinite_updates: false,
+            overlap_comm: false,
+            prefetch_data: false,
         }
     }
 }
@@ -339,18 +354,52 @@ impl Trainer {
         let mut comm_seen = obs.counter(COMM_ALLREDUCE_BYTES);
 
         let mut step = 0u64;
+        // The whole step loop runs inside one thread scope so the optional
+        // data-prefetch worker (and, per step, the overlap comm worker) can
+        // borrow the loader; with both features off the scope is free.
+        std::thread::scope(|scope| {
+        let mut prefetcher = cfg
+            .prefetch_data
+            .then(|| train_loader.spawn_prefetcher(scope));
+        let mut sched = train_loader.epoch_batches(0);
         'outer: for epoch in 0.. {
-            for batch_idx in train_loader.epoch_batches(epoch) {
+            // The next epoch's schedule is only materialized eagerly when
+            // prefetching needs to see across the epoch boundary (the
+            // shuffle is a pure function of (seed, epoch) either way).
+            let mut next_sched = prefetcher
+                .is_some()
+                .then(|| train_loader.epoch_batches(epoch + 1));
+            for (bi, batch_idx) in sched.iter().enumerate() {
                 if step >= cfg.steps {
                     break 'outer;
                 }
                 let t_step = obs.timer();
-                let samples = train_loader.load_observed(&batch_idx, obs);
+                let samples = match &mut prefetcher {
+                    Some(pf) => {
+                        if step == 0 {
+                            pf.request(batch_idx);
+                        }
+                        // Queue batch i+1 (or the next epoch's first batch)
+                        // before blocking on batch i: the double buffer.
+                        let next = sched
+                            .get(bi + 1)
+                            .or_else(|| next_sched.as_ref().and_then(|n| n.first()));
+                        if let Some(nb) = next {
+                            pf.request(nb);
+                        }
+                        pf.take_observed(train_loader, batch_idx, obs)
+                    }
+                    None => train_loader.load_observed(batch_idx, obs),
+                };
                 {
                     let _prep = obs.span(Phase::Optimizer);
                     model.params.zero_grads();
                 }
-                let train_metrics = ddp_step_pooled(model, &samples, &ddp, step, obs, &mut tapes);
+                let train_metrics = if cfg.overlap_comm {
+                    crate::overlap::ddp_step_overlapped(model, &samples, &ddp, step, obs, &mut tapes)
+                } else {
+                    ddp_step_pooled(model, &samples, &ddp, step, obs, &mut tapes)
+                };
                 let opt_span = obs.span(Phase::Optimizer);
                 let loss = train_metrics.get("loss").unwrap_or(f32::NAN);
                 probe.observe(loss, &model.params);
@@ -451,7 +500,11 @@ impl Trainer {
                     }
                 }
             }
+            sched = next_sched
+                .take()
+                .unwrap_or_else(|| train_loader.epoch_batches(epoch + 1));
         }
+        });
 
         let log = TrainLog {
             records,
@@ -538,6 +591,8 @@ mod tests {
             seed: 1,
             early_stop: None,
             skip_nonfinite_updates: false,
+            overlap_comm: false,
+            prefetch_data: false,
         }
     }
 

@@ -1,0 +1,131 @@
+//! The overlap-scheduler acceptance test: turning on the overlapped
+//! backward↔allreduce step and the data prefetcher must be a pure
+//! scheduling change. A 2-rank, 20-step training run with
+//! `overlap_comm` + `prefetch_data` enabled must reproduce the default
+//! pooled path **bit for bit**: every per-step loss, grad norm, learning
+//! rate, every validation metric, and every final parameter tensor.
+//!
+//! A second test records an overlapped run through a memory sink and
+//! checks the new observability surface: the `ddp/overlap_frac`,
+//! `ddp/exposed_comm_ms`, and `ddp/overlapped_comm_ms` histograms appear
+//! in the run-record summary, and `data/prefetch_hit` counts the
+//! prefetcher's front-of-queue hits.
+
+use matsciml_datasets::{
+    Compose, DataLoader, DatasetId, Split, SyntheticMaterialsProject, DATA_PREFETCH_HIT,
+};
+use matsciml_models::EgnnConfig;
+use matsciml_nn::ParamId;
+use matsciml_obs::{MemorySink, Obs, RunRecord, RunRecorder};
+use matsciml_train::{
+    TargetKind, TaskHeadConfig, TaskModel, TrainConfig, TrainLog, Trainer, DDP_EXPOSED_COMM_MS,
+    DDP_OVERLAPPED_COMM_MS, DDP_OVERLAP_FRAC,
+};
+
+const WORLD: usize = 2;
+const PER_RANK: usize = 4;
+const STEPS: u64 = 20;
+
+fn cfg(overlap: bool) -> TrainConfig {
+    TrainConfig {
+        world_size: WORLD,
+        per_rank_batch: PER_RANK,
+        steps: STEPS,
+        base_lr: 1e-3,
+        eval_every: 5,
+        eval_batches: 2,
+        parallel_ranks: true,
+        seed: 17,
+        overlap_comm: overlap,
+        prefetch_data: overlap,
+        ..Default::default()
+    }
+}
+
+fn run(overlap: bool, obs: Option<&Obs>) -> (TrainLog, TaskModel) {
+    let ds = SyntheticMaterialsProject::new(160, 17);
+    let pipeline = Compose::standard(4.5, Some(12));
+    let batch = WORLD * PER_RANK;
+    let train_dl = DataLoader::new(&ds, Some(&pipeline), Split::Train, 0.2, batch, 17);
+    let val_dl = DataLoader::new(&ds, Some(&pipeline), Split::Val, 0.2, batch, 17);
+    let mut model = TaskModel::egnn(
+        EgnnConfig::small(8),
+        &[TaskHeadConfig::regression(DatasetId::MaterialsProject, TargetKind::BandGap, 16, 1)],
+        17,
+    );
+    let trainer = Trainer::new(cfg(overlap));
+    let log = match obs {
+        Some(obs) => trainer.train_observed(&mut model, &train_dl, Some(&val_dl), obs),
+        None => trainer.train(&mut model, &train_dl, Some(&val_dl)),
+    };
+    (log, model)
+}
+
+#[test]
+fn overlapped_training_is_bit_identical_to_pooled_path() {
+    let (seq_log, seq_model) = run(false, None);
+    let (ov_log, ov_model) = run(true, None);
+
+    assert_eq!(seq_log.records.len(), ov_log.records.len());
+    for (a, b) in seq_log.records.iter().zip(&ov_log.records) {
+        assert_eq!(
+            a.train.get("loss"),
+            b.train.get("loss"),
+            "step {}: training loss diverged",
+            a.step
+        );
+        assert_eq!(a.grad_norm, b.grad_norm, "step {}: grad norm diverged", a.step);
+        assert_eq!(a.lr, b.lr, "step {}", a.step);
+        match (&a.val, &b.val) {
+            (Some(va), Some(vb)) => assert_eq!(va.0, vb.0, "step {}: val metrics diverged", a.step),
+            (None, None) => {}
+            _ => panic!("step {}: eval schedule diverged", a.step),
+        }
+    }
+
+    assert_eq!(seq_model.params.len(), ov_model.params.len());
+    for i in 0..seq_model.params.len() {
+        assert_eq!(
+            seq_model.params.value(ParamId(i)).as_slice(),
+            ov_model.params.value(ParamId(i)).as_slice(),
+            "final parameter {i} diverged between pooled and overlapped paths"
+        );
+    }
+}
+
+#[test]
+fn observed_overlapped_run_reports_overlap_and_prefetch() {
+    let sink = MemorySink::new();
+    let buffer = sink.buffer();
+    let obs = Obs::recording(RunRecorder::new(Box::new(sink)));
+    let (log, _) = run(true, Some(&obs));
+    obs.flush();
+
+    let text = buffer.lock().unwrap().join("\n");
+    let record = RunRecord::parse(&text).expect("run record must parse");
+    record.validate().expect("run record must validate");
+
+    assert_eq!(log.records.len(), STEPS as usize);
+    let summary = record.summary().expect("summary present");
+    assert_eq!(summary.steps, STEPS);
+
+    // The overlap histograms are observed once per optimizer step.
+    for key in [DDP_OVERLAP_FRAC, DDP_EXPOSED_COMM_MS, DDP_OVERLAPPED_COMM_MS] {
+        let q = summary
+            .phases
+            .get(key)
+            .unwrap_or_else(|| panic!("summary missing histogram {key}"));
+        assert_eq!(q.count, STEPS, "{key} observed once per step");
+    }
+    // overlap_frac is a ratio in [0, 1].
+    let frac = &summary.phases[DDP_OVERLAP_FRAC];
+    assert!(frac.max <= 1.0 + 1e-9, "overlap_frac max {} > 1", frac.max);
+
+    // The prefetcher serves the training loop: with an in-order consumer
+    // every take after the first request is a front-of-queue hit.
+    let hits = *summary
+        .counters
+        .get(DATA_PREFETCH_HIT)
+        .expect("summary missing data/prefetch_hit");
+    assert_eq!(hits, STEPS, "every training batch load is a prefetch hit");
+}

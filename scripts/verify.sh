@@ -15,6 +15,9 @@ cargo build --release
 echo "== lint gate: clippy, warnings are errors =="
 cargo clippy --workspace -- -D warnings
 
+echo "== bench gate: benches compile =="
+cargo bench -p matsciml-bench --no-run
+
 echo "== tier-1: tests (root package) =="
 cargo test -q
 

@@ -22,6 +22,8 @@ fn small_trainer(steps: u64, base_lr: f32) -> Trainer {
         seed: 1,
         early_stop: None,
         skip_nonfinite_updates: false,
+        overlap_comm: false,
+        prefetch_data: false,
     })
 }
 

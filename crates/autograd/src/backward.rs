@@ -1,6 +1,6 @@
 //! The reverse sweep: vector–Jacobian products for every op.
 
-use matsciml_tensor::{fused, Tensor};
+use matsciml_tensor::{edge, fused, Tensor};
 
 use crate::graph::{Graph, Op, Var};
 use crate::ops::{sigmoid, SELU_ALPHA, SELU_SCALE};
@@ -207,6 +207,59 @@ impl Graph {
             Op::ConcatCols { parts, widths } => {
                 let splits = g.split_cols(widths);
                 parts.iter().copied().zip(splits).collect()
+            }
+            Op::EdgeRel { x, src, dst } => {
+                // The unfused chain accumulates into x in reverse tape
+                // order: the `xj` gather (recorded later) scatters −g by
+                // dst before the `xi` gather scatters g by src. Returning
+                // the deltas in that order replays the exact accumulation
+                // sequence.
+                let rows = self.value(*x).rows();
+                vec![
+                    (*x, g.neg().scatter_add_rows(dst, rows)),
+                    (*x, g.scatter_add_rows(src, rows)),
+                ]
+            }
+            Op::EdgeConcat { h, rel, src, dst } => {
+                // h-blocks: the split_cols copies of the unfused ConcatCols
+                // VJP feed plain scatter-adds; scatter_cols_add produces the
+                // same values with the same per-row fold order, straight
+                // from the strided gradient. hj (cols H..2H, by dst) lands
+                // before hi (cols 0..H, by src), as on the unfused tape.
+                let hv = self.value(*h);
+                let (rows, hw) = (hv.rows(), hv.cols());
+                let mut deltas = vec![
+                    (*h, edge::scatter_cols_add(g, hw, hw, dst, rows)),
+                    (*h, edge::scatter_cols_add(g, 0, hw, src, rows)),
+                ];
+                if let Some(r) = rel {
+                    // d² unfuses to RowSum(Mul(rel, rel)): RowSum broadcasts
+                    // the last gradient column over rel's columns, and the
+                    // same-operand Mul then contributes the identical delta
+                    // twice — replayed here as two pushes of one tensor.
+                    let rv = self.value(*r);
+                    let (e, c) = (rv.rows(), rv.cols());
+                    let (gs, rs) = (g.as_slice(), rv.as_slice());
+                    let width = 2 * hw + 1;
+                    let d =
+                        Tensor::from_fn(&[e, c], |i| gs[(i / c) * width + 2 * hw] * rs[i]);
+                    deltas.push((*r, d.clone()));
+                    deltas.push((*r, d));
+                }
+                deltas
+            }
+            Op::ScatterMeanRows { x, idx, inv } => {
+                vec![(*x, edge::scatter_mean_backward(g, idx, inv))]
+            }
+            Op::WeightedScatterMean { x, w, idx, inv } => {
+                let (dx, dw) = edge::weighted_scatter_backward(
+                    g,
+                    self.value(*x),
+                    self.value(*w),
+                    idx,
+                    inv.as_ref(),
+                );
+                vec![(*x, dx), (*w, dw)]
             }
             Op::Clamp { x, mask } => vec![(*x, g.mul(mask))],
             Op::MseLoss { pred, target, mask } => {

@@ -55,6 +55,23 @@ pub(crate) enum Op {
     GatherRows { x: Var, idx: Arc<Vec<u32>> },
     ScatterAddRows { x: Var, idx: Arc<Vec<u32>> },
     ConcatCols { parts: Vec<Var>, widths: Vec<usize> },
+    /// Fused `rel = x[src] − x[dst]` edge-vector assembly: one node
+    /// replacing the `GatherRows ×2 → Sub` triple, VJP scattering `∓g`
+    /// straight back into `x`'s gradient (dst block first, matching the
+    /// unfused reverse-tape order).
+    EdgeRel { x: Var, src: Arc<Vec<u32>>, dst: Arc<Vec<u32>> },
+    /// Fused message-input assembly `[h[src] ‖ h[dst] ‖ d²(rel)]`
+    /// (`rel = None` drops the squared-distance column — the MPNN form):
+    /// one node replacing `GatherRows ×2 (→ Mul → RowSum) → ConcatCols`.
+    EdgeConcat { h: Var, rel: Option<Var>, src: Arc<Vec<u32>>, dst: Arc<Vec<u32>> },
+    /// Fused scatter-add + per-row scale by the constant mean normalizer
+    /// `inv` (not a tape node: the unfused input leaf's gradient is never
+    /// consumed).
+    ScatterMeanRows { x: Var, idx: Arc<Vec<u32>>, inv: Tensor },
+    /// Fused weighted scatter `out[j] = inv[j] · Σ_{idx[e]=j} x[e]·w[e]`
+    /// replacing `MulCol → ScatterAddRows → MulCol`; `inv = None` skips
+    /// the mean normalization.
+    WeightedScatterMean { x: Var, w: Var, idx: Arc<Vec<u32>>, inv: Option<Tensor> },
     /// Clamp; caches pass-through mask (1 where un-clamped).
     Clamp { x: Var, mask: Tensor },
     /// Mean squared error against a constant target, with optional 0/1 mask.

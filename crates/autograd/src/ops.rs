@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 
-use matsciml_tensor::{fused, Act, Tensor};
+use matsciml_tensor::{edge, fused, Act, Tensor};
 use rand::Rng;
 
 use crate::graph::{Graph, Op, Var};
@@ -262,6 +262,65 @@ impl Graph {
             v,
             Op::ConcatCols { parts: parts.to_vec(), widths },
         )
+    }
+
+    /// Fused relative edge vectors `rel[e] = x[src[e]] − x[dst[e]]` — one
+    /// tape node replacing the `gather_rows ×2 → sub` triple, bit-identical
+    /// to that composition in both value and gradient.
+    pub fn edge_rel(&mut self, x: Var, src: Arc<Vec<u32>>, dst: Arc<Vec<u32>>) -> Var {
+        let v = edge::edge_rel(self.value(x), &src, &dst);
+        self.push(v, Op::EdgeRel { x, src, dst })
+    }
+
+    /// Fused message-input assembly: with `rel`, row `e` is
+    /// `[h[src[e]] ‖ h[dst[e]] ‖ d²[e]]` with `d² = Σ_c rel[e,c]²`
+    /// (the E(n)-GNN φ_e input); without `rel` it is `[h[src] ‖ h[dst]]`
+    /// (the MPNN message input). One tape node replacing up to five
+    /// (`gather ×2`, `mul`, `row_sum`, `concat_cols`), bit-identical to
+    /// that composition in both value and gradient.
+    pub fn edge_concat(
+        &mut self,
+        h: Var,
+        rel: Option<Var>,
+        src: Arc<Vec<u32>>,
+        dst: Arc<Vec<u32>>,
+    ) -> Var {
+        let v = edge::gather_concat(self.value(h), rel.map(|r| self.value(r)), &src, &dst);
+        self.push(v, Op::EdgeConcat { h, rel, src, dst })
+    }
+
+    /// Fused mean aggregation: scatter-add rows by `idx` into `out_rows`
+    /// rows, then scale row `j` by the constant `inv[j]` — one node
+    /// replacing `scatter_add_rows → mul_col(input(inv))`, bit-identical
+    /// to that composition. `inv` is data, not a variable: the unfused
+    /// input leaf's gradient is dead.
+    pub fn scatter_mean_rows(
+        &mut self,
+        x: Var,
+        idx: Arc<Vec<u32>>,
+        out_rows: usize,
+        inv: Tensor,
+    ) -> Var {
+        let v = edge::scatter_mean_rows(self.value(x), &idx, out_rows, &inv);
+        self.push(v, Op::ScatterMeanRows { x, idx, inv })
+    }
+
+    /// Fused weighted mean aggregation `out[j] = inv[j] · Σ_{idx[e]=j}
+    /// x[e]·w[e]` (the E(n)-GNN coordinate update) — one node replacing
+    /// `mul_col(x, w) → scatter_add_rows → mul_col(·, input(inv))`,
+    /// bit-identical to that composition in both value and gradient.
+    /// `inv = None` skips the normalization (plain weighted scatter-add).
+    pub fn weighted_scatter(
+        &mut self,
+        x: Var,
+        w: Var,
+        idx: Arc<Vec<u32>>,
+        out_rows: usize,
+        inv: Option<Tensor>,
+    ) -> Var {
+        let v =
+            edge::weighted_scatter_mean(self.value(x), self.value(w), &idx, out_rows, inv.as_ref());
+        self.push(v, Op::WeightedScatterMean { x, w, idx, inv })
     }
 
     /// Clamp into `[lo, hi]`; the gradient is passed through only where the

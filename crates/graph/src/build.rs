@@ -105,14 +105,68 @@ impl SpatialGrid {
     }
 }
 
+/// Node-count threshold above which `radius_graph` distributes the
+/// per-node neighborhood scans over worker threads. Small clouds (single
+/// crystals are tens of atoms) stay on the serial path: a thread-scope
+/// spawn costs more than the whole scan.
+const RADIUS_PAR_MIN: usize = 256;
+
+/// Collect node `i`'s neighbor list into `scratch`: every `j` within the
+/// cutoff, optionally capped at the `max_neighbors` closest. The list
+/// order — grid-neighborhood walk order, or ascending distance once the
+/// cap forces a sort — is exactly what the edge stream records, so both
+/// the serial and parallel drivers must go through this one helper.
+fn neighbors_of(
+    grid: &SpatialGrid,
+    positions: &[Vec3],
+    i: usize,
+    r2: f32,
+    max_neighbors: Option<usize>,
+    scratch: &mut Vec<(f32, u32)>,
+) {
+    scratch.clear();
+    let pi = positions[i];
+    grid.for_neighborhood(&pi, |j| {
+        if j as usize != i {
+            let d2 = (pi - positions[j as usize]).norm_sq();
+            if d2 <= r2 {
+                scratch.push((d2, j));
+            }
+        }
+    });
+    if let Some(cap) = max_neighbors {
+        if scratch.len() > cap {
+            scratch.sort_by(|a, b| a.0.total_cmp(&b.0));
+            scratch.truncate(cap);
+        }
+    }
+}
+
 /// Connect every pair of atoms closer than `radius`, both directions,
 /// optionally capping each node's neighbor count at `max_neighbors`
 /// (closest first), which is the OCP convention for dense slabs.
+///
+/// Clouds of `RADIUS_PAR_MIN` atoms or more scan their neighborhoods on
+/// worker threads. The result is bit-identical to the serial scan at any
+/// thread count: the grid is built serially (so every node walks the same
+/// bins in the same order), each node's list is produced independently by
+/// `neighbors_of`, and the lists are appended in ascending node order.
 pub fn radius_graph(
     species: Vec<u32>,
     positions: Vec<Vec3>,
     radius: f32,
     max_neighbors: Option<usize>,
+) -> MaterialGraph {
+    let parallel = positions.len() >= RADIUS_PAR_MIN && rayon::current_num_threads() > 1;
+    radius_graph_impl(species, positions, radius, max_neighbors, parallel)
+}
+
+fn radius_graph_impl(
+    species: Vec<u32>,
+    positions: Vec<Vec3>,
+    radius: f32,
+    max_neighbors: Option<usize>,
+    parallel: bool,
 ) -> MaterialGraph {
     assert!(radius > 0.0, "radius must be positive");
     let grid = SpatialGrid::build(&positions, radius);
@@ -120,27 +174,31 @@ pub fn radius_graph(
     let n = positions.len();
     let mut graph = MaterialGraph::new(species, positions);
 
-    let mut scratch: Vec<(f32, u32)> = Vec::new();
-    for i in 0..n {
-        scratch.clear();
-        let pi = graph.positions[i];
-        grid.for_neighborhood(&pi, |j| {
-            if j as usize != i {
-                let d2 = (pi - graph.positions[j as usize]).norm_sq();
-                if d2 <= r2 {
-                    scratch.push((d2, j));
-                }
-            }
-        });
-        if let Some(cap) = max_neighbors {
-            if scratch.len() > cap {
-                scratch.sort_by(|a, b| a.0.total_cmp(&b.0));
-                scratch.truncate(cap);
+    if parallel {
+        use rayon::prelude::*;
+        let positions = &graph.positions;
+        let lists: Vec<Vec<u32>> = (0..n)
+            .into_par_iter()
+            .map(|i| {
+                let mut scratch = Vec::new();
+                neighbors_of(&grid, positions, i, r2, max_neighbors, &mut scratch);
+                scratch.iter().map(|&(_, j)| j).collect()
+            })
+            .collect();
+        for (i, list) in lists.iter().enumerate() {
+            for &j in list {
+                graph.src.push(i as u32);
+                graph.dst.push(j);
             }
         }
-        for &(_, j) in scratch.iter() {
-            graph.src.push(i as u32);
-            graph.dst.push(j);
+    } else {
+        let mut scratch: Vec<(f32, u32)> = Vec::new();
+        for i in 0..n {
+            neighbors_of(&grid, &graph.positions, i, r2, max_neighbors, &mut scratch);
+            for &(_, j) in scratch.iter() {
+                graph.src.push(i as u32);
+                graph.dst.push(j);
+            }
         }
     }
     graph
@@ -246,6 +304,57 @@ mod tests {
         let mut expected: Vec<(u32, u32)> = Vec::new();
         for i in 0..pts.len() {
             for j in 0..pts.len() {
+                if i != j && (pts[i] - pts[j]).norm_sq() <= r * r {
+                    expected.push((i as u32, j as u32));
+                }
+            }
+        }
+        let mut got: Vec<(u32, u32)> = g.src.iter().copied().zip(g.dst.iter().copied()).collect();
+        got.sort_unstable();
+        expected.sort_unstable();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn radius_graph_parallel_is_bit_identical_to_serial() {
+        // Above the parallel threshold, the threaded scan must produce the
+        // exact same edge stream (same edges, same order) as the serial
+        // one — with and without a neighbor cap.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let n = RADIUS_PAR_MIN + 150;
+        let mut rng = StdRng::seed_from_u64(31);
+        let pts: Vec<Vec3> = (0..n)
+            .map(|_| {
+                Vec3::new(
+                    rng.gen_range(-8.0..8.0),
+                    rng.gen_range(-8.0..8.0),
+                    rng.gen_range(-8.0..8.0),
+                )
+            })
+            .collect();
+        for cap in [None, Some(6)] {
+            let serial = radius_graph_impl(vec![0; n], pts.clone(), 2.0, cap, false);
+            let par = radius_graph_impl(vec![0; n], pts.clone(), 2.0, cap, true);
+            assert!(serial.num_edges() > 0, "test cloud must produce edges");
+            assert_eq!(serial.src, par.src, "src stream diverged (cap {cap:?})");
+            assert_eq!(serial.dst, par.dst, "dst stream diverged (cap {cap:?})");
+        }
+    }
+
+    #[test]
+    fn radius_graph_public_entry_crosses_parallel_threshold() {
+        // The public entry point picks the parallel path for big clouds;
+        // its output must still satisfy the brute-force contract.
+        let n = RADIUS_PAR_MIN + 44;
+        let pts: Vec<Vec3> = (0..n)
+            .map(|i| Vec3::new((i % 20) as f32 * 0.9, ((i / 20) % 20) as f32 * 0.9, (i / 400) as f32 * 0.9))
+            .collect();
+        let r = 1.1f32;
+        let g = radius_graph(vec![0; n], pts.clone(), r, None);
+        let mut expected: Vec<(u32, u32)> = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
                 if i != j && (pts[i] - pts[j]).norm_sq() <= r * r {
                     expected.push((i as u32, j as u32));
                 }

@@ -17,7 +17,7 @@
 //! updates — the standard stabilization from the reference implementation.
 
 use matsciml_autograd::{Graph, Var};
-use matsciml_nn::{Activation, Embedding, ForwardCtx, Mlp, ParamSet};
+use matsciml_nn::{fused_edges, Activation, Embedding, ForwardCtx, Mlp, ParamSet};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -123,6 +123,35 @@ impl EgnnLayer {
         if input.num_edges() == 0 {
             // Isolated atoms: no messages; h and x pass through unchanged.
             return (h, x);
+        }
+
+        if fused_edges() {
+            // Fused edge pipeline: the same math in one sweep per stage —
+            // rel in one node instead of gather×2+sub, the φ_e input in
+            // one node instead of gather×2+mul+row_sum+concat, and the
+            // coordinate update in one node instead of
+            // mul_col+scatter+mul_col. Bit-identical to the generic
+            // lowering below (asserted by tests/fused_edges.rs).
+            let rel = g.edge_rel(x, input.src.clone(), input.dst.clone());
+            let msg_in = g.edge_concat(h, Some(rel), input.src.clone(), input.dst.clone());
+            let m = self.phi_e.forward(g, ps, msg_in);
+
+            let w_raw = self.phi_x.forward(g, ps, m);
+            let w = g.tanh(w_raw);
+            let agg_x = g.weighted_scatter(
+                rel,
+                w,
+                input.src.clone(),
+                n,
+                Some(input.inv_degree.clone()),
+            );
+            let x_new = g.add(x, agg_x);
+
+            let agg_m = g.scatter_add_rows(m, input.src.clone(), n);
+            let upd_in = g.concat_cols(&[h, agg_m]);
+            let dh = self.phi_h.forward(g, ps, upd_in);
+            let h_new = g.add(h, dh);
+            return (h_new, x_new);
         }
 
         let hi = g.gather_rows(h, input.src.clone());

@@ -7,7 +7,7 @@
 //! equivariant vs plain encoder at a fixed parameter budget.
 
 use matsciml_autograd::{Graph, Var};
-use matsciml_nn::{Activation, Embedding, ForwardCtx, Linear, Mlp, ParamSet};
+use matsciml_nn::{fused_edges, Activation, Embedding, ForwardCtx, Linear, Mlp, ParamSet};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -112,9 +112,15 @@ impl Encoder for MpnnEncoder {
             if input.num_edges() == 0 {
                 break;
             }
-            let hi = g.gather_rows(h, input.src.clone());
-            let hj = g.gather_rows(h, input.dst.clone());
-            let msg_in = g.concat_cols(&[hi, hj]);
+            // Fused: one tape node assembling [h_i ‖ h_j] per edge,
+            // bit-identical to the gather×2+concat composition.
+            let msg_in = if fused_edges() {
+                g.edge_concat(h, None, input.src.clone(), input.dst.clone())
+            } else {
+                let hi = g.gather_rows(h, input.src.clone());
+                let hj = g.gather_rows(h, input.dst.clone());
+                g.concat_cols(&[hi, hj])
+            };
             let m = layer.phi.forward(g, ps, msg_in);
             let agg = g.scatter_add_rows(m, input.src.clone(), n);
             let upd_in = g.concat_cols(&[h, agg]);

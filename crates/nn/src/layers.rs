@@ -28,6 +28,24 @@ pub fn fused_linear() -> bool {
     FUSED_LINEAR.load(Ordering::Relaxed)
 }
 
+/// Process-wide switch for the fused edge pipeline (default on). When
+/// set, the message-passing encoders lower edge assembly and aggregation
+/// onto the fused `edge_rel` / `edge_concat` / `weighted_scatter` tape
+/// ops instead of the generic gather/sub/mul/concat/scatter composition.
+/// The two paths are bit-exact; the switch exists so regression tests and
+/// benchmarks can pin the generic (seed) path.
+static FUSED_EDGES: AtomicBool = AtomicBool::new(true);
+
+/// Enable or disable the fused edge pipeline process-wide.
+pub fn set_fused_edges(enabled: bool) {
+    FUSED_EDGES.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether message-passing encoders currently emit fused edge tape nodes.
+pub fn fused_edges() -> bool {
+    FUSED_EDGES.load(Ordering::Relaxed)
+}
+
 /// Per-forward-pass context: training/eval mode and the RNG that feeds
 /// stochastic layers (dropout). One per rank per step; seeding it from
 /// `(global_seed, rank, step)` keeps DDP runs reproducible.

@@ -1,0 +1,562 @@
+//! Fused edge-pipeline kernels for message passing.
+//!
+//! An E(n)-GNN layer spends its non-matmul time shuttling edge-sized
+//! intermediates: four `gather_rows`, a `sub`, a `mul`, a `row_sum`, a
+//! `concat_cols` just to assemble the φ_e input, then `mul_col` +
+//! `scatter_add_rows` + `mul_col` again for the mean-aggregated updates.
+//! The kernels here collapse those chains into single sweeps over edge
+//! memory — one read of the node features per edge, writing straight into
+//! the final buffer — while reproducing the generic composition's
+//! per-element operation sequence and accumulation order **bit for bit**:
+//!
+//! * [`edge_rel`] — `rel[e] = x[src[e]] − x[dst[e]]` without the `xi`/`xj`
+//!   gathers (same single f32 subtraction per element).
+//! * [`gather_concat`] — `[h[src[e]] ‖ h[dst[e]] ‖ d²[e]]` without
+//!   `hi`/`hj`/`relsq`/`d²` intermediates. The squared distance sums the
+//!   f32 products `rel·rel` in an f64 accumulator and casts back, exactly
+//!   like `mul` followed by `sum_axis1`.
+//! * [`scatter_mean_rows`] / [`scatter_mean_backward`] — scatter-add then
+//!   per-row scale by `inv` in one pass; the backward is the fused
+//!   `mul_col_broadcast(inv)` + `gather_rows` (one multiply per element).
+//! * [`weighted_scatter_mean`] / [`weighted_scatter_backward`] — the
+//!   coordinate update `Σ_e rel[e]·w[e]` scattered by source node and
+//!   scaled by `inv`, without materializing the weighted `moved` rows.
+//! * [`scatter_cols_add`] — scatter-add of a column slice of a wide
+//!   gradient matrix, the adjoint of [`gather_concat`]'s h-blocks, without
+//!   the `split_cols` copy.
+//!
+//! Bit-exactness argument: every output element is produced by the same
+//! sequence of f32 operations, in the same order, as the unfused chain
+//! (asserted per-kernel by the tests below). Scatters reuse the stable
+//! counting-sort `CsrPlan` of `scatter_add_rows`, so each
+//! output row folds its colliding edges in increasing input order exactly
+//! as the serial loop does, at any thread count. Gather-style kernels
+//! write disjoint output rows, so their parallel split is trivially
+//! deterministic.
+//!
+//! The module keeps process-wide counters ([`edge_stats`]) of fused calls
+//! and the bytes of intermediate buffers each call avoided, which the
+//! trainer surfaces as `edge/*` counters (see `docs/RUN_RECORD.md`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rayon::prelude::*;
+
+use crate::rows::{run_parallel, CsrPlan, ROWS_CHUNK};
+use crate::tensor::Tensor;
+
+/// Below this output element count a gather-style edge kernel runs
+/// serially. Lower than the scatter threshold: these kernels are pure
+/// per-row writes with no plan to amortize.
+const EDGE_PAR_MIN: usize = 1 << 14;
+
+#[inline]
+fn gather_parallel(out_elems: usize) -> bool {
+    out_elems >= EDGE_PAR_MIN && rayon::current_num_threads() > 1
+}
+
+static FUSED_CALLS: AtomicU64 = AtomicU64::new(0);
+static BYTES_SAVED: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot of the fused edge-kernel counters (process-wide totals).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EdgeStats {
+    /// Fused forward kernel invocations.
+    pub fused_calls: u64,
+    /// Bytes of intermediate tensors the fused forwards did not allocate
+    /// (the gathers, squared-distance columns, and weighted-row buffers
+    /// the generic composition would have materialized).
+    pub bytes_saved: u64,
+}
+
+impl EdgeStats {
+    /// Counter deltas since an earlier snapshot.
+    pub fn since(&self, earlier: &EdgeStats) -> EdgeStats {
+        EdgeStats {
+            fused_calls: self.fused_calls - earlier.fused_calls,
+            bytes_saved: self.bytes_saved - earlier.bytes_saved,
+        }
+    }
+}
+
+/// Read the process-wide fused edge-kernel counters.
+pub fn edge_stats() -> EdgeStats {
+    EdgeStats {
+        fused_calls: FUSED_CALLS.load(Ordering::Relaxed),
+        bytes_saved: BYTES_SAVED.load(Ordering::Relaxed),
+    }
+}
+
+/// Zero the process-wide fused edge-kernel counters (tests only).
+pub fn reset_edge_stats() {
+    FUSED_CALLS.store(0, Ordering::Relaxed);
+    BYTES_SAVED.store(0, Ordering::Relaxed);
+}
+
+#[inline]
+fn record_fused(bytes_saved: usize) {
+    FUSED_CALLS.fetch_add(1, Ordering::Relaxed);
+    BYTES_SAVED.fetch_add(bytes_saved as u64, Ordering::Relaxed);
+}
+
+/// Relative edge vectors in one sweep: `out[e, c] = x[src[e], c] −
+/// x[dst[e], c]` — the fusion of `gather_rows(x, src)`,
+/// `gather_rows(x, dst)`, and `sub`. Same single f32 subtraction per
+/// element; avoids both `[E, C]` gather intermediates.
+pub fn edge_rel(x: &Tensor, src: &[u32], dst: &[u32]) -> Tensor {
+    let (m, c) = (x.rows(), x.cols());
+    assert_eq!(src.len(), dst.len(), "edge_rel: src/dst length mismatch");
+    let e = src.len();
+    let xs = x.as_slice();
+    let mut out = Tensor::zeros(&[e, c]);
+    let o = out.as_mut_slice();
+    let kernel = |e0: usize, chunk: &mut [f32]| {
+        for (k, row) in chunk.chunks_mut(c).enumerate() {
+            let (s, d) = (src[e0 + k] as usize, dst[e0 + k] as usize);
+            assert!(s < m && d < m, "edge_rel: index out of range for {m} rows");
+            let (sr, dr) = (&xs[s * c..(s + 1) * c], &xs[d * c..(d + 1) * c]);
+            for ((r, &a), &b) in row.iter_mut().zip(sr).zip(dr) {
+                *r = a - b;
+            }
+        }
+    };
+    if gather_parallel(o.len()) {
+        o.par_chunks_mut(ROWS_CHUNK * c)
+            .enumerate()
+            .for_each(|(k, chunk)| kernel(k * ROWS_CHUNK, chunk));
+    } else {
+        kernel(0, o);
+    }
+    record_fused(2 * e * c * 4);
+    out
+}
+
+/// Assemble the φ_e input in one sweep: with `rel`, row `e` is
+/// `[h[src[e]] ‖ h[dst[e]] ‖ d²[e]]` (width `2H + 1`) where
+/// `d²[e] = Σ_c rel[e,c]²` — f32 products accumulated in f64 and cast
+/// back, exactly the `mul` + `sum_axis1` composition. Without `rel` the
+/// row is `[h[src[e]] ‖ h[dst[e]]]` (width `2H`, the MPNN message input).
+/// Avoids the `hi`/`hj` gathers and (with `rel`) the `relsq`/`d²`
+/// intermediates.
+pub fn gather_concat(h: &Tensor, rel: Option<&Tensor>, src: &[u32], dst: &[u32]) -> Tensor {
+    let (m, hw) = (h.rows(), h.cols());
+    assert_eq!(src.len(), dst.len(), "gather_concat: src/dst length mismatch");
+    let e = src.len();
+    if let Some(r) = rel {
+        assert_eq!(r.rows(), e, "gather_concat: rel has {} rows for {e} edges", r.rows());
+    }
+    let width = 2 * hw + rel.map_or(0, |_| 1);
+    let hs = h.as_slice();
+    let rs = rel.map(|r| (r.as_slice(), r.cols()));
+    let mut out = Tensor::zeros(&[e, width]);
+    let o = out.as_mut_slice();
+    let kernel = |e0: usize, chunk: &mut [f32]| {
+        for (k, row) in chunk.chunks_mut(width).enumerate() {
+            let (s, d) = (src[e0 + k] as usize, dst[e0 + k] as usize);
+            assert!(s < m && d < m, "gather_concat: index out of range for {m} rows");
+            row[..hw].copy_from_slice(&hs[s * hw..(s + 1) * hw]);
+            row[hw..2 * hw].copy_from_slice(&hs[d * hw..(d + 1) * hw]);
+            if let Some((rel, c)) = rs {
+                let rrow = &rel[(e0 + k) * c..(e0 + k + 1) * c];
+                row[2 * hw] = rrow.iter().map(|&v| (v * v) as f64).sum::<f64>() as f32;
+            }
+        }
+    };
+    if gather_parallel(o.len()) {
+        o.par_chunks_mut(ROWS_CHUNK * width)
+            .enumerate()
+            .for_each(|(k, chunk)| kernel(k * ROWS_CHUNK, chunk));
+    } else {
+        kernel(0, o);
+    }
+    // Avoided: hi + hj [E, H] each, plus relsq [E, C] and d² [E, 1].
+    let saved = 2 * e * hw + rs.map_or(0, |(_, c)| e * (c + 1));
+    record_fused(saved * 4);
+    out
+}
+
+/// Scatter-add rows then scale each output row by `inv` in one pass:
+/// `out[j] = inv[j] · Σ_{e: idx[e]=j} x[e]`, contributors folded in
+/// increasing input order. Bit-identical to `scatter_add_rows` followed by
+/// `mul_col_broadcast(inv)` — each output element is the same fold then
+/// one f32 multiply — without the un-normalized sum buffer.
+pub fn scatter_mean_rows(x: &Tensor, idx: &[u32], out_rows: usize, inv: &Tensor) -> Tensor {
+    let n = x.cols();
+    assert_eq!(x.rows(), idx.len(), "scatter_mean_rows: rows/index mismatch");
+    assert_eq!(inv.numel(), out_rows, "scatter_mean_rows: inv has {} entries for {out_rows} rows", inv.numel());
+    for &j in idx {
+        assert!((j as usize) < out_rows, "scatter_mean_rows: index {j} out of range");
+    }
+    let src = x.as_slice();
+    let iv = inv.as_slice();
+    let mut out = Tensor::zeros(&[out_rows, n]);
+    let dst = out.as_mut_slice();
+    if run_parallel(dst.len()) {
+        let plan = CsrPlan::build(idx, out_rows);
+        dst.par_chunks_mut(ROWS_CHUNK * n).enumerate().for_each(|(c, chunk)| {
+            let lo = c * ROWS_CHUNK;
+            for (r, row_out) in chunk.chunks_mut(n).enumerate() {
+                let j = lo + r;
+                for &i in plan.contributors(j) {
+                    let row_in = &src[i as usize * n..(i as usize + 1) * n];
+                    row_out.iter_mut().zip(row_in).for_each(|(o, &v)| *o += v);
+                }
+                row_out.iter_mut().for_each(|o| *o *= iv[j]);
+            }
+        });
+    } else {
+        for (i, &j) in idx.iter().enumerate() {
+            let j = j as usize;
+            let row = &src[i * n..(i + 1) * n];
+            dst[j * n..(j + 1) * n].iter_mut().zip(row).for_each(|(o, &v)| *o += v);
+        }
+        for j in 0..out_rows {
+            dst[j * n..(j + 1) * n].iter_mut().for_each(|o| *o *= iv[j]);
+        }
+    }
+    record_fused(out_rows * n * 4);
+    out
+}
+
+/// Adjoint of [`scatter_mean_rows`] with respect to `x`:
+/// `dx[e] = inv[idx[e]] · g[idx[e]]` — the fusion of
+/// `mul_col_broadcast(inv)` + `gather_rows(idx)`, one f32 multiply per
+/// element, without the scaled `[rows, n]` intermediate.
+pub fn scatter_mean_backward(g: &Tensor, idx: &[u32], inv: &Tensor) -> Tensor {
+    let (rows, n) = (g.rows(), g.cols());
+    assert_eq!(inv.numel(), rows, "scatter_mean_backward: inv/rows mismatch");
+    let gs = g.as_slice();
+    let iv = inv.as_slice();
+    let e = idx.len();
+    let mut out = Tensor::zeros(&[e, n]);
+    let o = out.as_mut_slice();
+    let kernel = |e0: usize, chunk: &mut [f32]| {
+        for (k, row) in chunk.chunks_mut(n).enumerate() {
+            let j = idx[e0 + k] as usize;
+            assert!(j < rows, "scatter_mean_backward: index out of range");
+            let s = iv[j];
+            for (r, &gv) in row.iter_mut().zip(&gs[j * n..(j + 1) * n]) {
+                *r = gv * s;
+            }
+        }
+    };
+    if gather_parallel(o.len()) {
+        o.par_chunks_mut(ROWS_CHUNK * n)
+            .enumerate()
+            .for_each(|(k, chunk)| kernel(k * ROWS_CHUNK, chunk));
+    } else {
+        kernel(0, o);
+    }
+    out
+}
+
+/// The fused coordinate-update aggregation: `out[j] = inv[j] ·
+/// Σ_{e: idx[e]=j} x[e] · w[e]` with contributors folded in increasing
+/// input order (`inv = None` skips the final scale). Per output element
+/// this is multiply-then-add per contributor, then one multiply — the
+/// exact sequence of `mul_col(x, w)` → `scatter_add_rows` →
+/// `mul_col(·, inv)` — without the weighted `moved` rows or the
+/// un-normalized sum.
+pub fn weighted_scatter_mean(
+    x: &Tensor,
+    w: &Tensor,
+    idx: &[u32],
+    out_rows: usize,
+    inv: Option<&Tensor>,
+) -> Tensor {
+    let n = x.cols();
+    let e = idx.len();
+    assert_eq!(x.rows(), e, "weighted_scatter_mean: rows/index mismatch");
+    assert_eq!(w.numel(), e, "weighted_scatter_mean: weight/index mismatch");
+    if let Some(iv) = inv {
+        assert_eq!(iv.numel(), out_rows, "weighted_scatter_mean: inv/rows mismatch");
+    }
+    for &j in idx {
+        assert!((j as usize) < out_rows, "weighted_scatter_mean: index {j} out of range");
+    }
+    let src = x.as_slice();
+    let ws = w.as_slice();
+    let iv = inv.map(|t| t.as_slice());
+    let mut out = Tensor::zeros(&[out_rows, n]);
+    let dst = out.as_mut_slice();
+    if run_parallel(dst.len()) {
+        let plan = CsrPlan::build(idx, out_rows);
+        dst.par_chunks_mut(ROWS_CHUNK * n).enumerate().for_each(|(c, chunk)| {
+            let lo = c * ROWS_CHUNK;
+            for (r, row_out) in chunk.chunks_mut(n).enumerate() {
+                let j = lo + r;
+                for &i in plan.contributors(j) {
+                    let i = i as usize;
+                    let wv = ws[i];
+                    let row_in = &src[i * n..(i + 1) * n];
+                    row_out.iter_mut().zip(row_in).for_each(|(o, &v)| *o += v * wv);
+                }
+                if let Some(iv) = iv {
+                    row_out.iter_mut().for_each(|o| *o *= iv[j]);
+                }
+            }
+        });
+    } else {
+        for (i, &j) in idx.iter().enumerate() {
+            let j = j as usize;
+            let wv = ws[i];
+            let row = &src[i * n..(i + 1) * n];
+            dst[j * n..(j + 1) * n]
+                .iter_mut()
+                .zip(row)
+                .for_each(|(o, &v)| *o += v * wv);
+        }
+        if let Some(iv) = iv {
+            for j in 0..out_rows {
+                dst[j * n..(j + 1) * n].iter_mut().for_each(|o| *o *= iv[j]);
+            }
+        }
+    }
+    record_fused((e + if inv.is_some() { out_rows } else { 0 }) * n * 4);
+    out
+}
+
+/// Adjoint of [`weighted_scatter_mean`]: one sweep over edges producing
+/// both parent deltas. With `gm[e] = inv[idx[e]] · g[idx[e]]` (the scaled
+/// output gradient the unfused chain would gather),
+/// `dx[e, c] = gm[e, c] · w[e]` and `dw[e] = Σ_c gm[e, c] · x[e, c]`
+/// (f32 products, f64 accumulation — matching `mul` + `sum_axis1`).
+pub fn weighted_scatter_backward(
+    g: &Tensor,
+    x: &Tensor,
+    w: &Tensor,
+    idx: &[u32],
+    inv: Option<&Tensor>,
+) -> (Tensor, Tensor) {
+    let (rows, n) = (g.rows(), g.cols());
+    let e = idx.len();
+    assert_eq!(x.rows(), e, "weighted_scatter_backward: rows/index mismatch");
+    assert_eq!(w.numel(), e, "weighted_scatter_backward: weight/index mismatch");
+    let gs = g.as_slice();
+    let xs = x.as_slice();
+    let ws = w.as_slice();
+    let iv = inv.map(|t| t.as_slice());
+    let mut dx = Tensor::zeros(&[e, n]);
+    let mut dw = Tensor::zeros(&[e, 1]);
+    {
+        // One serial sweep writing both deltas: `x` is the coordinate
+        // relative-vector matrix, so `n` is 3 and the pass is a fraction
+        // of any single matmul in the layer.
+        let (dxs, dws) = (dx.as_mut_slice(), dw.as_mut_slice());
+        for (ei, row) in dxs.chunks_mut(n).enumerate() {
+            let j = idx[ei] as usize;
+            assert!(j < rows, "weighted_scatter_backward: index out of range");
+            let grow = &gs[j * n..(j + 1) * n];
+            let xrow = &xs[ei * n..(ei + 1) * n];
+            let wv = ws[ei];
+            // Seed with -0.0: std's `Sum<f64>` (which `sum_axis1` folds
+            // through) starts there, and (−0) + (−0) keeps the sign —
+            // an all-negative-zero row must stay −0.0 bit-for-bit.
+            let mut acc = -0.0f64;
+            for ((r, &gv), &xv) in row.iter_mut().zip(grow).zip(xrow) {
+                let gm = match iv {
+                    Some(iv) => gv * iv[j],
+                    None => gv,
+                };
+                *r = gm * wv;
+                acc += (gm * xv) as f64;
+            }
+            dws[ei] = acc as f32;
+        }
+    }
+    (dx, dw)
+}
+
+/// Scatter-add a column slice of `g` without the `split_cols` copy:
+/// `out[j, c] += g[e, col_off + c]` for every edge `e` with `idx[e] = j`,
+/// folded in increasing input order — the adjoint of the `h`-blocks of
+/// [`gather_concat`]. Bit-identical to
+/// `split_cols` → `scatter_add_rows` by construction: same values, same
+/// per-row fold order.
+pub fn scatter_cols_add(
+    g: &Tensor,
+    col_off: usize,
+    width: usize,
+    idx: &[u32],
+    out_rows: usize,
+) -> Tensor {
+    let total = g.cols();
+    assert!(col_off + width <= total, "scatter_cols_add: column range out of bounds");
+    assert_eq!(g.rows(), idx.len(), "scatter_cols_add: rows/index mismatch");
+    for &j in idx {
+        assert!((j as usize) < out_rows, "scatter_cols_add: index {j} out of range");
+    }
+    let gs = g.as_slice();
+    let mut out = Tensor::zeros(&[out_rows, width]);
+    let dst = out.as_mut_slice();
+    if run_parallel(dst.len()) {
+        let plan = CsrPlan::build(idx, out_rows);
+        dst.par_chunks_mut(ROWS_CHUNK * width).enumerate().for_each(|(c, chunk)| {
+            let lo = c * ROWS_CHUNK;
+            for (r, row_out) in chunk.chunks_mut(width).enumerate() {
+                for &i in plan.contributors(lo + r) {
+                    let i = i as usize;
+                    let row_in = &gs[i * total + col_off..i * total + col_off + width];
+                    row_out.iter_mut().zip(row_in).for_each(|(o, &v)| *o += v);
+                }
+            }
+        });
+    } else {
+        for (i, &j) in idx.iter().enumerate() {
+            let j = j as usize;
+            let row = &gs[i * total + col_off..i * total + col_off + width];
+            dst[j * width..(j + 1) * width]
+                .iter_mut()
+                .zip(row)
+                .for_each(|(o, &v)| *o += v);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random tensor with magnitudes spread over
+    /// several orders, so any reassociation flips low-order mantissa bits.
+    fn spread(shape: &[usize], salt: usize) -> Tensor {
+        Tensor::from_fn(shape, |i| {
+            let m = ((i.wrapping_mul(2654435761) ^ salt) % 1000) as f32 / 500.0 - 1.0;
+            m * (10.0f32).powi(((i + salt) % 7) as i32 - 3)
+        })
+    }
+
+    fn edges(e: usize, nodes: usize, salt: usize) -> (Vec<u32>, Vec<u32>) {
+        let src: Vec<u32> = (0..e).map(|i| ((i * 13 + salt) % nodes) as u32).collect();
+        let dst: Vec<u32> = (0..e).map(|i| ((i * 7 + i * i + salt) % nodes) as u32).collect();
+        (src, dst)
+    }
+
+    fn assert_bits(a: &Tensor, b: &Tensor, what: &str) {
+        assert_eq!(a.shape(), b.shape(), "{what}: shape");
+        for (i, (&x, &y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what}: element {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn edge_rel_matches_gather_sub_bitwise() {
+        for (e, nodes, c) in [(1usize, 1usize, 3usize), (37, 11, 3), (7000, 300, 3)] {
+            let x = spread(&[nodes, c], e);
+            let (src, dst) = edges(e, nodes, 3);
+            let fused = edge_rel(&x, &src, &dst);
+            let unfused = x.gather_rows(&src).sub(&x.gather_rows(&dst));
+            assert_bits(&fused, &unfused, "edge_rel");
+        }
+    }
+
+    #[test]
+    fn gather_concat_matches_unfused_chain_bitwise() {
+        for (e, nodes, h) in [(1usize, 2usize, 5usize), (123, 17, 8), (3000, 100, 16)] {
+            let hm = spread(&[nodes, h], e);
+            let x = spread(&[nodes, 3], e + 1);
+            let (src, dst) = edges(e, nodes, 5);
+            let rel = edge_rel(&x, &src, &dst);
+            let fused = gather_concat(&hm, Some(&rel), &src, &dst);
+            let relsq = rel.mul(&rel);
+            let d2 = relsq.sum_axis1();
+            let unfused =
+                Tensor::concat_cols(&[&hm.gather_rows(&src), &hm.gather_rows(&dst), &d2]);
+            assert_bits(&fused, &unfused, "gather_concat(rel)");
+
+            let fused2 = gather_concat(&hm, None, &src, &dst);
+            let unfused2 = Tensor::concat_cols(&[&hm.gather_rows(&src), &hm.gather_rows(&dst)]);
+            assert_bits(&fused2, &unfused2, "gather_concat");
+        }
+    }
+
+    #[test]
+    fn scatter_mean_matches_scatter_then_scale_bitwise() {
+        // Includes a shape above the parallel threshold (1700×64 > 2^16).
+        for (e, rows, n) in [(5usize, 3usize, 4usize), (900, 37, 16), (4000, 1700, 64)] {
+            let x = spread(&[e, n], rows);
+            let idx: Vec<u32> = (0..e).map(|i| ((i * 31 + 1) % rows) as u32).collect();
+            let inv = Tensor::from_fn(&[rows, 1], |j| 1.0 / (j + 1) as f32);
+            let fused = scatter_mean_rows(&x, &idx, rows, &inv);
+            let unfused = x.scatter_add_rows(&idx, rows).mul_col_broadcast(&inv);
+            assert_bits(&fused, &unfused, "scatter_mean_rows");
+
+            let gout = spread(&[rows, n], e);
+            let dback = scatter_mean_backward(&gout, &idx, &inv);
+            let dref = gout.mul_col_broadcast(&inv).gather_rows(&idx);
+            assert_bits(&dback, &dref, "scatter_mean_backward");
+        }
+    }
+
+    #[test]
+    fn weighted_scatter_matches_mulcol_scatter_scale_bitwise() {
+        for (e, rows) in [(6usize, 4usize), (1500, 37), (40000, 1200)] {
+            let x = spread(&[e, 3], rows);
+            let w = spread(&[e, 1], rows + 9);
+            let idx: Vec<u32> = (0..e).map(|i| ((i * 13 + i * i) % rows) as u32).collect();
+            let inv = Tensor::from_fn(&[rows, 1], |j| 1.0 / ((j % 12) + 1) as f32);
+
+            let fused = weighted_scatter_mean(&x, &w, &idx, rows, Some(&inv));
+            let unfused =
+                x.mul_col_broadcast(&w).scatter_add_rows(&idx, rows).mul_col_broadcast(&inv);
+            assert_bits(&fused, &unfused, "weighted_scatter_mean(inv)");
+
+            let fused_sum = weighted_scatter_mean(&x, &w, &idx, rows, None);
+            let unfused_sum = x.mul_col_broadcast(&w).scatter_add_rows(&idx, rows);
+            assert_bits(&fused_sum, &unfused_sum, "weighted_scatter_mean");
+
+            // Backward: dx and dw vs the unfused VJP chain.
+            let gout = spread(&[rows, 3], e + 3);
+            let (dx, dw) = weighted_scatter_backward(&gout, &x, &w, &idx, Some(&inv));
+            let moved_grad = gout.mul_col_broadcast(&inv).gather_rows(&idx);
+            assert_bits(&dx, &moved_grad.mul_col_broadcast(&w), "weighted dx");
+            assert_bits(&dw, &moved_grad.mul(&x).sum_axis1(), "weighted dw");
+
+            let (dx2, dw2) = weighted_scatter_backward(&gout, &x, &w, &idx, None);
+            let mg2 = gout.gather_rows(&idx);
+            assert_bits(&dx2, &mg2.mul_col_broadcast(&w), "weighted dx (no inv)");
+            assert_bits(&dw2, &mg2.mul(&x).sum_axis1(), "weighted dw (no inv)");
+        }
+    }
+
+    #[test]
+    fn scatter_cols_matches_split_then_scatter_bitwise() {
+        for (e, rows, h) in [(4usize, 3usize, 2usize), (800, 33, 9), (2600, 400, 64)] {
+            let g = spread(&[e, 2 * h + 1], rows);
+            let idx: Vec<u32> = (0..e).map(|i| ((i * 5 + 3) % rows) as u32).collect();
+            let parts = g.split_cols(&[h, h, 1]);
+            for (block, off) in [(0usize, 0usize), (1, h)] {
+                let fused = scatter_cols_add(&g, off, h, &idx, rows);
+                let unfused = parts[block].scatter_add_rows(&idx, rows);
+                assert_bits(&fused, &unfused, "scatter_cols_add");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_edge_inputs_produce_zero_outputs() {
+        let x = spread(&[5, 3], 1);
+        let h = spread(&[5, 4], 2);
+        let inv = Tensor::from_fn(&[5, 1], |j| 1.0 / (j + 1) as f32);
+        let rel = edge_rel(&x, &[], &[]);
+        assert_eq!(rel.shape(), &[0, 3]);
+        assert_eq!(gather_concat(&h, Some(&rel), &[], &[]).shape(), &[0, 9]);
+        let agg = scatter_mean_rows(&Tensor::zeros(&[0, 4]), &[], 5, &inv);
+        assert!(agg.as_slice().iter().all(|&v| v == 0.0));
+        let wagg =
+            weighted_scatter_mean(&Tensor::zeros(&[0, 3]), &Tensor::zeros(&[0, 1]), &[], 5, Some(&inv));
+        assert!(wagg.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn stats_count_calls_and_bytes() {
+        let before = edge_stats();
+        let x = spread(&[6, 3], 0);
+        let (src, dst) = edges(10, 6, 0);
+        let _ = edge_rel(&x, &src, &dst);
+        let delta = edge_stats().since(&before);
+        assert_eq!(delta.fused_calls, 1);
+        assert_eq!(delta.bytes_saved, (2 * 10 * 3 * 4) as u64);
+    }
+}

@@ -39,6 +39,7 @@
 
 #![warn(missing_docs)]
 
+pub mod edge;
 mod elementwise;
 pub mod fused;
 pub mod kernels;
@@ -51,6 +52,7 @@ mod rows;
 mod shape;
 mod tensor;
 
+pub use edge::{edge_stats, reset_edge_stats, EdgeStats};
 pub use fused::Act;
 pub use linalg::{Mat3, Vec3};
 pub use pool::{pool_enabled, pool_stats, reset_pool_stats, set_pool_enabled, PoolStats};

@@ -27,48 +27,70 @@ use crate::tensor::Tensor;
 
 /// Below this output element count the parallel dispatch costs more than
 /// it saves.
-const ROWS_PAR_MIN: usize = 1 << 16;
+pub(crate) const ROWS_PAR_MIN: usize = 1 << 16;
 
 /// Output rows per parallel task for gather/scatter.
-const ROWS_CHUNK: usize = 128;
+pub(crate) const ROWS_CHUNK: usize = 128;
 
 #[inline]
-fn run_parallel(out_elems: usize) -> bool {
+pub(crate) fn run_parallel(out_elems: usize) -> bool {
     out_elems >= ROWS_PAR_MIN && rayon::current_num_threads() > 1
 }
 
-/// Parallel scatter-add over a CSR plan: group input rows by destination
-/// with a stable counting sort, then hand each task a contiguous block of
-/// output rows. Stability means `order[starts[j]..starts[j + 1]]` lists
-/// row `j`'s contributors in increasing input index, so every output row
-/// folds in exactly the sequential order — bit-identical by construction.
+/// Stable counting-sort grouping of an index list by destination row —
+/// the plan behind every parallel scatter in this crate (and the fused
+/// edge kernels in [`crate::edge`]). `order[starts[j]..starts[j + 1]]`
+/// lists row `j`'s contributors in increasing input index, so an output
+/// row folds its colliding inputs in exactly the order the serial loop
+/// adds them — bit-identical by construction.
+pub(crate) struct CsrPlan {
+    /// First contributor slot per output row (exclusive prefix sum,
+    /// `out_rows + 1` entries).
+    pub(crate) starts: Vec<u32>,
+    /// Input indices grouped by destination, stable within each group.
+    pub(crate) order: Vec<u32>,
+}
+
+impl CsrPlan {
+    /// Build the plan: one O(E) counting pass, a prefix sum over output
+    /// rows, one O(E) pass filling the slot array in input order.
+    pub(crate) fn build(idx: &[u32], out_rows: usize) -> CsrPlan {
+        let mut starts = vec![0u32; out_rows + 1];
+        for &j in idx {
+            starts[j as usize + 1] += 1;
+        }
+        for j in 0..out_rows {
+            starts[j + 1] += starts[j];
+        }
+        let mut cursor = starts.clone();
+        let mut order = vec![0u32; idx.len()];
+        for (i, &j) in idx.iter().enumerate() {
+            let slot = cursor[j as usize];
+            order[slot as usize] = i as u32;
+            cursor[j as usize] += 1;
+        }
+        CsrPlan { starts, order }
+    }
+
+    /// Contributors of output row `j`, in increasing input index.
+    #[inline]
+    pub(crate) fn contributors(&self, j: usize) -> &[u32] {
+        &self.order[self.starts[j] as usize..self.starts[j + 1] as usize]
+    }
+}
+
+/// Parallel scatter-add over a [`CsrPlan`]: group input rows by
+/// destination, then hand each task a contiguous block of output rows.
 ///
 /// `dst` must be zeroed `out_rows * n` scalars; `src` is `idx.len() * n`.
 fn scatter_add_csr(src: &[f32], idx: &[u32], n: usize, dst: &mut [f32]) {
     let out_rows = dst.len() / n.max(1);
-    // Pass 1: contributor count per destination row.
-    let mut starts = vec![0u32; out_rows + 1];
-    for &j in idx {
-        starts[j as usize + 1] += 1;
-    }
-    // Exclusive prefix sum: starts[j] = first slot of row j.
-    for j in 0..out_rows {
-        starts[j + 1] += starts[j];
-    }
-    // Pass 2: fill slots in input order (stable by construction).
-    let mut cursor = starts.clone();
-    let mut order = vec![0u32; idx.len()];
-    for (i, &j) in idx.iter().enumerate() {
-        let slot = cursor[j as usize];
-        order[slot as usize] = i as u32;
-        cursor[j as usize] += 1;
-    }
+    let plan = CsrPlan::build(idx, out_rows);
     // Each task owns disjoint output rows; no synchronization needed.
     dst.par_chunks_mut(ROWS_CHUNK * n).enumerate().for_each(|(c, chunk)| {
         let lo = c * ROWS_CHUNK;
         for (r, row_out) in chunk.chunks_mut(n).enumerate() {
-            let j = lo + r;
-            for &i in &order[starts[j] as usize..starts[j + 1] as usize] {
+            for &i in plan.contributors(lo + r) {
                 let row_in = &src[i as usize * n..(i as usize + 1) * n];
                 row_out.iter_mut().zip(row_in).for_each(|(o, &v)| *o += v);
             }

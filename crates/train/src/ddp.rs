@@ -51,7 +51,7 @@ use matsciml_datasets::Sample;
 use matsciml_nn::bucket::{rank_range, reduce_slots, tree_reduce_into_first, GradBucket};
 use matsciml_nn::ForwardCtx;
 use matsciml_obs::{Obs, Phase, PhaseAcc, Span};
-use matsciml_tensor::pool_stats;
+use matsciml_tensor::{edge_stats, pool_stats};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -74,6 +74,11 @@ pub const POOL_BYTES_RECYCLED: &str = "pool/bytes_recycled";
 pub const POOL_BYTES_FRESH: &str = "pool/bytes_fresh";
 /// Counter name for tape nodes recorded across all rank tapes.
 pub const TAPE_NODES: &str = "tape/nodes";
+/// Counter name for fused edge-kernel invocations during rank execution.
+pub const EDGE_FUSED_CALLS: &str = "edge/fused_calls";
+/// Counter name for intermediate-tensor bytes the fused edge kernels
+/// avoided materializing.
+pub const EDGE_BYTES_SAVED: &str = "edge/bytes_saved";
 
 /// DDP execution configuration.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -280,6 +285,7 @@ pub fn ddp_step_pooled(
     let local = obs.enabled().then(PhaseAcc::new);
     let t_fold = obs.timer();
     let pool_before = obs.enabled().then(pool_stats);
+    let edge_before = obs.enabled().then(edge_stats);
 
     tapes.grow_to(slots);
 
@@ -369,6 +375,12 @@ pub fn ddp_step_pooled(
         obs.count(POOL_BYTES_FRESH, delta.bytes_fresh);
         obs.count(TAPE_NODES, tapes.tape_nodes() as u64);
         obs.observe("pool/hit_rate", delta.hit_rate());
+        // Fused edge-kernel traffic this step (also process-global deltas):
+        // zero with `set_fused_edges(false)`, and bytes_saved measures the
+        // gather/sub/mul intermediates the fused lowering never built.
+        let edge = edge_stats().since(&edge_before.expect("snapshot taken when enabled"));
+        obs.count(EDGE_FUSED_CALLS, edge.fused_calls);
+        obs.count(EDGE_BYTES_SAVED, edge.bytes_saved);
     }
 
     MetricMap::mean_of(&rank_metrics)

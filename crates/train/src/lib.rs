@@ -36,7 +36,7 @@ pub mod sweep;
 pub mod throughput;
 mod trainer;
 
-pub use collate::collate;
+pub use collate::{collate, CollateCache, DATA_COLLATE_HIT, DATA_COLLATE_MISS};
 pub use forcefield::ForceFieldModel;
 pub use metrics::MetricMap;
 pub use model::{EncoderKind, TaskModel};
@@ -45,7 +45,7 @@ pub use trainer::{EarlyStop, TrainConfig, Trainer, TrainLog, TrainRecord};
 
 pub use ddp::{
     ddp_step, ddp_step_observed, ddp_step_pooled, DdpConfig, DdpTapes, COMM_ALLREDUCE_BYTES,
-    COMM_GRAD_BYTES,
+    COMM_GRAD_BYTES, EDGE_BYTES_SAVED, EDGE_FUSED_CALLS,
 };
 pub use overlap::{
     ddp_step_overlapped, BUCKET_CAP_BYTES, DDP_EXPOSED_COMM_MS, DDP_OVERLAPPED_COMM_MS,

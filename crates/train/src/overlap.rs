@@ -61,13 +61,14 @@ use matsciml_datasets::Sample;
 use matsciml_nn::bucket::{rank_range, reduce_slots, tree_reduce_into_first, GradBucket};
 use matsciml_nn::{ForwardCtx, PartitionedLayout};
 use matsciml_obs::{Obs, Phase, PhaseAcc, Span};
-use matsciml_tensor::pool_stats;
+use matsciml_tensor::{edge_stats, pool_stats};
 use rayon::prelude::*;
 
 use crate::collate::collate;
 use crate::ddp::{
     apportion_wall, rank_seed, DdpConfig, DdpTapes, COMM_ALLREDUCE_BYTES, COMM_GRAD_BYTES,
-    POOL_BYTES_FRESH, POOL_BYTES_RECYCLED, POOL_HITS, POOL_MISSES, TAPE_NODES,
+    EDGE_BYTES_SAVED, EDGE_FUSED_CALLS, POOL_BYTES_FRESH, POOL_BYTES_RECYCLED, POOL_HITS,
+    POOL_MISSES, TAPE_NODES,
 };
 use crate::metrics::MetricMap;
 use crate::model::TaskModel;
@@ -284,6 +285,7 @@ pub fn ddp_step_overlapped(
 
     let local = obs.enabled().then(PhaseAcc::new);
     let pool_before = obs.enabled().then(pool_stats);
+    let edge_before = obs.enabled().then(edge_stats);
     tapes.grow_to(slots);
 
     let (tx, rx) = std::sync::mpsc::channel::<PartMsg>();
@@ -376,6 +378,9 @@ pub fn ddp_step_overlapped(
         obs.count(POOL_BYTES_FRESH, delta.bytes_fresh);
         obs.count(TAPE_NODES, tapes.tape_nodes() as u64);
         obs.observe("pool/hit_rate", delta.hit_rate());
+        let edge = edge_stats().since(&edge_before.expect("snapshot taken when enabled"));
+        obs.count(EDGE_FUSED_CALLS, edge.fused_calls);
+        obs.count(EDGE_BYTES_SAVED, edge.bytes_saved);
 
         let exposed_ns = wait_ns + scatter_ns;
         let overlapped_ns = busy_ns.saturating_sub(wait_ns);

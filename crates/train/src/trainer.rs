@@ -333,6 +333,10 @@ impl Trainer {
         // loop body constructs no graphs.
         let mut tapes = DdpTapes::new();
         let mut eval_tape = matsciml_autograd::Graph::new();
+        // Validation batches recur whenever the eval schedule revisits an
+        // index list; the cache then skips sample loading AND collation
+        // (edge CSR + inv-degree construction) for that batch.
+        let mut eval_cache = crate::collate::CollateCache::new(16);
         let mut records = Vec::with_capacity(cfg.steps as usize);
         let mut stopped_early = false;
         let mut skipped_updates = 0u64;
@@ -457,7 +461,14 @@ impl Trainer {
                 let val = match val_loader {
                     Some(loader) if due => {
                         let t_eval = obs.timer();
-                        let metrics = self.evaluate_pooled(&mut eval_tape, model, loader, step);
+                        let metrics = self.evaluate_inner(
+                            &mut eval_tape,
+                            model,
+                            loader,
+                            step,
+                            Some(&mut eval_cache),
+                            obs,
+                        );
                         if obs.enabled() {
                             let duration_us = Obs::lap_ns(t_eval) / 1_000;
                             obs.observe("phase/eval_us", duration_us as f64);
@@ -546,6 +557,23 @@ impl Trainer {
         val_loader: &DataLoader<'_>,
         step: u64,
     ) -> MetricMap {
+        self.evaluate_inner(g, model, val_loader, step, None, &Obs::disabled())
+    }
+
+    /// Shared evaluation body: optionally serves batches through a
+    /// [`crate::collate::CollateCache`] (the training loop passes a
+    /// run-long cache; one-shot callers pass `None` and collate fresh).
+    /// Cached and fresh batches are identical — transforms are
+    /// deterministic — so the cache cannot change any metric.
+    fn evaluate_inner(
+        &self,
+        g: &mut matsciml_autograd::Graph,
+        model: &TaskModel,
+        val_loader: &DataLoader<'_>,
+        step: u64,
+        mut cache: Option<&mut crate::collate::CollateCache>,
+        obs: &Obs,
+    ) -> MetricMap {
         let batches = val_loader.epoch_batches(step); // deterministic per step
         assert!(
             !batches.is_empty(),
@@ -556,10 +584,18 @@ impl Trainer {
         let take = self.config.eval_batches.min(batches.len()).max(1);
         let mut all = Vec::with_capacity(take);
         for b in batches.iter().take(take) {
-            let samples = val_loader.load(b);
-            let batch = crate::collate::collate(&samples);
             let mut ctx = matsciml_nn::ForwardCtx::eval();
-            let (_loss, metrics) = model.forward_into(g, &batch, &mut ctx);
+            let (_loss, metrics) = match cache.as_deref_mut() {
+                Some(c) => {
+                    let batch = c.get_or_collate(val_loader, b, obs);
+                    model.forward_into(g, batch, &mut ctx)
+                }
+                None => {
+                    let samples = val_loader.load(b);
+                    let batch = crate::collate::collate(&samples);
+                    model.forward_into(g, &batch, &mut ctx)
+                }
+            };
             all.push(metrics);
         }
         MetricMap::mean_of(&all)

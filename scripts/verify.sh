@@ -24,6 +24,14 @@ cargo test -q
 echo "== workspace tests =="
 cargo test -q --workspace
 
+echo "== bench artifacts: every BENCH_*.json named in EXPERIMENTS.md exists =="
+while read -r artifact; do
+  [[ -f "$artifact" ]] || {
+    echo "verify: EXPERIMENTS.md references $artifact but it is missing from the repo root" >&2
+    exit 1
+  }
+done < <(grep -o 'BENCH_[A-Za-z0-9_]*\.json' EXPERIMENTS.md | sort -u)
+
 MATSCIML_CRATES=(
   matsciml-tensor matsciml-autograd matsciml-nn matsciml-opt
   matsciml-graph matsciml-symmetry matsciml-datasets matsciml-models

@@ -1,0 +1,159 @@
+//! Scalar vs SIMD lane tier on the paper-shape E(n)-GNN forward/backward.
+//!
+//! Both arms run the full production configuration — buffer pooling,
+//! fused dense emission, one persistent tape reset per step — and differ
+//! only in `set_simd_enabled`: the **scalar** arm replays the canonical
+//! 4-chain scalar kernels, the **simd** arm dispatches the same ops to
+//! the register-blocked `core::arch` bodies. The two are bit-identical
+//! by construction (asserted per rep on the loss, and end-to-end by the
+//! train crate's `simd_bitwise` trajectory test), so the timed gap is
+//! pure instruction selection: vector width and the register-held
+//! accumulator tiles that stop the gemm inner loop from round-tripping
+//! `z` through the store buffer once per `k`.
+//!
+//! Run with `cargo bench --bench simd`. Emits `BENCH_simd.json` at the
+//! repo root: steps/sec per arm, speedup (asserted ≥ 1.3×), and the
+//! lane-tier counter traffic per step.
+
+use std::time::Instant;
+
+use matsciml::autograd::Graph;
+use matsciml::datasets::{Dataset, DatasetId, GraphTransform, SyntheticMaterialsProject, Transform};
+use matsciml::models::EgnnConfig;
+use matsciml::nn::{set_fused_edges, set_fused_linear, ForwardCtx};
+use matsciml::tensor::{set_pool_enabled, set_simd_enabled, simd_stats};
+use matsciml::train::{collate, TargetKind, TaskHeadConfig, TaskModel};
+use serde::Serialize;
+
+/// Median of a set of per-call timings.
+fn median(mut times: Vec<f64>) -> f64 {
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+#[derive(Serialize)]
+struct Arm {
+    steps_per_sec: f64,
+    /// 4-lane groups the vector kernels processed per step.
+    lane_ops_per_step: u64,
+    /// Kernel entries that fell back to the scalar path per step.
+    fallback_hits_per_step: u64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    hidden: usize,
+    batch: usize,
+    loss_bits_match: bool,
+    scalar: Arm,
+    simd: Arm,
+    speedup: f64,
+}
+
+fn main() {
+    // Paper shape: hidden/message width 256. A single rank's batch.
+    let config = EgnnConfig::paper();
+    let hidden = config.hidden;
+    let model = TaskModel::egnn(
+        config,
+        &[TaskHeadConfig::regression(DatasetId::MaterialsProject, TargetKind::BandGap, 256, 3)],
+        17,
+    );
+    let ds = SyntheticMaterialsProject::new(8, 17);
+    let t = GraphTransform::radius(4.5, Some(12));
+    let samples: Vec<_> = (0..4).map(|i| t.apply(ds.sample(i))).collect();
+    let batch = collate(&samples);
+    let reps = 9;
+
+    // Everything but the lane tier pinned to the production setting for
+    // both arms.
+    set_pool_enabled(true);
+    set_fused_linear(true);
+    set_fused_edges(true);
+
+    let mut tape = Graph::new();
+    let step = |g: &mut Graph, simd_on: bool| -> f32 {
+        set_simd_enabled(simd_on);
+        let mut ctx = ForwardCtx::train(17);
+        let (loss, _m) = model.forward_into(g, &batch, &mut ctx);
+        g.backward(loss);
+        g.value(loss).item()
+    };
+
+    // Warm both arms (pool populated, lazy inits done), then time them
+    // in alternation so background load perturbs adjacent reps of BOTH
+    // arms instead of biasing one median.
+    step(&mut tape, false);
+    step(&mut tape, true);
+    let mut scalar_times = Vec::with_capacity(reps);
+    let mut simd_times = Vec::with_capacity(reps);
+    let mut scalar_lane = (0u64, 0u64);
+    let mut simd_lane = (0u64, 0u64);
+    let mut bits_match = true;
+    for _ in 0..reps {
+        let s0 = simd_stats();
+        let t0 = Instant::now();
+        let scalar_loss = step(&mut tape, false);
+        scalar_times.push(t0.elapsed().as_secs_f64());
+        let s1 = simd_stats();
+        let d = s1.since(&s0);
+        scalar_lane.0 += d.lane_ops;
+        scalar_lane.1 += d.fallback_hits;
+
+        let t0 = Instant::now();
+        let simd_loss = step(&mut tape, true);
+        simd_times.push(t0.elapsed().as_secs_f64());
+        let d = simd_stats().since(&s1);
+        simd_lane.0 += d.lane_ops;
+        simd_lane.1 += d.fallback_hits;
+
+        // Per-rep bit identity: the lane tier must not move the loss.
+        bits_match &= scalar_loss.to_bits() == simd_loss.to_bits();
+    }
+    assert!(bits_match, "scalar and SIMD losses must agree bit for bit on every rep");
+
+    let t_scalar = median(scalar_times);
+    let t_simd = median(simd_times);
+    let calls = reps as u64;
+    let speedup = t_scalar / t_simd;
+    println!(
+        "simd bench (EGNN hidden={hidden}, batch={}): scalar {:.2} ms, simd {:.2} ms, \
+         speedup {speedup:.2}x",
+        samples.len(),
+        t_scalar * 1e3,
+        t_simd * 1e3,
+    );
+    println!(
+        "lane traffic per step: scalar {} lane ops / {} fallbacks, simd {} lane ops / {} fallbacks",
+        scalar_lane.0 / calls,
+        scalar_lane.1 / calls,
+        simd_lane.0 / calls,
+        simd_lane.1 / calls,
+    );
+
+    assert!(
+        speedup >= 1.3,
+        "SIMD lane tier must clear 1.3x on the paper-shape EGNN, got {speedup:.2}x"
+    );
+
+    let report = Report {
+        hidden,
+        batch: samples.len(),
+        loss_bits_match: bits_match,
+        scalar: Arm {
+            steps_per_sec: 1.0 / t_scalar,
+            lane_ops_per_step: scalar_lane.0 / calls,
+            fallback_hits_per_step: scalar_lane.1 / calls,
+        },
+        simd: Arm {
+            steps_per_sec: 1.0 / t_simd,
+            lane_ops_per_step: simd_lane.0 / calls,
+            fallback_hits_per_step: simd_lane.1 / calls,
+        },
+        speedup,
+    };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_simd.json");
+    std::fs::write(path, serde_json::to_string_pretty(&report).unwrap())
+        .expect("write BENCH_simd.json");
+    println!("wrote {path}");
+}

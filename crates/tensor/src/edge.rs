@@ -42,17 +42,54 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use rayon::prelude::*;
 
+use crate::par::{par_gate, PAR_MIN_GATHER_ELEMS};
 use crate::rows::{run_parallel, CsrPlan, ROWS_CHUNK};
+use crate::simd;
 use crate::tensor::Tensor;
 
-/// Below this output element count a gather-style edge kernel runs
-/// serially. Lower than the scatter threshold: these kernels are pure
-/// per-row writes with no plan to amortize.
-const EDGE_PAR_MIN: usize = 1 << 14;
-
+/// Gather-style kernels (pure per-row writes, no plan to amortize) gate
+/// their parallel path at the crate-wide gather threshold.
 #[inline]
 fn gather_parallel(out_elems: usize) -> bool {
-    out_elems >= EDGE_PAR_MIN && rayon::current_num_threads() > 1
+    par_gate(out_elems, PAR_MIN_GATHER_ELEMS)
+}
+
+// Per-row lane helpers: the scatter/aggregate kernels dispatch to the
+// SIMD tier once per call and then run every row through these — vector
+// body when a lane ISA was selected, the canonical scalar loop
+// otherwise. Both are bit-identical per element (independent IEEE
+// mul/add chains), so the toggle cannot change any aggregate.
+
+#[inline]
+fn row_vadd(dst: &mut [f32], src: &[f32], isa: Option<simd::Isa>) {
+    match isa {
+        Some(isa) => simd::vadd(dst, src, isa),
+        None => dst.iter_mut().zip(src).for_each(|(o, &v)| *o += v),
+    }
+}
+
+#[inline]
+fn row_axpy(dst: &mut [f32], src: &[f32], s: f32, isa: Option<simd::Isa>) {
+    match isa {
+        Some(isa) => simd::axpy(dst, src, s, isa),
+        None => dst.iter_mut().zip(src).for_each(|(o, &v)| *o += v * s),
+    }
+}
+
+#[inline]
+fn row_scale(dst: &mut [f32], s: f32, isa: Option<simd::Isa>) {
+    match isa {
+        Some(isa) => simd::scale(dst, s, isa),
+        None => dst.iter_mut().for_each(|o| *o *= s),
+    }
+}
+
+#[inline]
+fn row_mul_scaled(dst: &mut [f32], src: &[f32], s: f32, isa: Option<simd::Isa>) {
+    match isa {
+        Some(isa) => simd::mul_scaled(dst, src, s, isa),
+        None => dst.iter_mut().zip(src).for_each(|(o, &v)| *o = v * s),
+    }
 }
 
 static FUSED_CALLS: AtomicU64 = AtomicU64::new(0);
@@ -189,6 +226,7 @@ pub fn scatter_mean_rows(x: &Tensor, idx: &[u32], out_rows: usize, inv: &Tensor)
     }
     let src = x.as_slice();
     let iv = inv.as_slice();
+    let isa = simd::dispatch((idx.len() + out_rows) * n / 4);
     let mut out = Tensor::zeros(&[out_rows, n]);
     let dst = out.as_mut_slice();
     if run_parallel(dst.len()) {
@@ -198,20 +236,18 @@ pub fn scatter_mean_rows(x: &Tensor, idx: &[u32], out_rows: usize, inv: &Tensor)
             for (r, row_out) in chunk.chunks_mut(n).enumerate() {
                 let j = lo + r;
                 for &i in plan.contributors(j) {
-                    let row_in = &src[i as usize * n..(i as usize + 1) * n];
-                    row_out.iter_mut().zip(row_in).for_each(|(o, &v)| *o += v);
+                    row_vadd(row_out, &src[i as usize * n..(i as usize + 1) * n], isa);
                 }
-                row_out.iter_mut().for_each(|o| *o *= iv[j]);
+                row_scale(row_out, iv[j], isa);
             }
         });
     } else {
         for (i, &j) in idx.iter().enumerate() {
             let j = j as usize;
-            let row = &src[i * n..(i + 1) * n];
-            dst[j * n..(j + 1) * n].iter_mut().zip(row).for_each(|(o, &v)| *o += v);
+            row_vadd(&mut dst[j * n..(j + 1) * n], &src[i * n..(i + 1) * n], isa);
         }
         for j in 0..out_rows {
-            dst[j * n..(j + 1) * n].iter_mut().for_each(|o| *o *= iv[j]);
+            row_scale(&mut dst[j * n..(j + 1) * n], iv[j], isa);
         }
     }
     record_fused(out_rows * n * 4);
@@ -228,16 +264,14 @@ pub fn scatter_mean_backward(g: &Tensor, idx: &[u32], inv: &Tensor) -> Tensor {
     let gs = g.as_slice();
     let iv = inv.as_slice();
     let e = idx.len();
+    let isa = simd::dispatch(e * n / 4);
     let mut out = Tensor::zeros(&[e, n]);
     let o = out.as_mut_slice();
     let kernel = |e0: usize, chunk: &mut [f32]| {
         for (k, row) in chunk.chunks_mut(n).enumerate() {
             let j = idx[e0 + k] as usize;
             assert!(j < rows, "scatter_mean_backward: index out of range");
-            let s = iv[j];
-            for (r, &gv) in row.iter_mut().zip(&gs[j * n..(j + 1) * n]) {
-                *r = gv * s;
-            }
+            row_mul_scaled(row, &gs[j * n..(j + 1) * n], iv[j], isa);
         }
     };
     if gather_parallel(o.len()) {
@@ -277,6 +311,7 @@ pub fn weighted_scatter_mean(
     let src = x.as_slice();
     let ws = w.as_slice();
     let iv = inv.map(|t| t.as_slice());
+    let isa = simd::dispatch((e + out_rows) * n / 4);
     let mut out = Tensor::zeros(&[out_rows, n]);
     let dst = out.as_mut_slice();
     if run_parallel(dst.len()) {
@@ -287,28 +322,21 @@ pub fn weighted_scatter_mean(
                 let j = lo + r;
                 for &i in plan.contributors(j) {
                     let i = i as usize;
-                    let wv = ws[i];
-                    let row_in = &src[i * n..(i + 1) * n];
-                    row_out.iter_mut().zip(row_in).for_each(|(o, &v)| *o += v * wv);
+                    row_axpy(row_out, &src[i * n..(i + 1) * n], ws[i], isa);
                 }
                 if let Some(iv) = iv {
-                    row_out.iter_mut().for_each(|o| *o *= iv[j]);
+                    row_scale(row_out, iv[j], isa);
                 }
             }
         });
     } else {
         for (i, &j) in idx.iter().enumerate() {
             let j = j as usize;
-            let wv = ws[i];
-            let row = &src[i * n..(i + 1) * n];
-            dst[j * n..(j + 1) * n]
-                .iter_mut()
-                .zip(row)
-                .for_each(|(o, &v)| *o += v * wv);
+            row_axpy(&mut dst[j * n..(j + 1) * n], &src[i * n..(i + 1) * n], ws[i], isa);
         }
         if let Some(iv) = iv {
             for j in 0..out_rows {
-                dst[j * n..(j + 1) * n].iter_mut().for_each(|o| *o *= iv[j]);
+                row_scale(&mut dst[j * n..(j + 1) * n], iv[j], isa);
             }
         }
     }
@@ -387,6 +415,7 @@ pub fn scatter_cols_add(
         assert!((j as usize) < out_rows, "scatter_cols_add: index {j} out of range");
     }
     let gs = g.as_slice();
+    let isa = simd::dispatch(idx.len() * width / 4);
     let mut out = Tensor::zeros(&[out_rows, width]);
     let dst = out.as_mut_slice();
     if run_parallel(dst.len()) {
@@ -396,19 +425,18 @@ pub fn scatter_cols_add(
             for (r, row_out) in chunk.chunks_mut(width).enumerate() {
                 for &i in plan.contributors(lo + r) {
                     let i = i as usize;
-                    let row_in = &gs[i * total + col_off..i * total + col_off + width];
-                    row_out.iter_mut().zip(row_in).for_each(|(o, &v)| *o += v);
+                    row_vadd(row_out, &gs[i * total + col_off..i * total + col_off + width], isa);
                 }
             }
         });
     } else {
         for (i, &j) in idx.iter().enumerate() {
             let j = j as usize;
-            let row = &gs[i * total + col_off..i * total + col_off + width];
-            dst[j * width..(j + 1) * width]
-                .iter_mut()
-                .zip(row)
-                .for_each(|(o, &v)| *o += v);
+            row_vadd(
+                &mut dst[j * width..(j + 1) * width],
+                &gs[i * total + col_off..i * total + col_off + width],
+                isa,
+            );
         }
     }
     out

@@ -40,7 +40,9 @@
 
 use rayon::prelude::*;
 
-use crate::matmul::{dot, PAR_THRESHOLD_FLOPS, ROW_PANEL};
+use crate::matmul::{dot, ROW_PANEL};
+use crate::par::{par_gate, PAR_MIN_FLOPS};
+use crate::simd;
 use crate::tensor::Tensor;
 
 /// SELU constants from Klambauer et al., "Self-Normalizing Neural
@@ -172,14 +174,23 @@ pub fn linear(x: &Tensor, w: &Tensor, bias: Option<&Tensor>, act: Act) -> (Tenso
     let ws = w.as_slice();
     let bs = bias.map(|b| b.as_slice());
     let flops = 2 * m * n * k;
+    let isa = simd::dispatch(m * n * k / 4);
+
+    // One lowering point for both the serial and panel-parallel paths:
+    // lane-tier body when dispatched, canonical scalar rows otherwise.
+    let rows_kernel =
+        |zc: &mut [f32], yc: Option<&mut [f32]>, r0: usize, rows: usize| match isa {
+            Some(isa) => simd::linear_rows_lanes(a, ws, bs, act, zc, yc, r0, rows, k, n, isa),
+            None => linear_rows(a, ws, bs, act, zc, yc, r0, rows, k, n),
+        };
 
     if act == Act::Identity {
         let dst = z.as_mut_slice();
-        if flops < PAR_THRESHOLD_FLOPS || rayon::current_num_threads() == 1 {
-            linear_rows(a, ws, bs, act, dst, None, 0, m, k, n);
+        if !par_gate(flops, PAR_MIN_FLOPS) {
+            rows_kernel(dst, None, 0, m);
         } else {
             dst.par_chunks_mut(ROW_PANEL * n).enumerate().for_each(|(panel, chunk)| {
-                linear_rows(a, ws, bs, act, chunk, None, panel * ROW_PANEL, chunk.len() / n, k, n);
+                rows_kernel(chunk, None, panel * ROW_PANEL, chunk.len() / n);
             });
         }
         let y = z.clone();
@@ -190,8 +201,8 @@ pub fn linear(x: &Tensor, w: &Tensor, bias: Option<&Tensor>, act: Act) -> (Tenso
     {
         let ydst = y.as_mut_slice();
         let zdst = z.as_mut_slice();
-        if flops < PAR_THRESHOLD_FLOPS || rayon::current_num_threads() == 1 {
-            linear_rows(a, ws, bs, act, zdst, Some(ydst), 0, m, k, n);
+        if !par_gate(flops, PAR_MIN_FLOPS) {
+            rows_kernel(zdst, Some(ydst), 0, m);
         } else {
             // Panels of z are distributed by rayon; the matching panel of
             // y is reconstructed from a raw pointer. Sound because panels
@@ -202,7 +213,7 @@ pub fn linear(x: &Tensor, w: &Tensor, bias: Option<&Tensor>, act: Act) -> (Tenso
                 let rows = chunk.len() / n;
                 let ypanel =
                     unsafe { std::slice::from_raw_parts_mut(yp.get().add(r0 * n), rows * n) };
-                linear_rows(a, ws, bs, act, chunk, Some(ypanel), r0, rows, k, n);
+                rows_kernel(chunk, Some(ypanel), r0, rows);
             });
         }
     }
@@ -222,12 +233,17 @@ pub fn matmul_tn_blocked(a: &Tensor, b: &Tensor) -> Tensor {
     let asl = a.as_slice();
     let bsl = b.as_slice();
     let flops = 2 * m * n * k;
+    let isa = simd::dispatch(m * n * k / 4);
     let dst = out.as_mut_slice();
-    if flops < PAR_THRESHOLD_FLOPS || rayon::current_num_threads() == 1 {
-        tn_rows(asl, bsl, dst, 0, m, k, m, n);
+    let rows_kernel = |chunk: &mut [f32], r0: usize, rows: usize| match isa {
+        Some(isa) => simd::tn_rows_lanes(asl, bsl, chunk, r0, rows, k, m, n, isa),
+        None => tn_rows(asl, bsl, chunk, r0, rows, k, m, n),
+    };
+    if !par_gate(flops, PAR_MIN_FLOPS) {
+        rows_kernel(dst, 0, m);
     } else {
         dst.par_chunks_mut(ROW_PANEL * n).enumerate().for_each(|(panel, chunk)| {
-            tn_rows(asl, bsl, chunk, panel * ROW_PANEL, chunk.len() / n, k, m, n);
+            rows_kernel(chunk, panel * ROW_PANEL, chunk.len() / n);
         });
     }
     out
@@ -247,20 +263,24 @@ pub fn matmul_nt_blocked(a: &Tensor, b: &Tensor) -> Tensor {
     let asl = a.as_slice();
     let bsl = b.as_slice();
     let flops = 2 * m * n * k;
+    let isa = simd::dispatch(m * n * k / 4);
     let dst = out.as_mut_slice();
-    let kernel = |r0: usize, rows: usize, dst: &mut [f32]| {
-        let mut i = 0;
-        while i + MR <= rows {
-            nt_block(asl, bsl, &mut dst[i * n..(i + MR) * n], r0 + i, k, n);
-            i += MR;
-        }
-        while i < rows {
-            let arow = &asl[(r0 + i) * k..(r0 + i + 1) * k];
-            nt_row(arow, bsl, &mut dst[i * n..(i + 1) * n], k, n);
-            i += 1;
+    let kernel = |r0: usize, rows: usize, dst: &mut [f32]| match isa {
+        Some(isa) => simd::nt_rows_lanes(asl, bsl, dst, r0, rows, k, n, isa),
+        None => {
+            let mut i = 0;
+            while i + MR <= rows {
+                nt_block(asl, bsl, &mut dst[i * n..(i + MR) * n], r0 + i, k, n);
+                i += MR;
+            }
+            while i < rows {
+                let arow = &asl[(r0 + i) * k..(r0 + i + 1) * k];
+                nt_row(arow, bsl, &mut dst[i * n..(i + 1) * n], k, n);
+                i += 1;
+            }
         }
     };
-    if flops < PAR_THRESHOLD_FLOPS || rayon::current_num_threads() == 1 {
+    if !par_gate(flops, PAR_MIN_FLOPS) {
         kernel(0, m, dst);
     } else {
         dst.par_chunks_mut(ROW_PANEL * n)

@@ -6,43 +6,46 @@
 //! gradient buckets in `matsciml-nn`, and the fused AdamW update in
 //! `matsciml-opt`.
 //!
-//! Parallel kernels split work into fixed `CHUNK`-sized blocks.
-//! Elementwise kernels write disjoint outputs, so their results cannot
-//! depend on scheduling; [`sumsq`] accumulates one `f64` partial per block
-//! and folds the partials in block order, so it returns bit-identical
-//! results whether the blocks run on one thread or many.
+//! Each kernel dispatches once to the SIMD lane tier ([`crate::simd`]) —
+//! vector body when the tier is enabled, canonical scalar loop otherwise;
+//! the two are bit-identical by construction. Parallel kernels split work
+//! into fixed `CHUNK`-sized blocks behind the crate-wide
+//! `crate::par::par_gate` heuristic. Elementwise kernels write disjoint
+//! outputs, so their results cannot depend on scheduling; [`sumsq`]
+//! accumulates one `f64` partial per block and folds the partials in block
+//! order, so it returns bit-identical results whether the blocks run on
+//! one thread or many.
 
 use rayon::prelude::*;
+
+use crate::par::{par_gate, PAR_MIN_ELEMS};
+use crate::simd;
 
 /// Block size (scalars) for parallel splitting: 16 KiB of f32 — large
 /// enough to amortize dispatch, small enough to load-balance. Fixed (not
 /// thread-count derived) so the `sumsq` partial bracketing never changes.
 const CHUNK: usize = 4096;
 
-/// Below this length the parallel dispatch costs more than it saves.
-const PAR_MIN: usize = 1 << 16;
-
-#[inline]
-fn run_parallel(len: usize) -> bool {
-    len >= PAR_MIN && rayon::current_num_threads() > 1
-}
-
 /// `dst[i] += src[i] * s` (axpy).
 pub fn axpy(dst: &mut [f32], src: &[f32], s: f32) {
     assert_eq!(dst.len(), src.len(), "axpy: length mismatch");
-    if run_parallel(dst.len()) {
+    let isa = simd::dispatch(dst.len() / 4);
+    if par_gate(dst.len(), PAR_MIN_ELEMS) {
         dst.par_chunks_mut(CHUNK).enumerate().for_each(|(c, d)| {
             let lo = c * CHUNK;
-            axpy_seq(d, &src[lo..lo + d.len()], s);
+            axpy_seq(d, &src[lo..lo + d.len()], s, isa);
         });
     } else {
-        axpy_seq(dst, src, s);
+        axpy_seq(dst, src, s, isa);
     }
 }
 
 #[inline]
-fn axpy_seq(dst: &mut [f32], src: &[f32], s: f32) {
-    dst.iter_mut().zip(src).for_each(|(d, &v)| *d += v * s);
+fn axpy_seq(dst: &mut [f32], src: &[f32], s: f32, isa: Option<simd::Isa>) {
+    match isa {
+        Some(isa) => simd::axpy(dst, src, s, isa),
+        None => dst.iter_mut().zip(src).for_each(|(d, &v)| *d += v * s),
+    }
 }
 
 /// `dst[i] += src[i]` — the allreduce accumulation step. A dedicated kernel
@@ -50,29 +53,42 @@ fn axpy_seq(dst: &mut [f32], src: &[f32], s: f32) {
 /// loop on targets without fused multiply-add.
 pub fn vadd(dst: &mut [f32], src: &[f32]) {
     assert_eq!(dst.len(), src.len(), "vadd: length mismatch");
-    if run_parallel(dst.len()) {
+    let isa = simd::dispatch(dst.len() / 4);
+    if par_gate(dst.len(), PAR_MIN_ELEMS) {
         dst.par_chunks_mut(CHUNK).enumerate().for_each(|(c, d)| {
             let lo = c * CHUNK;
-            vadd_seq(d, &src[lo..lo + d.len()]);
+            vadd_seq(d, &src[lo..lo + d.len()], isa);
         });
     } else {
-        vadd_seq(dst, src);
+        vadd_seq(dst, src, isa);
     }
 }
 
 #[inline]
-fn vadd_seq(dst: &mut [f32], src: &[f32]) {
-    dst.iter_mut().zip(src).for_each(|(d, &v)| *d += v);
+fn vadd_seq(dst: &mut [f32], src: &[f32], isa: Option<simd::Isa>) {
+    match isa {
+        Some(isa) => simd::vadd(dst, src, isa),
+        None => dst.iter_mut().zip(src).for_each(|(d, &v)| *d += v),
+    }
 }
 
 /// `dst[i] *= s`.
 pub fn scale(dst: &mut [f32], s: f32) {
-    if run_parallel(dst.len()) {
+    let isa = simd::dispatch(dst.len() / 4);
+    if par_gate(dst.len(), PAR_MIN_ELEMS) {
         dst.par_chunks_mut(CHUNK)
             .enumerate()
-            .for_each(|(_, d)| d.iter_mut().for_each(|v| *v *= s));
+            .for_each(|(_, d)| scale_seq(d, s, isa));
     } else {
-        dst.iter_mut().for_each(|v| *v *= s);
+        scale_seq(dst, s, isa);
+    }
+}
+
+#[inline]
+fn scale_seq(dst: &mut [f32], s: f32, isa: Option<simd::Isa>) {
+    match isa {
+        Some(isa) => simd::scale(dst, s, isa),
+        None => dst.iter_mut().for_each(|v| *v *= s),
     }
 }
 
@@ -86,19 +102,28 @@ pub fn fill(dst: &mut [f32], value: f32) {
 /// Accumulates one partial per `CHUNK` block and folds the partials in
 /// block order, so the bracketing — and therefore the bits of the result —
 /// is a function of the input length alone, never of the thread count.
+/// Within a block the canonical order is the fixed 4-chain form of
+/// `crate::simd::sumsq4_scalar` (lane `l` takes elements `i ≡ l mod 4`,
+/// chains seeded at `-0.0`, folded `((s0+s1)+(s2+s3)) + tail`), which the
+/// SSE2 body reproduces exactly — SIMD on, off, serial, and parallel all
+/// give the same bits on every machine.
 pub fn sumsq(src: &[f32]) -> f64 {
-    if run_parallel(src.len()) {
+    let isa = simd::dispatch(src.len() / 4);
+    if par_gate(src.len(), PAR_MIN_ELEMS) {
         let blocks: Vec<&[f32]> = src.chunks(CHUNK).collect();
-        let partials: Vec<f64> = blocks.into_par_iter().map(sumsq_seq).collect();
+        let partials: Vec<f64> = blocks.into_par_iter().map(|b| sumsq_block(b, isa)).collect();
         partials.into_iter().sum()
     } else {
-        src.chunks(CHUNK).map(sumsq_seq).sum()
+        src.chunks(CHUNK).map(|b| sumsq_block(b, isa)).sum()
     }
 }
 
 #[inline]
-fn sumsq_seq(src: &[f32]) -> f64 {
-    src.iter().map(|&v| (v as f64) * (v as f64)).sum()
+fn sumsq_block(src: &[f32], isa: Option<simd::Isa>) -> f64 {
+    match isa {
+        Some(isa) => simd::sumsq4(src, isa),
+        None => simd::sumsq4_scalar(src),
+    }
 }
 
 /// One fused AdamW update over flat parameter / moment / gradient slices.
@@ -108,6 +133,8 @@ fn sumsq_seq(src: &[f32]) -> f64 {
 /// The operation order inside the loop (decay the weight, then apply the
 /// adaptive step) matches Loshchilov & Hutter and must not be reordered:
 /// optimizer trajectories are compared bit-for-bit across DDP world sizes.
+/// The SIMD body evaluates the identical per-element expression trees
+/// (every op IEEE single-rounded), so both paths produce the same bits.
 #[allow(clippy::too_many_arguments)]
 pub fn adamw_update(
     p: &mut [f32],
@@ -127,7 +154,34 @@ pub fn adamw_update(
         m.len() == n && v.len() == n && g.len() == n,
         "adamw_update: length mismatch"
     );
-    for j in 0..n {
+    match simd::dispatch(n / 4) {
+        Some(isa) => simd::adamw(
+            p, m, v, g, lr, beta1, beta2, eps, weight_decay, bias_correction1, bias_correction2,
+            isa,
+        ),
+        None => adamw_scalar(
+            p, m, v, g, lr, beta1, beta2, eps, weight_decay, bias_correction1, bias_correction2,
+        ),
+    }
+}
+
+/// The canonical scalar AdamW loop — the fallback body of
+/// [`adamw_update`] and the tail of the vector kernel.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn adamw_scalar(
+    p: &mut [f32],
+    m: &mut [f32],
+    v: &mut [f32],
+    g: &[f32],
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    bias_correction1: f32,
+    bias_correction2: f32,
+) {
+    for j in 0..p.len() {
         m[j] = beta1 * m[j] + (1.0 - beta1) * g[j];
         v[j] = beta2 * v[j] + (1.0 - beta2) * g[j] * g[j];
         let mhat = m[j] / bias_correction1;
@@ -161,15 +215,12 @@ mod tests {
 
     #[test]
     fn sumsq_is_chunk_order_deterministic() {
-        // Span several chunks; the chunked fold must match a plain f64 fold
-        // to within the bracketing difference (here: exactly, since every
-        // partial is exactly representable).
+        // Span several chunks; the chunked fold must match the canonical
+        // per-block 4-chain kernel folded in block order (exactly, since
+        // every partial is exactly representable for these integer inputs).
         let n = 3 * CHUNK + 17;
         let src: Vec<f32> = (0..n).map(|i| ((i % 7) as f32) - 3.0).collect();
-        let expected: f64 = src
-            .chunks(CHUNK)
-            .map(|c| c.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>())
-            .sum();
+        let expected: f64 = src.chunks(CHUNK).map(simd::sumsq4_scalar).sum();
         assert_eq!(sumsq(&src), expected);
     }
 

@@ -45,17 +45,20 @@ pub mod fused;
 pub mod kernels;
 mod linalg;
 mod matmul;
+mod par;
 pub mod pool;
 mod random;
 mod reduce;
 mod rows;
 mod shape;
+pub mod simd;
 mod tensor;
 
 pub use edge::{edge_stats, reset_edge_stats, EdgeStats};
 pub use fused::Act;
 pub use linalg::{Mat3, Vec3};
 pub use pool::{pool_enabled, pool_stats, reset_pool_stats, set_pool_enabled, PoolStats};
+pub use simd::{reset_simd_stats, set_simd_enabled, simd_enabled, simd_stats, SimdStats};
 pub use shape::TensorError;
 pub use tensor::Tensor;
 

@@ -8,6 +8,9 @@
 
 use rayon::prelude::*;
 
+use crate::fused::Act;
+use crate::par::{par_gate, PAR_MIN_FLOPS};
+use crate::simd;
 use crate::tensor::Tensor;
 
 /// Rows of `a` handled per parallel task. Tuned for small-to-medium GEMMs
@@ -15,9 +18,6 @@ use crate::tensor::Tensor;
 /// large enough to amortize task overhead, small enough to load-balance.
 /// Shared with the fused kernels in [`crate::fused`].
 pub(crate) const ROW_PANEL: usize = 64;
-
-/// Below this flop count the parallel dispatch costs more than it saves.
-pub(crate) const PAR_THRESHOLD_FLOPS: usize = 1 << 20;
 
 /// Side of the square tile the blocked [`Tensor::transpose`] copies at a
 /// time: 32×32 f32 = two 4 KiB sub-blocks, comfortably L1-resident for
@@ -41,17 +41,22 @@ impl Tensor {
         let a = self.as_slice();
         let b = rhs.as_slice();
         let flops = 2 * m * n * k;
+        let isa = simd::dispatch(m * n * k / 4);
         let dst = out.as_mut_slice();
 
-        if flops < PAR_THRESHOLD_FLOPS || rayon::current_num_threads() == 1 {
-            matmul_panel(a, b, dst, 0, m, k, n);
+        let rows_kernel = |r0: usize, rows: usize, chunk: &mut [f32]| match isa {
+            Some(isa) => {
+                simd::linear_rows_lanes(a, b, None, Act::Identity, chunk, None, r0, rows, k, n, isa)
+            }
+            None => matmul_panel(a, b, chunk, r0, rows, k, n),
+        };
+        if !par_gate(flops, PAR_MIN_FLOPS) {
+            rows_kernel(0, m, dst);
         } else {
             dst.par_chunks_mut(ROW_PANEL * n)
                 .enumerate()
                 .for_each(|(panel, chunk)| {
-                    let r0 = panel * ROW_PANEL;
-                    let rows = chunk.len() / n;
-                    matmul_panel(a, b, chunk, r0, rows, k, n);
+                    rows_kernel(panel * ROW_PANEL, chunk.len() / n, chunk);
                 });
         }
         out
@@ -73,14 +78,19 @@ impl Tensor {
         let a = self.as_slice();
         let b = rhs.as_slice();
         let flops = 2 * m * n * k;
+        let isa = simd::dispatch(m * n * k / 4);
         let dst = out.as_mut_slice();
-        if flops < PAR_THRESHOLD_FLOPS || rayon::current_num_threads() == 1 {
-            matmul_tn_panel(a, b, dst, 0, m, k, m, n);
+        let rows_kernel = |r0: usize, rows: usize, chunk: &mut [f32]| match isa {
+            Some(isa) => simd::tn_rows_lanes(a, b, chunk, r0, rows, k, m, n, isa),
+            None => matmul_tn_panel(a, b, chunk, r0, rows, k, m, n),
+        };
+        if !par_gate(flops, PAR_MIN_FLOPS) {
+            rows_kernel(0, m, dst);
         } else {
             dst.par_chunks_mut(ROW_PANEL * n)
                 .enumerate()
                 .for_each(|(panel, chunk)| {
-                    matmul_tn_panel(a, b, chunk, panel * ROW_PANEL, chunk.len() / n, k, m, n);
+                    rows_kernel(panel * ROW_PANEL, chunk.len() / n, chunk);
                 });
         }
         out
@@ -103,18 +113,22 @@ impl Tensor {
         let a = self.as_slice();
         let b = rhs.as_slice();
         let flops = 2 * m * n * k;
+        let isa = simd::dispatch(m * n * k / 4);
         let dst = out.as_mut_slice();
-        let kernel = |r0: usize, rows: usize, dst: &mut [f32]| {
-            for i in 0..rows {
-                let arow = &a[(r0 + i) * k..(r0 + i + 1) * k];
-                let orow = &mut dst[i * n..(i + 1) * n];
-                for (j, o) in orow.iter_mut().enumerate() {
-                    let brow = &b[j * k..(j + 1) * k];
-                    *o = dot(arow, brow);
+        let kernel = |r0: usize, rows: usize, dst: &mut [f32]| match isa {
+            Some(isa) => simd::nt_rows_lanes(a, b, dst, r0, rows, k, n, isa),
+            None => {
+                for i in 0..rows {
+                    let arow = &a[(r0 + i) * k..(r0 + i + 1) * k];
+                    let orow = &mut dst[i * n..(i + 1) * n];
+                    for (j, o) in orow.iter_mut().enumerate() {
+                        let brow = &b[j * k..(j + 1) * k];
+                        *o = dot(arow, brow);
+                    }
                 }
             }
         };
-        if flops < PAR_THRESHOLD_FLOPS || rayon::current_num_threads() == 1 {
+        if !par_gate(flops, PAR_MIN_FLOPS) {
             kernel(0, m, dst);
         } else {
             dst.par_chunks_mut(ROW_PANEL * n)
@@ -214,9 +228,14 @@ fn matmul_panel(
 /// Unrolled dot product with four independent accumulators, so the compiler
 /// can keep the FMA pipeline full without needing `-ffast-math` reassociation.
 /// Shared with [`crate::fused`], whose blocked `nt` kernel must reproduce
-/// this exact lane bracketing.
+/// this exact lane bracketing; the SIMD tier's `dot4` evaluates the same
+/// four chains in one vector register (stats-free dispatch — this runs
+/// per output element inside larger kernels).
 #[inline]
 pub(crate) fn dot(a: &[f32], b: &[f32]) -> f32 {
+    if let Some(isa) = simd::enabled_isa() {
+        return simd::dot4(a, b, isa);
+    }
     let chunks = a.len() / 4;
     let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
     for c in 0..chunks {

@@ -1,6 +1,13 @@
 //! Reductions. Sums and means accumulate in `f64` so that reducing millions
 //! of `f32` values (gradient norms over 2M-sample epochs, dataset statistics)
 //! does not lose precision to cancellation.
+//!
+//! Seeding convention: every explicit accumulator in this crate seeds at
+//! `-0.0`, matching `Iterator::sum::<f64>()` (whose identity element is
+//! `-0.0` per IEEE 754: `-0.0 + x == x` for every `x`, including `x ==
+//! -0.0`, whereas `0.0 + -0.0 == 0.0` flips the sign bit). The convention
+//! makes a hand-rolled reduction bit-identical to the `sum()` it replaces
+//! even when the reduced slice is empty or all `-0.0`.
 
 use crate::tensor::Tensor;
 
@@ -35,7 +42,9 @@ impl Tensor {
     pub fn sum_axis0(&self) -> Tensor {
         let (m, n) = (self.rows(), self.cols());
         let src = self.as_slice();
-        let mut acc = vec![0.0f64; n];
+        // Seed at -0.0: the additive identity, so an all-(-0.0) column (or
+        // m == 0) reduces to the same bits as `sum::<f64>()` over it.
+        let mut acc = vec![-0.0f64; n];
         for r in 0..m {
             for (a, &v) in acc.iter_mut().zip(&src[r * n..(r + 1) * n]) {
                 *a += v as f64;
@@ -144,5 +153,29 @@ mod tests {
     fn mean_of_empty_is_zero() {
         let x = Tensor::zeros(&[0]);
         assert_eq!(x.mean(), 0.0);
+    }
+
+    #[test]
+    fn reductions_preserve_sign_of_zero() {
+        // All-(-0.0) inputs must reduce to -0.0 on every path — the
+        // accumulators seed at -0.0 (the true additive identity), matching
+        // `Iterator::sum`. A +0.0 seed would flip the sign bit.
+        let x = t(&[2, 3], &[-0.0; 6]);
+        assert_eq!(x.sum().to_bits(), (-0.0f32).to_bits());
+        for &v in x.sum_axis0().as_slice() {
+            assert_eq!(v.to_bits(), (-0.0f32).to_bits());
+        }
+        for &v in x.sum_axis1().as_slice() {
+            assert_eq!(v.to_bits(), (-0.0f32).to_bits());
+        }
+        // Empty reduction: identity element, bit-exact.
+        let e = Tensor::zeros(&[0, 4]);
+        for &v in e.sum_axis0().as_slice() {
+            assert_eq!(v.to_bits(), (-0.0f32).to_bits());
+        }
+        assert_eq!(Tensor::zeros(&[0]).sum().to_bits(), (-0.0f32).to_bits());
+        // sumsq of an empty slice is the canonical 4-chain fold of nothing:
+        // ((-0.0 + -0.0) + (-0.0 + -0.0)) + -0.0 == -0.0.
+        assert_eq!(Tensor::zeros(&[0]).sumsq().to_bits(), (-0.0f64).to_bits());
     }
 }

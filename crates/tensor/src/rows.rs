@@ -23,18 +23,15 @@
 
 use rayon::prelude::*;
 
+use crate::par::{par_gate, PAR_MIN_ELEMS};
 use crate::tensor::Tensor;
-
-/// Below this output element count the parallel dispatch costs more than
-/// it saves.
-pub(crate) const ROWS_PAR_MIN: usize = 1 << 16;
 
 /// Output rows per parallel task for gather/scatter.
 pub(crate) const ROWS_CHUNK: usize = 128;
 
 #[inline]
 pub(crate) fn run_parallel(out_elems: usize) -> bool {
-    out_elems >= ROWS_PAR_MIN && rayon::current_num_threads() > 1
+    par_gate(out_elems, PAR_MIN_ELEMS)
 }
 
 /// Stable counting-sort grouping of an index list by destination row —
@@ -305,7 +302,7 @@ mod tests {
 
     #[test]
     fn large_gather_scatter_cross_threshold_match_naive() {
-        // 2048 rows × 64 cols = 131072 elements > ROWS_PAR_MIN, so the
+        // 2048 rows × 64 cols = 131072 elements > PAR_MIN_ELEMS, so the
         // parallel dispatch (when threads are available) is covered; the
         // result must equal a naive per-element loop either way.
         let (rows, n, out_rows) = (2048usize, 64usize, 300usize);
@@ -358,10 +355,10 @@ mod tests {
     #[test]
     fn scatter_above_parallel_threshold_matches_serial_bitwise() {
         // 4096 inputs → 1600 rows × 64 cols = 102400 output elements,
-        // above ROWS_PAR_MIN, so when threads exist the public API takes
+        // above PAR_MIN_ELEMS, so when threads exist the public API takes
         // the CSR path; either way the bits must match the serial fold.
         let (rows, n, out_rows) = (4096usize, 64usize, 1600usize);
-        assert!(out_rows * n >= ROWS_PAR_MIN);
+        assert!(out_rows * n >= PAR_MIN_ELEMS);
         let x = Tensor::from_fn(&[rows, n], |i| ((i * 37 % 113) as f32) * 0.017 - 0.9);
         let idx: Vec<u32> = (0..rows).map(|i| ((i * 5 + 3) % out_rows) as u32).collect();
 

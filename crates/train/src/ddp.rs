@@ -51,7 +51,7 @@ use matsciml_datasets::Sample;
 use matsciml_nn::bucket::{rank_range, reduce_slots, tree_reduce_into_first, GradBucket};
 use matsciml_nn::ForwardCtx;
 use matsciml_obs::{Obs, Phase, PhaseAcc, Span};
-use matsciml_tensor::{edge_stats, pool_stats};
+use matsciml_tensor::{edge_stats, pool_stats, simd_stats};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -79,6 +79,11 @@ pub const EDGE_FUSED_CALLS: &str = "edge/fused_calls";
 /// Counter name for intermediate-tensor bytes the fused edge kernels
 /// avoided materializing.
 pub const EDGE_BYTES_SAVED: &str = "edge/bytes_saved";
+/// Counter name for 4-lane SIMD groups processed by the lane tier.
+pub const SIMD_LANE_OPS: &str = "simd/lane_ops";
+/// Counter name for kernel entries that fell back to the scalar path
+/// (tier disabled or ISA unsupported).
+pub const SIMD_FALLBACK_HITS: &str = "simd/fallback_hits";
 
 /// DDP execution configuration.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -286,6 +291,7 @@ pub fn ddp_step_pooled(
     let t_fold = obs.timer();
     let pool_before = obs.enabled().then(pool_stats);
     let edge_before = obs.enabled().then(edge_stats);
+    let simd_before = obs.enabled().then(simd_stats);
 
     tapes.grow_to(slots);
 
@@ -381,6 +387,13 @@ pub fn ddp_step_pooled(
         let edge = edge_stats().since(&edge_before.expect("snapshot taken when enabled"));
         obs.count(EDGE_FUSED_CALLS, edge.fused_calls);
         obs.count(EDGE_BYTES_SAVED, edge.bytes_saved);
+        // Lane-tier traffic this step (process-global deltas): lane_ops
+        // counts 4-lane groups the vector kernels processed; with
+        // `set_simd_enabled(false)` it is zero and every kernel entry
+        // lands on fallback_hits instead.
+        let simd = simd_stats().since(&simd_before.expect("snapshot taken when enabled"));
+        obs.count(SIMD_LANE_OPS, simd.lane_ops);
+        obs.count(SIMD_FALLBACK_HITS, simd.fallback_hits);
     }
 
     MetricMap::mean_of(&rank_metrics)

@@ -45,7 +45,7 @@ pub use trainer::{EarlyStop, TrainConfig, Trainer, TrainLog, TrainRecord};
 
 pub use ddp::{
     ddp_step, ddp_step_observed, ddp_step_pooled, DdpConfig, DdpTapes, COMM_ALLREDUCE_BYTES,
-    COMM_GRAD_BYTES, EDGE_BYTES_SAVED, EDGE_FUSED_CALLS,
+    COMM_GRAD_BYTES, EDGE_BYTES_SAVED, EDGE_FUSED_CALLS, SIMD_FALLBACK_HITS, SIMD_LANE_OPS,
 };
 pub use overlap::{
     ddp_step_overlapped, BUCKET_CAP_BYTES, DDP_EXPOSED_COMM_MS, DDP_OVERLAPPED_COMM_MS,

@@ -61,13 +61,14 @@ use matsciml_datasets::Sample;
 use matsciml_nn::bucket::{rank_range, reduce_slots, tree_reduce_into_first, GradBucket};
 use matsciml_nn::{ForwardCtx, PartitionedLayout};
 use matsciml_obs::{Obs, Phase, PhaseAcc, Span};
-use matsciml_tensor::{edge_stats, pool_stats};
+use matsciml_tensor::{edge_stats, pool_stats, simd_stats};
 use rayon::prelude::*;
 
 use crate::collate::collate;
 use crate::ddp::{
     apportion_wall, rank_seed, DdpConfig, DdpTapes, COMM_ALLREDUCE_BYTES, COMM_GRAD_BYTES,
     EDGE_BYTES_SAVED, EDGE_FUSED_CALLS, POOL_BYTES_FRESH, POOL_BYTES_RECYCLED, POOL_HITS,
+    SIMD_FALLBACK_HITS, SIMD_LANE_OPS,
     POOL_MISSES, TAPE_NODES,
 };
 use crate::metrics::MetricMap;
@@ -286,6 +287,7 @@ pub fn ddp_step_overlapped(
     let local = obs.enabled().then(PhaseAcc::new);
     let pool_before = obs.enabled().then(pool_stats);
     let edge_before = obs.enabled().then(edge_stats);
+    let simd_before = obs.enabled().then(simd_stats);
     tapes.grow_to(slots);
 
     let (tx, rx) = std::sync::mpsc::channel::<PartMsg>();
@@ -381,6 +383,9 @@ pub fn ddp_step_overlapped(
         let edge = edge_stats().since(&edge_before.expect("snapshot taken when enabled"));
         obs.count(EDGE_FUSED_CALLS, edge.fused_calls);
         obs.count(EDGE_BYTES_SAVED, edge.bytes_saved);
+        let simd = simd_stats().since(&simd_before.expect("snapshot taken when enabled"));
+        obs.count(SIMD_LANE_OPS, simd.lane_ops);
+        obs.count(SIMD_FALLBACK_HITS, simd.fallback_hits);
 
         let exposed_ns = wait_ns + scatter_ns;
         let overlapped_ns = busy_ns.saturating_sub(wait_ns);

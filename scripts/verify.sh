@@ -24,6 +24,13 @@ cargo test -q
 echo "== workspace tests =="
 cargo test -q --workspace
 
+echo "== tier-1: tests again with the SIMD lane tier disabled =="
+# The scalar fallback is a first-class configuration (non-x86 targets,
+# MATSCIML_SIMD=0 escape hatch) and must stay bit-identical to the
+# vector path — the whole suite runs green in both modes.
+MATSCIML_SIMD=0 cargo test -q
+MATSCIML_SIMD=0 cargo test -q --workspace
+
 echo "== bench artifacts: every BENCH_*.json named in EXPERIMENTS.md exists =="
 while read -r artifact; do
   [[ -f "$artifact" ]] || {

@@ -94,6 +94,8 @@ fn run_symmetry(
         skip_nonfinite_updates: false,
         overlap_comm: false,
         prefetch_data: false,
+        checkpoint_every: 0,
+        checkpoint_dir: None,
     });
     let log = trainer.train(&mut model, &train_dl, Some(&val_dl));
     let fv = log.final_val().cloned().unwrap_or_default();
@@ -169,6 +171,8 @@ fn run_multitask_norm(name: &str, norm: NormKind, steps: u64, scale: Scale) -> O
         skip_nonfinite_updates: false,
         overlap_comm: false,
         prefetch_data: false,
+        checkpoint_every: 0,
+        checkpoint_dir: None,
     });
     let log = trainer.train(&mut model, &train_dl, Some(&val_dl));
     let fv = log.final_val().cloned().unwrap_or_default();

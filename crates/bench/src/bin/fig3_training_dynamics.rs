@@ -52,6 +52,8 @@ fn run(world: usize, base_lr: f32, steps: u64, scale: Scale) -> RunResult {
         skip_nonfinite_updates: false,
         overlap_comm: false,
         prefetch_data: false,
+        checkpoint_every: 0,
+        checkpoint_dir: None,
     });
     let log = trainer.train(&mut model, &train_dl, Some(&val_dl));
     let series = log.val_series("symmetry/sym/ce");

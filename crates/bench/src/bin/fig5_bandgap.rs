@@ -63,6 +63,8 @@ fn train_run(
         skip_nonfinite_updates: false,
         overlap_comm: false,
         prefetch_data: false,
+        checkpoint_every: 0,
+        checkpoint_dir: None,
     });
     trainer.train(&mut model, &train_dl, Some(&val_dl))
 }

@@ -113,6 +113,8 @@ fn train_run(pretrained: Option<&TaskModel>, steps: u64, base_lr: f32, scale: Sc
         skip_nonfinite_updates: false,
         overlap_comm: false,
         prefetch_data: false,
+        checkpoint_every: 0,
+        checkpoint_dir: None,
     });
     trainer.train(&mut model, &train_dl, Some(&val_dl))
 }

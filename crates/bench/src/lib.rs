@@ -181,6 +181,8 @@ pub fn pretrained_model(scale: Scale) -> (TaskModel, TrainLog) {
         skip_nonfinite_updates: false,
         overlap_comm: false,
         prefetch_data: false,
+        checkpoint_every: 0,
+        checkpoint_dir: None,
     });
     let log = trainer.train(&mut model, &train_dl, Some(&val_dl));
     std::fs::write(&cache, serde_json::to_string(&model.params).unwrap()).ok();

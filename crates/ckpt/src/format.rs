@@ -1,0 +1,455 @@
+//! The `matsciml-ckpt/v1` container: magic, version, tagged sections,
+//! trailing CRC-32. See `docs/CHECKPOINT_FORMAT.md` for the normative
+//! byte-level spec this module implements.
+
+use std::fmt;
+use std::path::Path;
+
+/// File magic: a non-ASCII lead byte (catches text-mode mangling and
+/// foreign files immediately) followed by `MCKPT` and a CRLF pair
+/// (catches newline translation), in the spirit of the PNG signature.
+pub const MAGIC: [u8; 8] = [0x89, b'M', b'C', b'K', b'P', b'T', 0x0D, 0x0A];
+
+/// Current (and only) container format version.
+pub const VERSION: u32 = 1;
+
+/// Every defect a checkpoint file can exhibit, as a typed error. Corrupt
+/// or foreign input must land in one of these variants — decoding never
+/// panics.
+#[derive(Debug)]
+pub enum CkptError {
+    /// Filesystem failure while reading or writing.
+    Io(std::io::Error),
+    /// The file does not start with [`MAGIC`] — not a checkpoint.
+    BadMagic,
+    /// The file declares a container version this reader cannot parse.
+    UnsupportedVersion(u32),
+    /// The file ends before its declared structure does.
+    Truncated {
+        /// What the reader was parsing when the bytes ran out.
+        context: &'static str,
+    },
+    /// The trailing CRC-32 does not match the file contents.
+    ChecksumMismatch {
+        /// Checksum stored in the file.
+        stored: u32,
+        /// Checksum computed over the file contents.
+        computed: u32,
+    },
+    /// A required section is absent.
+    MissingSection(&'static str),
+    /// Structurally invalid content inside an otherwise intact file.
+    Malformed(String),
+}
+
+impl fmt::Display for CkptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CkptError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CkptError::BadMagic => write!(f, "not a matsciml-ckpt file (bad magic)"),
+            CkptError::UnsupportedVersion(v) => {
+                write!(f, "unsupported checkpoint version {v} (reader supports {VERSION})")
+            }
+            CkptError::Truncated { context } => {
+                write!(f, "checkpoint truncated while reading {context}")
+            }
+            CkptError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "checkpoint checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            CkptError::MissingSection(tag) => {
+                write!(f, "checkpoint is missing required section `{tag}`")
+            }
+            CkptError::Malformed(msg) => write!(f, "malformed checkpoint: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CkptError {}
+
+impl From<std::io::Error> for CkptError {
+    fn from(e: std::io::Error) -> Self {
+        CkptError::Io(e)
+    }
+}
+
+/// CRC-32 (IEEE 802.3): reflected polynomial `0xEDB88320`, initial value
+/// `0xFFFFFFFF`, final XOR `0xFFFFFFFF` — the same parameterization as
+/// zlib/PNG, so third-party tooling can verify files with stock
+/// libraries. Bitwise (no table): checkpoints are megabytes at most and
+/// are written once per eval interval, not per step.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Pad a tag to its 8-byte on-disk form; panics on tags the spec forbids
+/// (tags are compile-time constants, so this is a programming error, not
+/// an input error).
+fn tag_bytes(tag: &str) -> [u8; 8] {
+    assert!(
+        !tag.is_empty() && tag.len() <= 8,
+        "section tag `{tag}` must be 1..=8 bytes"
+    );
+    assert!(
+        tag.bytes().all(|b| b.is_ascii_graphic()),
+        "section tag `{tag}` must be ASCII graphic characters"
+    );
+    let mut out = [b' '; 8];
+    out[..tag.len()].copy_from_slice(tag.as_bytes());
+    out
+}
+
+/// Zero-padding needed to align `len` up to an 8-byte boundary.
+fn pad_len(len: usize) -> usize {
+    (8 - len % 8) % 8
+}
+
+/// Assembles a checkpoint file: add sections in order, then write.
+#[derive(Default)]
+pub struct CkptWriter {
+    sections: Vec<([u8; 8], Vec<u8>)>,
+}
+
+impl CkptWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a section. Tags must be unique within one file.
+    pub fn section(&mut self, tag: &str, payload: Vec<u8>) -> &mut Self {
+        let tb = tag_bytes(tag);
+        assert!(
+            self.sections.iter().all(|(t, _)| *t != tb),
+            "duplicate section tag `{tag}`"
+        );
+        self.sections.push((tb, payload));
+        self
+    }
+
+    /// Serialize to the full on-disk byte stream (magic through checksum).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let body: usize = self
+            .sections
+            .iter()
+            .map(|(_, p)| 16 + p.len() + pad_len(p.len()))
+            .sum();
+        let mut out = Vec::with_capacity(16 + body + 4);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.sections.len() as u32).to_le_bytes());
+        for (tag, payload) in &self.sections {
+            out.extend_from_slice(tag);
+            out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+            out.extend_from_slice(payload);
+            out.extend(std::iter::repeat_n(0u8, pad_len(payload.len())));
+        }
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Write the file (parent directories created), returning the byte
+    /// count on disk.
+    pub fn write(&self, path: impl AsRef<Path>) -> Result<u64, CkptError> {
+        let path = path.as_ref();
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let bytes = self.to_bytes();
+        std::fs::write(path, &bytes)?;
+        Ok(bytes.len() as u64)
+    }
+}
+
+/// A parsed checkpoint: validated magic, version, structure, and
+/// checksum, with sections addressable by tag. Unknown tags are retained
+/// but ignored — the v1 forward-compatibility rule.
+pub struct CkptReader {
+    version: u32,
+    sections: Vec<([u8; 8], Vec<u8>)>,
+}
+
+impl CkptReader {
+    /// Parse and validate a full checkpoint byte stream.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CkptError> {
+        if bytes.len() < 8 {
+            return Err(CkptError::Truncated { context: "magic" });
+        }
+        if bytes[..8] != MAGIC {
+            return Err(CkptError::BadMagic);
+        }
+        if bytes.len() < 16 {
+            return Err(CkptError::Truncated { context: "header" });
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        if version != VERSION {
+            return Err(CkptError::UnsupportedVersion(version));
+        }
+        let count = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes")) as usize;
+
+        // Structural parse first (so a mid-section EOF reports Truncated,
+        // not a checksum mismatch against garbage), checksum second.
+        let mut sections = Vec::with_capacity(count);
+        let mut off = 16usize;
+        let body_end = bytes.len().saturating_sub(4);
+        for _ in 0..count {
+            if off + 16 > body_end {
+                return Err(CkptError::Truncated { context: "section header" });
+            }
+            let tag: [u8; 8] = bytes[off..off + 8].try_into().expect("8 bytes");
+            let len = u64::from_le_bytes(bytes[off + 8..off + 16].try_into().expect("8 bytes"));
+            let len = usize::try_from(len)
+                .map_err(|_| CkptError::Malformed("section length overflows usize".into()))?;
+            off += 16;
+            if off + len > body_end {
+                return Err(CkptError::Truncated { context: "section payload" });
+            }
+            sections.push((tag, bytes[off..off + len].to_vec()));
+            off += len + pad_len(len);
+        }
+        if off > body_end {
+            return Err(CkptError::Truncated { context: "section padding" });
+        }
+        if off != body_end {
+            return Err(CkptError::Malformed(format!(
+                "{} trailing bytes after last section",
+                body_end - off
+            )));
+        }
+        let stored = u32::from_le_bytes(bytes[body_end..].try_into().expect("4 bytes"));
+        let computed = crc32(&bytes[..body_end]);
+        if stored != computed {
+            return Err(CkptError::ChecksumMismatch { stored, computed });
+        }
+        Ok(CkptReader { version, sections })
+    }
+
+    /// Read and validate a checkpoint file.
+    pub fn read(path: impl AsRef<Path>) -> Result<Self, CkptError> {
+        Self::from_bytes(&std::fs::read(path)?)
+    }
+
+    /// Container version of the parsed file.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Payload of the first section with `tag`, if present.
+    pub fn section(&self, tag: &str) -> Option<&[u8]> {
+        let tb = tag_bytes(tag);
+        self.sections
+            .iter()
+            .find(|(t, _)| *t == tb)
+            .map(|(_, p)| p.as_slice())
+    }
+
+    /// Like [`CkptReader::section`], erroring with
+    /// [`CkptError::MissingSection`] when absent.
+    pub fn require(&self, tag: &'static str) -> Result<&[u8], CkptError> {
+        self.section(tag).ok_or(CkptError::MissingSection(tag))
+    }
+
+    /// All section tags in file order (trailing padding stripped),
+    /// including ones this reader has no codec for.
+    pub fn tags(&self) -> Vec<String> {
+        self.sections
+            .iter()
+            .map(|(t, _)| String::from_utf8_lossy(t).trim_end().to_string())
+            .collect()
+    }
+}
+
+/// Little-endian payload encoder: the primitive layer every section
+/// payload is built from (integers LE; floats as IEEE-754 bit patterns;
+/// strings length-prefixed UTF-8).
+#[derive(Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append an `f32` as its bit pattern.
+    pub fn put_f32(&mut self, v: f32) {
+        self.put_u32(v.to_bits());
+    }
+
+    /// Append an `f64` as its bit pattern.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Append a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Append raw bytes (length must be recoverable from context).
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Finish, yielding the payload.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Cursor over a section payload, mirroring [`ByteWriter`]. Runs past the
+/// payload end surface as [`CkptError::Malformed`] — the container
+/// checksum already passed, so a short payload is a codec-level defect,
+/// not file corruption.
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Read from the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], CkptError> {
+        if self.remaining() < n {
+            return Err(CkptError::Malformed(format!(
+                "payload exhausted reading {what} (need {n} bytes, have {})",
+                self.remaining()
+            )));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Read a `u32`.
+    pub fn get_u32(&mut self, what: &str) -> Result<u32, CkptError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().expect("4 bytes")))
+    }
+
+    /// Read a `u64`.
+    pub fn get_u64(&mut self, what: &str) -> Result<u64, CkptError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().expect("8 bytes")))
+    }
+
+    /// Read an `f32` bit pattern.
+    pub fn get_f32(&mut self, what: &str) -> Result<f32, CkptError> {
+        Ok(f32::from_bits(self.get_u32(what)?))
+    }
+
+    /// Read an `f64` bit pattern.
+    pub fn get_f64(&mut self, what: &str) -> Result<f64, CkptError> {
+        Ok(f64::from_bits(self.get_u64(what)?))
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self, what: &str) -> Result<String, CkptError> {
+        let len = self.get_u32(what)? as usize;
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| CkptError::Malformed(format!("{what}: invalid UTF-8")))
+    }
+
+    /// Read exactly `n` raw bytes.
+    pub fn get_bytes(&mut self, n: usize, what: &str) -> Result<&'a [u8], CkptError> {
+        self.take(n, what)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard check value for this parameterization.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn container_roundtrip_preserves_sections() {
+        let mut w = CkptWriter::new();
+        w.section("ALPHA", vec![1, 2, 3]).section("BETA", vec![]);
+        let bytes = w.to_bytes();
+        // Sections are 8-byte aligned: 16 header + 16+3+5 + 16+0 + 4 crc.
+        assert_eq!(bytes.len(), 16 + 24 + 16 + 4);
+        let r = CkptReader::from_bytes(&bytes).unwrap();
+        assert_eq!(r.version(), VERSION);
+        assert_eq!(r.section("ALPHA"), Some(&[1u8, 2, 3][..]));
+        assert_eq!(r.section("BETA"), Some(&[][..]));
+        assert_eq!(r.section("GAMMA"), None);
+        assert_eq!(r.tags(), vec!["ALPHA", "BETA"]);
+    }
+
+    #[test]
+    fn unknown_sections_are_skipped_not_fatal() {
+        let mut w = CkptWriter::new();
+        w.section("KNOWN", vec![7; 11]).section("FUTURE", vec![9; 23]);
+        let r = CkptReader::from_bytes(&w.to_bytes()).unwrap();
+        assert_eq!(r.section("KNOWN"), Some(&[7u8; 11][..]));
+        // A reader with no FUTURE codec still sees KNOWN and validates.
+        assert!(r.require("KNOWN").is_ok());
+        assert!(matches!(r.require("ABSENT"), Err(CkptError::MissingSection("ABSENT"))));
+    }
+
+    #[test]
+    fn byte_codec_roundtrips_primitives() {
+        let mut w = ByteWriter::new();
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 1);
+        w.put_f32(-0.0);
+        w.put_f64(f64::MIN_POSITIVE);
+        w.put_str("naïve");
+        let payload = w.into_bytes();
+        let mut r = ByteReader::new(&payload);
+        assert_eq!(r.get_u32("a").unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64("b").unwrap(), u64::MAX - 1);
+        assert_eq!(r.get_f32("c").unwrap().to_bits(), (-0.0f32).to_bits());
+        assert_eq!(r.get_f64("d").unwrap(), f64::MIN_POSITIVE);
+        assert_eq!(r.get_str("e").unwrap(), "naïve");
+        assert_eq!(r.remaining(), 0);
+        assert!(matches!(r.get_u32("past end"), Err(CkptError::Malformed(_))));
+    }
+
+    #[test]
+    fn nan_bit_patterns_survive() {
+        // The payload-level contract behind bit-identical resume: even
+        // non-finite values round-trip exactly.
+        let weird = f32::from_bits(0x7FC0_1234); // a signaling-ish NaN payload
+        let mut w = ByteWriter::new();
+        w.put_f32(weird);
+        let payload = w.into_bytes();
+        let mut r = ByteReader::new(&payload);
+        assert_eq!(r.get_f32("nan").unwrap().to_bits(), 0x7FC0_1234);
+    }
+}

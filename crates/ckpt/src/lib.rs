@@ -1,0 +1,50 @@
+//! `matsciml-ckpt` — the versioned binary checkpoint container.
+//!
+//! A checkpoint is a single file holding tagged sections (parameters,
+//! optimizer moments, architecture JSON, trainer state) behind an 8-byte
+//! magic, a format version, and a trailing CRC-32 over the whole file.
+//! The on-disk layout is specified normatively in
+//! `docs/CHECKPOINT_FORMAT.md`; this crate is one implementation of that
+//! spec, not its definition.
+//!
+//! Design constraints, in priority order:
+//!
+//! 1. **Bit-exactness.** Every f32 is stored as its IEEE-754 bit pattern,
+//!    so save → load → resume reproduces the uninterrupted trajectory bit
+//!    for bit (asserted end-to-end by the train crate's
+//!    `restart_bitwise` test).
+//! 2. **Loud corruption.** Truncation, a foreign file, a future version,
+//!    and a flipped byte each surface as a distinct [`CkptError`]
+//!    variant — never a panic, never a silently wrong model.
+//! 3. **Forward compatibility.** Readers skip sections whose tag they do
+//!    not recognize, so a v1 reader opens files written by later
+//!    toolkits that append new sections.
+//!
+//! The container ([`CkptWriter`] / [`CkptReader`]) is payload-agnostic;
+//! the typed codecs for [`matsciml_nn::ParamSet`] and
+//! [`matsciml_opt::AdamWState`] live in [`state`].
+
+#![warn(missing_docs)]
+
+mod format;
+pub mod state;
+
+pub use format::{
+    crc32, ByteReader, ByteWriter, CkptError, CkptReader, CkptWriter, MAGIC, VERSION,
+};
+pub use state::{decode_adamw, decode_params, encode_adamw, encode_params};
+
+/// Section tags defined by `matsciml-ckpt/v1`. Tags are 1–8 ASCII bytes,
+/// space-padded on disk; unknown tags must be skipped by readers.
+pub mod tags {
+    /// Parameter tensors: names, shapes, and f32 bit patterns.
+    pub const PARAMS: &str = "PARAMS";
+    /// AdamW optimizer state: hyperparameters, step count, moments.
+    pub const OPT_ADAMW: &str = "OPTADAMW";
+    /// Model architecture as UTF-8 JSON (encoder + heads, no weights).
+    pub const MODEL_JSON: &str = "MODELJSN";
+    /// Training configuration as UTF-8 JSON.
+    pub const TRAIN_CONFIG: &str = "TRAINCFG";
+    /// Trainer progress: completed steps, best metric, early-stop state.
+    pub const TRAIN_STATE: &str = "TRAINST";
+}

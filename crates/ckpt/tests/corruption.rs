@@ -1,0 +1,161 @@
+//! Corruption handling for the `matsciml-ckpt/v1` container: every way a
+//! file can be damaged must surface as the matching typed [`CkptError`]
+//! variant — never a panic, never a silently wrong model — plus a
+//! round-trip property test over odd `ParamSet` shapes.
+
+use matsciml_ckpt::{
+    decode_params, encode_params, tags, CkptError, CkptReader, CkptWriter, MAGIC, VERSION,
+};
+use matsciml_nn::{ParamId, ParamSet};
+use matsciml_tensor::Tensor;
+use proptest::prelude::*;
+
+/// A small but non-trivial checkpoint byte stream to corrupt.
+fn sample_file() -> Vec<u8> {
+    let mut ps = ParamSet::new();
+    ps.register("embed.w", Tensor::from_vec(&[3, 4], (0..12).map(|i| i as f32 * 0.5 - 3.0).collect()).unwrap());
+    ps.register("head.b", Tensor::from_vec(&[1], vec![-0.0]).unwrap());
+    let mut w = CkptWriter::new();
+    w.section(tags::PARAMS, encode_params(&ps));
+    w.section(tags::TRAIN_STATE, vec![0xAB; 20]);
+    w.to_bytes()
+}
+
+#[test]
+fn truncated_file_is_a_typed_error() {
+    let full = sample_file();
+    // Cut mid-magic, mid-header, mid-section-header, and mid-payload:
+    // all must parse-fail as Truncated, not panic or misreport.
+    for cut in [3, 10, 20, full.len() / 2] {
+        match CkptReader::from_bytes(&full[..cut]) {
+            Err(CkptError::Truncated { .. }) => {}
+            other => panic!("cut at {cut}: expected Truncated, got {other:?}", other = other.err()),
+        }
+    }
+}
+
+#[test]
+fn bad_magic_is_rejected_before_anything_else() {
+    let mut bytes = sample_file();
+    bytes[0] = b'{'; // looks like JSON now
+    assert!(matches!(CkptReader::from_bytes(&bytes), Err(CkptError::BadMagic)));
+    // A totally foreign file too.
+    assert!(matches!(
+        CkptReader::from_bytes(b"PK\x03\x04 definitely a zip archive"),
+        Err(CkptError::BadMagic)
+    ));
+}
+
+#[test]
+fn future_version_is_refused_with_the_version_number() {
+    let mut bytes = sample_file();
+    bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+    match CkptReader::from_bytes(&bytes) {
+        Err(CkptError::UnsupportedVersion(v)) => assert_eq!(v, 99),
+        other => panic!("expected UnsupportedVersion, got {other:?}", other = other.err()),
+    }
+}
+
+#[test]
+fn every_flipped_payload_byte_fails_the_checksum() {
+    let full = sample_file();
+    // Flip one byte at a time across the payload region (past the fixed
+    // header, before the stored CRC). The structural parse still
+    // succeeds for in-payload flips, so the checksum must catch them.
+    let params_start = 16 + 16; // file header + first section header
+    for pos in (params_start..full.len() - 4).step_by(7) {
+        let mut bytes = full.clone();
+        bytes[pos] ^= 0x40;
+        match CkptReader::from_bytes(&bytes) {
+            Err(CkptError::ChecksumMismatch { stored, computed }) => {
+                assert_ne!(stored, computed)
+            }
+            // A flip inside a section *length* field derails the
+            // structural parse first — also a loud, typed failure.
+            Err(CkptError::Truncated { .. }) | Err(CkptError::Malformed(_)) => {}
+            other => panic!(
+                "flip at {pos}: expected a typed error, got {other:?}",
+                other = other.err()
+            ),
+        }
+    }
+}
+
+#[test]
+fn flipped_checksum_bytes_also_fail() {
+    let full = sample_file();
+    let mut bytes = full.clone();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x01;
+    assert!(matches!(
+        CkptReader::from_bytes(&bytes),
+        Err(CkptError::ChecksumMismatch { .. })
+    ));
+}
+
+#[test]
+fn intact_file_still_parses() {
+    let r = CkptReader::from_bytes(&sample_file()).unwrap();
+    assert_eq!(r.version(), VERSION);
+    assert!(r.section(tags::PARAMS).is_some());
+    assert_eq!(r.tags(), vec![tags::PARAMS, tags::TRAIN_STATE]);
+    // Sanity: the magic constant is what the spec says it is.
+    assert_eq!(MAGIC, [0x89, b'M', b'C', b'K', b'P', b'T', 0x0D, 0x0A]);
+}
+
+/// Strategy for awkward tensor shapes: scalars-as-[1], skinny matrices,
+/// singleton dimensions, rank-3 blocks.
+fn odd_shape() -> impl Strategy<Value = Vec<usize>> {
+    (1usize..4, 1usize..8, 1usize..8, 1usize..5).prop_map(|(rank, a, b, c)| match rank {
+        1 => vec![a],
+        2 => vec![a, b],
+        _ => vec![a, b, c],
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn param_roundtrip_is_bit_exact_over_odd_shapes(
+        shapes in proptest::collection::vec(odd_shape(), 1..6),
+        seed in any::<u64>(),
+    ) {
+        // Fill with values spanning magnitudes, signed zeros, subnormals.
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let bits = (state >> 32) as u32;
+            match bits % 17 {
+                0 => -0.0f32,
+                1 => f32::MIN_POSITIVE / 2.0, // subnormal
+                2 => 1e-38,
+                3 => -3.4e38,
+                _ => f32::from_bits(bits % 0x7F7F_FFFF), // arbitrary finite
+            }
+        };
+        let mut ps = ParamSet::new();
+        for (i, shape) in shapes.iter().enumerate() {
+            let numel: usize = shape.iter().product();
+            let data: Vec<f32> = (0..numel).map(|_| next()).collect();
+            ps.register(format!("p{i}"), Tensor::from_vec(shape, data).unwrap());
+        }
+
+        // Through the full container, not just the codec.
+        let mut w = CkptWriter::new();
+        w.section(tags::PARAMS, encode_params(&ps));
+        let bytes = w.to_bytes();
+        let r = CkptReader::from_bytes(&bytes).unwrap();
+        let back = decode_params(r.require(tags::PARAMS).unwrap()).unwrap();
+
+        prop_assert_eq!(back.len(), ps.len());
+        for i in 0..ps.len() {
+            let id = ParamId(i);
+            prop_assert_eq!(back.name(id), ps.name(id));
+            prop_assert_eq!(back.value(id).shape(), ps.value(id).shape());
+            let a: Vec<u32> = back.value(id).as_slice().iter().map(|v| v.to_bits()).collect();
+            let b: Vec<u32> = ps.value(id).as_slice().iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(a, b, "param {} bit patterns drifted", i);
+        }
+    }
+}

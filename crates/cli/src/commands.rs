@@ -118,14 +118,49 @@ pub fn cmd_train(args: &Args) -> Result<(), String> {
     // (works alone via the no-op sink, no artifact written).
     let run_dir = args.get("run-dir").map(str::to_string);
     let trace = args.flag("trace");
+    // Mid-run checkpointing (docs/CHECKPOINT_FORMAT.md): write
+    // `stepN.mckpt` into --ckpt-dir every --ckpt-every steps; --resume
+    // restarts a run from such a file, bit-identically.
+    let ckpt_every = args.num_or("ckpt-every", 0u64)?;
+    let ckpt_dir = args.get("ckpt-dir").map(str::to_string);
+    let resume = args.get("resume").map(str::to_string);
     args.reject_unknown()?;
+    if ckpt_every > 0 && ckpt_dir.is_none() {
+        return Err("--ckpt-every needs --ckpt-dir DIR".into());
+    }
 
     let ds: Box<dyn Dataset> = match &from {
         Some(path) => Box::new(JsonlDataset::open(path).map_err(|e| e.to_string())?),
         None => dataset_by_name(&ds_name, size, seed)?,
     };
-    let target = target_by_name(&target_name)?;
     let pipeline = Compose::standard(4.5, Some(12));
+
+    if let Some(path) = &resume {
+        // Resume branch: model + config + optimizer state all come from
+        // the checkpoint; the CLI dataset flags must describe the same
+        // data the original run saw (the schedule is derived from the
+        // checkpointed seed). --steps is the new total step budget.
+        let ckpt = TrainCheckpoint::load(path).map_err(|e| e.to_string())?;
+        let mut cfg = ckpt.config.clone();
+        eprintln!(
+            "resuming {path} at step {} (original budget {}, new budget {steps})",
+            ckpt.progress.step, cfg.steps
+        );
+        cfg.steps = steps;
+        cfg.checkpoint_every = ckpt_every;
+        cfg.checkpoint_dir = ckpt_dir.clone();
+        let batch = cfg.world_size * cfg.per_rank_batch;
+        let train_dl =
+            DataLoader::new(ds.as_ref(), Some(&pipeline), Split::Train, 0.2, batch, cfg.seed);
+        let val_dl =
+            DataLoader::new(ds.as_ref(), Some(&pipeline), Split::Val, 0.2, 32.min(batch), cfg.seed);
+        let obs = train_obs(&run_dir, trace)?;
+        let trainer = Trainer::new(cfg);
+        let (model, log) = trainer.resume_observed(ckpt, &train_dl, Some(&val_dl), &obs);
+        return report_train(&log, &model, &run_dir, trace, &obs, &save);
+    }
+
+    let target = target_by_name(&target_name)?;
     let batch = world * per_rank;
     let train_dl = DataLoader::new(ds.as_ref(), Some(&pipeline), Split::Train, 0.2, batch, seed);
     let val_dl = DataLoader::new(ds.as_ref(), Some(&pipeline), Split::Val, 0.2, 32.min(batch), seed);
@@ -157,15 +192,37 @@ pub fn cmd_train(args: &Args) -> Result<(), String> {
         eval_every: (steps / 10).max(1),
         clip_norm: Some(10.0),
         seed,
+        checkpoint_every: ckpt_every,
+        checkpoint_dir: ckpt_dir.clone(),
         ..Default::default()
     });
-    let obs = match &run_dir {
-        Some(dir) => Obs::jsonl(std::path::Path::new(dir).join("run.jsonl"))
-            .map_err(|e| format!("cannot create run record in {dir}: {e}"))?,
-        None if trace => Obs::null(),
-        None => Obs::disabled(),
-    };
+    let obs = train_obs(&run_dir, trace)?;
     let log = trainer.train_observed(&mut model, &train_dl, Some(&val_dl), &obs);
+    report_train(&log, &model, &run_dir, trace, &obs, &save)
+}
+
+/// The training observability handle: a JSONL run record under
+/// `--run-dir`, the aggregating no-op sink under `--trace`, else nothing.
+fn train_obs(run_dir: &Option<String>, trace: bool) -> Result<Obs, String> {
+    match run_dir {
+        Some(dir) => Obs::jsonl(std::path::Path::new(dir).join("run.jsonl"))
+            .map_err(|e| format!("cannot create run record in {dir}: {e}")),
+        None if trace => Ok(Obs::null()),
+        None => Ok(Obs::disabled()),
+    }
+}
+
+/// Post-run reporting shared by the fresh-run and resume paths of
+/// [`cmd_train`]: eval table, run-record artifacts, trace summary, and
+/// the optional JSON model checkpoint.
+fn report_train(
+    log: &TrainLog,
+    model: &TaskModel,
+    run_dir: &Option<String>,
+    trace: bool,
+    obs: &Obs,
+    save: &Option<String>,
+) -> Result<(), String> {
     for r in log.records.iter().filter(|r| r.val.is_some()) {
         println!(
             "step {:>5}  lr {:.2e}  train {}  |  val {}",
@@ -175,7 +232,7 @@ pub fn cmd_train(args: &Args) -> Result<(), String> {
             r.val.as_ref().unwrap().render()
         );
     }
-    if let Some(dir) = &run_dir {
+    if let Some(dir) = run_dir {
         log.write_csv(std::path::Path::new(dir).join("train.csv"))
             .map_err(|e| e.to_string())?;
         eprintln!("run record: {dir}/run.jsonl  csv: {dir}/train.csv");
@@ -196,7 +253,7 @@ pub fn cmd_train(args: &Args) -> Result<(), String> {
         }
     }
     if let Some(path) = save {
-        model.save(&path).map_err(|e| e.to_string())?;
+        model.save(path).map_err(|e| e.to_string())?;
         eprintln!("saved full model checkpoint to {path}");
     }
     Ok(())
@@ -299,8 +356,20 @@ COMMANDS:
       --from FILE.jsonl  (train on a dataset exported by `generate`)
       --run-dir DIR  (write run.jsonl per docs/RUN_RECORD.md + train.csv)
       --trace        (print per-phase timing quantiles after the run)
+      --ckpt-every N --ckpt-dir DIR  (write stepN.mckpt checkpoints,
+                      docs/CHECKPOINT_FORMAT.md)
+      --resume FILE.mckpt  (continue a checkpointed run bit-identically;
+                      --steps is the new total budget)
   embed                     encoder embeddings as CSV
       --dataset D --count N --hidden H --load CHECKPOINT --out FILE
+  serve                     batched property-prediction server (docs/SERVING.md)
+      --ckpt FILE.mckpt | --model FILE.json   (what to serve)
+      --addr HOST:PORT --workers N --max-batch B --queue-cap Q --head H
+      --dataset D --size N --seed S  (dataset behind index requests)
+      --run-dir DIR  (write serve.jsonl run record)
+  query                     client for a running `serve`
+      --addr HOST:PORT --index N | --indices A,B,C | --file FILE.jsonl
+      --stats | --shutdown
   bench                     quick throughput probe
       --hidden H --batch B"
     );

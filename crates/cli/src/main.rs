@@ -2,6 +2,7 @@
 
 mod args;
 mod commands;
+mod serve;
 
 use args::Args;
 
@@ -20,6 +21,8 @@ fn main() {
         Some("generate") => commands::cmd_generate(&args),
         Some("train") => commands::cmd_train(&args),
         Some("embed") => commands::cmd_embed(&args),
+        Some("serve") => serve::cmd_serve(&args),
+        Some("query") => serve::cmd_query(&args),
         Some("bench") => commands::cmd_bench(&args),
         Some("help") | None => {
             commands::usage(&mut std::io::stdout());

@@ -18,7 +18,8 @@
 //! | [`symmetry`] | `matsciml-symmetry` | the 32 point groups + pretraining generator |
 //! | [`datasets`] | `matsciml-datasets` | synthetic MP/CMD/OC20/OC22/LiPS, transforms, loading |
 //! | [`models`] | `matsciml-models` | E(n)-GNN encoder, MPNN baseline |
-//! | [`train`] | `matsciml-train` | tasks, multi-task models, DDP simulator, trainer |
+//! | [`train`] | `matsciml-train` | tasks, multi-task models, DDP simulator, trainer, inference server |
+//! | [`ckpt`] | `matsciml-ckpt` | the versioned `matsciml-ckpt/v1` checkpoint container |
 //! | [`obs`] | `matsciml-obs` | spans, streaming histograms, JSONL run recorder |
 //! | [`umap`] | `matsciml-umap` | UMAP for the dataset-exploration study |
 //!
@@ -49,6 +50,7 @@
 #![warn(missing_docs)]
 
 pub use matsciml_autograd as autograd;
+pub use matsciml_ckpt as ckpt;
 pub use matsciml_datasets as datasets;
 pub use matsciml_graph as graph;
 pub use matsciml_models as models;
@@ -89,11 +91,13 @@ pub mod prelude {
     };
     pub use matsciml_symmetry::{all_point_groups, group_by_name, PointGroup, SymmetryConfig};
     pub use matsciml_tensor::{Mat3, Tensor, TensorError, Vec3};
+    pub use matsciml_ckpt::{CkptError, CkptReader, CkptWriter};
     pub use matsciml_train::{
         collate, ddp::ddp_step, ddp::ddp_step_observed, ddp::DdpConfig, sweep::run_sweep,
         sweep::run_sweep_observed, sweep::SweepGrid, sweep::Trial, target_stats, ForceFieldModel,
-        throughput, EncoderKind, LossKind, MetricMap, EarlyStop, TargetKind, TaskHead,
-        TaskHeadConfig, TaskModel, TrainConfig, TrainLog, TrainRecord, Trainer,
+        throughput, EncoderKind, InferenceServer, LossKind, MetricMap, EarlyStop, ServeConfig,
+        ServeError, TargetKind, TaskHead, TaskHeadConfig, TaskModel, TrainCheckpoint, TrainConfig,
+        TrainLog, TrainProgress, TrainRecord, Trainer,
     };
     pub use matsciml_umap::{
         centroid_separation, exact_knn, silhouette, FittedUmap, Umap, UmapConfig,

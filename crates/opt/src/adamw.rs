@@ -46,6 +46,23 @@ pub struct AdamW {
     t: u64,
 }
 
+/// A complete, owned snapshot of an [`AdamW`] instance — everything
+/// needed to reconstruct the optimizer mid-run with bit-identical future
+/// updates. This is the checkpointing surface: `matsciml-ckpt` encodes
+/// and decodes this struct, never the optimizer's private fields.
+#[derive(Debug, Clone)]
+pub struct AdamWState {
+    /// Hyperparameters at snapshot time (including the scheduler-mutated
+    /// learning rate, which the trainer overwrites each step anyway).
+    pub cfg: AdamWConfig,
+    /// First-moment estimates, one per parameter tensor.
+    pub m: Vec<Tensor>,
+    /// Second-moment estimates, aligned with `m`.
+    pub v: Vec<Tensor>,
+    /// Completed update count (drives bias correction).
+    pub t: u64,
+}
+
 impl AdamW {
     /// Initialize zero moment state matching the store's layout.
     pub fn new(params: &ParamSet, cfg: AdamWConfig) -> Self {
@@ -69,6 +86,41 @@ impl AdamW {
     /// Step count so far.
     pub fn steps(&self) -> u64 {
         self.t
+    }
+
+    /// Snapshot the full optimizer state for checkpointing. Tensor clones
+    /// are O(1) handle copies, so this is cheap to call mid-run.
+    pub fn export_state(&self) -> AdamWState {
+        AdamWState {
+            cfg: self.cfg,
+            m: self.m.clone(),
+            v: self.v.clone(),
+            t: self.t,
+        }
+    }
+
+    /// Rebuild an optimizer from a snapshot. The next
+    /// [`AdamW::step`] continues the bias-correction and moment
+    /// trajectories exactly where the snapshotted instance would have.
+    pub fn from_state(state: AdamWState) -> Self {
+        assert_eq!(
+            state.m.len(),
+            state.v.len(),
+            "AdamW state: m/v moment counts differ"
+        );
+        for (i, (m, v)) in state.m.iter().zip(&state.v).enumerate() {
+            assert_eq!(
+                m.shape(),
+                v.shape(),
+                "AdamW state: moment {i} has mismatched m/v shapes"
+            );
+        }
+        AdamW {
+            cfg: state.cfg,
+            m: state.m,
+            v: state.v,
+            t: state.t,
+        }
     }
 
     /// Apply one update from the gradients currently accumulated in

@@ -28,7 +28,7 @@ mod probe;
 mod schedule;
 mod sgd;
 
-pub use adamw::{AdamW, AdamWConfig};
+pub use adamw::{AdamW, AdamWConfig, AdamWState};
 pub use probe::{flat_norm, InstabilityProbe, SpikeEvent};
 pub use schedule::{ConstantLr, LrSchedule, WarmupExpDecay};
 pub use sgd::Sgd;

@@ -1,0 +1,263 @@
+//! Trainer-level checkpointing: a [`TaskModel`] + AdamW moments + run
+//! progress in one `matsciml-ckpt/v1` file, restorable to a bit-identical
+//! training trajectory.
+//!
+//! What makes resume bit-exact: the data schedule is a pure function of
+//! `(seed, epoch)`, the learning rate a pure function of the step index,
+//! and every kernel is deterministic — so the *only* mutable trajectory
+//! state is (parameters, optimizer moments, step count, early-stop
+//! progress). That is exactly what a checkpoint stores, each f32 as its
+//! bit pattern. The [`matsciml_opt::InstabilityProbe`] is diagnostics-only
+//! (it never feeds back into updates) and is deliberately not
+//! checkpointed; a resumed run restarts its spike log fresh.
+//!
+//! File layout (see `docs/CHECKPOINT_FORMAT.md` for the normative spec):
+//! `PARAMS` (tensor names/shapes/bits), `OPTADAMW` (hyperparameters,
+//! step count, m/v moments), `MODELJSN` (architecture JSON, no weights),
+//! `TRAINCFG` (the [`TrainConfig`] JSON), `TRAINST` (progress).
+
+use std::path::Path;
+
+use matsciml_ckpt::{
+    decode_adamw, decode_params, encode_adamw, encode_params, tags, ByteReader, ByteWriter,
+    CkptError, CkptReader, CkptWriter,
+};
+use matsciml_obs::Obs;
+use matsciml_opt::AdamWState;
+use serde::{Deserialize, Serialize};
+
+use crate::model::{EncoderKind, TaskModel};
+use crate::task::TaskHead;
+use crate::trainer::TrainConfig;
+
+/// Counter: checkpoints written so far.
+pub const CKPT_SAVES: &str = "ckpt/saves";
+/// Counter: cumulative checkpoint bytes written to disk.
+pub const CKPT_BYTES_WRITTEN: &str = "ckpt/bytes_written";
+/// Counter: the step a resumed run restarted from (0 when never resumed).
+pub const CKPT_RESUME_STEP: &str = "ckpt/resume_step";
+/// Histogram: wall time of one checkpoint save, µs.
+pub const CKPT_SAVE_US: &str = "ckpt/save_us";
+/// Histogram: wall time of one checkpoint load, µs.
+pub const CKPT_LOAD_US: &str = "ckpt/load_us";
+
+/// Trainer progress at a step boundary — the scalar half of the resume
+/// state (the tensor half is parameters + optimizer moments).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainProgress {
+    /// Completed optimizer steps (a checkpoint at `step` resumes there).
+    pub step: u64,
+    /// Best early-stopping metric seen so far.
+    pub best_metric: f32,
+    /// Consecutive evaluations without improvement.
+    pub evals_without_improvement: u32,
+}
+
+/// Architecture JSON stored in `MODELJSN`: everything a [`TaskModel`]
+/// needs except the parameter tensors (those live in `PARAMS`, where
+/// they stay bit-exact — JSON floats would not).
+#[derive(Serialize, Deserialize)]
+struct ArchJson {
+    encoder: EncoderKind,
+    heads: Vec<TaskHead>,
+    encoder_param_count: usize,
+}
+
+/// A loaded training checkpoint: the rebuilt model plus everything the
+/// trainer needs to continue the run bit-identically
+/// ([`crate::Trainer::resume_observed`]).
+pub struct TrainCheckpoint {
+    /// The model, parameters restored bit-exact, gradients zeroed.
+    pub model: TaskModel,
+    /// Optimizer snapshot (moments + step count + hyperparameters).
+    pub opt: AdamWState,
+    /// The configuration the run was started with.
+    pub config: TrainConfig,
+    /// Step/early-stop progress at save time.
+    pub progress: TrainProgress,
+}
+
+/// Write one checkpoint file (parent directories created); returns bytes
+/// written. Records [`CKPT_SAVES`], [`CKPT_BYTES_WRITTEN`], and
+/// [`CKPT_SAVE_US`] when `obs` is enabled.
+pub fn save_checkpoint(
+    path: impl AsRef<Path>,
+    model: &TaskModel,
+    opt: &AdamWState,
+    config: &TrainConfig,
+    progress: TrainProgress,
+    obs: &Obs,
+) -> Result<u64, CkptError> {
+    assert_eq!(
+        opt.m.len(),
+        model.params.len(),
+        "optimizer moments do not match the model's parameter layout"
+    );
+    let t0 = obs.timer();
+    let arch = ArchJson {
+        encoder: model.encoder.clone(),
+        heads: model.heads.clone(),
+        encoder_param_count: model.encoder_param_count,
+    };
+    let arch_json = serde_json::to_string(&arch)
+        .map_err(|e| CkptError::Malformed(format!("architecture JSON: {e}")))?;
+    let cfg_json = serde_json::to_string(config)
+        .map_err(|e| CkptError::Malformed(format!("train config JSON: {e}")))?;
+    let mut st = ByteWriter::new();
+    st.put_u64(progress.step);
+    st.put_f64(progress.best_metric as f64);
+    st.put_u32(progress.evals_without_improvement);
+
+    let mut w = CkptWriter::new();
+    w.section(tags::PARAMS, encode_params(&model.params));
+    w.section(tags::OPT_ADAMW, encode_adamw(opt));
+    w.section(tags::MODEL_JSON, arch_json.into_bytes());
+    w.section(tags::TRAIN_CONFIG, cfg_json.into_bytes());
+    w.section(tags::TRAIN_STATE, st.into_bytes());
+    let bytes = w.write(path)?;
+    if obs.enabled() {
+        obs.count(CKPT_SAVES, 1);
+        obs.count(CKPT_BYTES_WRITTEN, bytes);
+        obs.observe(CKPT_SAVE_US, (Obs::lap_ns(t0) / 1_000) as f64);
+    }
+    Ok(bytes)
+}
+
+impl TrainCheckpoint {
+    /// Read and validate a checkpoint file, rebuilding the model.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, CkptError> {
+        Self::load_observed(path, &Obs::disabled())
+    }
+
+    /// [`TrainCheckpoint::load`], recording [`CKPT_LOAD_US`] when `obs`
+    /// is enabled.
+    pub fn load_observed(path: impl AsRef<Path>, obs: &Obs) -> Result<Self, CkptError> {
+        let t0 = obs.timer();
+        let r = CkptReader::read(path)?;
+        let params = decode_params(r.require(tags::PARAMS)?)?;
+        let opt = decode_adamw(r.require(tags::OPT_ADAMW)?)?;
+        let arch: ArchJson = serde_json::from_slice(r.require(tags::MODEL_JSON)?)
+            .map_err(|e| CkptError::Malformed(format!("architecture JSON: {e}")))?;
+        let config: TrainConfig = serde_json::from_slice(r.require(tags::TRAIN_CONFIG)?)
+            .map_err(|e| CkptError::Malformed(format!("train config JSON: {e}")))?;
+        let mut st = ByteReader::new(r.require(tags::TRAIN_STATE)?);
+        let progress = TrainProgress {
+            step: st.get_u64("progress step")?,
+            best_metric: st.get_f64("progress best metric")? as f32,
+            evals_without_improvement: st.get_u32("progress evals without improvement")?,
+        };
+
+        if arch.encoder_param_count > params.len() {
+            return Err(CkptError::Malformed(format!(
+                "encoder_param_count {} exceeds parameter count {}",
+                arch.encoder_param_count,
+                params.len()
+            )));
+        }
+        if opt.m.len() != params.len() {
+            return Err(CkptError::Malformed(format!(
+                "optimizer has {} moment tensors for {} parameters",
+                opt.m.len(),
+                params.len()
+            )));
+        }
+        let model = TaskModel {
+            params,
+            encoder: arch.encoder,
+            heads: arch.heads,
+            encoder_param_count: arch.encoder_param_count,
+        };
+        if obs.enabled() {
+            obs.observe(CKPT_LOAD_US, (Obs::lap_ns(t0) / 1_000) as f64);
+        }
+        Ok(TrainCheckpoint {
+            model,
+            opt,
+            config,
+            progress,
+        })
+    }
+
+    /// Write this checkpoint back out (round-trip surface, used by tools
+    /// that rewrite checkpoints); returns bytes written.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<u64, CkptError> {
+        save_checkpoint(
+            path,
+            &self.model,
+            &self.opt,
+            &self.config,
+            self.progress,
+            &Obs::disabled(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{TargetKind, TaskHeadConfig};
+    use matsciml_datasets::DatasetId;
+    use matsciml_models::EgnnConfig;
+    use matsciml_opt::{AdamW, AdamWConfig};
+
+    fn small_model() -> TaskModel {
+        TaskModel::egnn(
+            EgnnConfig::small(8),
+            &[TaskHeadConfig::regression(DatasetId::MaterialsProject, TargetKind::BandGap, 16, 1)],
+            42,
+        )
+    }
+
+    #[test]
+    fn full_checkpoint_roundtrip_is_bit_exact() {
+        let model = small_model();
+        let opt = AdamW::new(&model.params, AdamWConfig::default()).export_state();
+        let progress = TrainProgress {
+            step: 7,
+            best_metric: 0.123,
+            evals_without_improvement: 2,
+        };
+        let dir = std::env::temp_dir().join("matsciml-ckpt-roundtrip");
+        let path = dir.join("step7.mckpt");
+        let bytes =
+            save_checkpoint(&path, &model, &opt, &TrainConfig::default(), progress, &Obs::null())
+                .unwrap();
+        assert!(bytes > 0);
+
+        let back = TrainCheckpoint::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back.progress, progress);
+        assert_eq!(back.opt.t, opt.t);
+        assert_eq!(back.model.encoder_param_count, model.encoder_param_count);
+        assert_eq!(back.model.params.len(), model.params.len());
+        for i in 0..model.params.len() {
+            let id = matsciml_nn::ParamId(i);
+            let a: Vec<u32> =
+                back.model.params.value(id).as_slice().iter().map(|v| v.to_bits()).collect();
+            let b: Vec<u32> =
+                model.params.value(id).as_slice().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(a, b, "param {i} ({}) drifted", model.params.name(id));
+        }
+        // The rebuilt model predicts identically (heads + encoder intact).
+        let mp = matsciml_datasets::SyntheticMaterialsProject::new(4, 1);
+        let t = matsciml_datasets::GraphTransform::radius(4.5, Some(12));
+        use matsciml_datasets::{Dataset, Transform};
+        let samples: Vec<_> = (0..2).map(|i| t.apply(mp.sample(i))).collect();
+        assert_eq!(model.predict(&samples, 0), back.model.predict(&samples, 0));
+    }
+
+    #[test]
+    fn save_records_ckpt_counters() {
+        let model = small_model();
+        let opt = AdamW::new(&model.params, AdamWConfig::default()).export_state();
+        let obs = Obs::null();
+        let dir = std::env::temp_dir().join("matsciml-ckpt-counters");
+        let path = dir.join("step1.mckpt");
+        let progress = TrainProgress { step: 1, best_metric: f32::INFINITY, evals_without_improvement: 0 };
+        let bytes = save_checkpoint(&path, &model, &opt, &TrainConfig::default(), progress, &obs).unwrap();
+        let _ = TrainCheckpoint::load_observed(&path, &obs).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(obs.counter(CKPT_SAVES), 1);
+        assert_eq!(obs.counter(CKPT_BYTES_WRITTEN), bytes);
+    }
+}

@@ -83,7 +83,21 @@ impl CollateCache {
         indices: &[usize],
         obs: &matsciml_obs::Obs,
     ) -> &Batch {
-        if self.map.contains_key(indices) {
+        self.get_or_insert(indices, obs, || collate(&loader.load(indices)))
+    }
+
+    /// The batch cached under `key`, building it with `make` on a miss —
+    /// the general entry point for callers that materialize samples
+    /// themselves (the inference server keys by dataset index list
+    /// without a [`DataLoader`]). Hit/miss lands on the same counters as
+    /// [`CollateCache::get_or_collate`].
+    pub fn get_or_insert(
+        &mut self,
+        key: &[usize],
+        obs: &matsciml_obs::Obs,
+        make: impl FnOnce() -> Batch,
+    ) -> &Batch {
+        if self.map.contains_key(key) {
             self.hits += 1;
             obs.count(DATA_COLLATE_HIT, 1);
         } else {
@@ -94,10 +108,9 @@ impl CollateCache {
             if self.map.len() >= self.capacity {
                 self.map.clear();
             }
-            let samples = loader.load(indices);
-            self.map.insert(indices.to_vec(), collate(&samples));
+            self.map.insert(key.to_vec(), make());
         }
-        &self.map[indices]
+        &self.map[key]
     }
 
     /// Lookups served from the cache so far.

@@ -25,21 +25,31 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod collate;
 pub mod ddp;
 mod forcefield;
 mod metrics;
 mod model;
 pub mod overlap;
+pub mod serve;
 mod task;
 pub mod sweep;
 pub mod throughput;
 mod trainer;
 
+pub use checkpoint::{
+    save_checkpoint, TrainCheckpoint, TrainProgress, CKPT_BYTES_WRITTEN, CKPT_LOAD_US,
+    CKPT_RESUME_STEP, CKPT_SAVES, CKPT_SAVE_US,
+};
 pub use collate::{collate, CollateCache, DATA_COLLATE_HIT, DATA_COLLATE_MISS};
 pub use forcefield::ForceFieldModel;
 pub use metrics::MetricMap;
 pub use model::{EncoderKind, TaskModel};
+pub use serve::{
+    InferenceServer, ServeConfig, ServeError, SERVE_BATCHES, SERVE_BATCH_SIZE, SERVE_LATENCY_US,
+    SERVE_QUEUE_DEPTH, SERVE_REJECTED, SERVE_REQUESTS,
+};
 pub use task::{target_stats, LossKind, TargetKind, TaskHead, TaskHeadConfig};
 pub use trainer::{EarlyStop, TrainConfig, Trainer, TrainLog, TrainRecord};
 

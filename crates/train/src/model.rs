@@ -216,10 +216,20 @@ impl TaskModel {
     /// caller decides what to feed a deployed predictor).
     pub fn predict(&self, samples: &[Sample], head_idx: usize) -> matsciml_tensor::Tensor {
         let batch = collate(samples);
-        let mut ctx = ForwardCtx::eval();
         let mut g = Graph::new();
-        let embedding = self.encoder.encode(&mut g, &self.params, &mut ctx, &batch.input);
-        let pred = self.heads[head_idx].predict(&mut g, &self.params, &mut ctx, embedding);
+        self.predict_into(&mut g, &batch, head_idx)
+    }
+
+    /// [`TaskModel::predict`] over an already-collated batch, into a
+    /// caller-owned tape. The graph is [reset](Graph::reset) first, so a
+    /// long-lived graph threaded through a request loop re-records each
+    /// batch with recycled node and buffer storage — the pooled no-alloc
+    /// path the inference server's workers run per coalesced batch.
+    pub fn predict_into(&self, g: &mut Graph, batch: &Batch, head_idx: usize) -> matsciml_tensor::Tensor {
+        g.reset();
+        let mut ctx = ForwardCtx::eval();
+        let embedding = self.encoder.encode(g, &self.params, &mut ctx, &batch.input);
+        let pred = self.heads[head_idx].predict(g, &self.params, &mut ctx, embedding);
         g.value(pred).clone()
     }
 }

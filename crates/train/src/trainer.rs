@@ -64,6 +64,16 @@ pub struct TrainConfig {
     /// batches are identical to synchronous loads. Off by default.
     #[serde(default)]
     pub prefetch_data: bool,
+    /// Write a `matsciml-ckpt` checkpoint every this many optimizer steps
+    /// (0 = never). Requires `checkpoint_dir`. Checkpoints land *after*
+    /// the step's optimizer update, so `step{k}.mckpt` resumes with `k`
+    /// steps complete and the trajectory continues bit-identically
+    /// ([`Trainer::resume_observed`]).
+    #[serde(default)]
+    pub checkpoint_every: u64,
+    /// Directory checkpoint files are written into, as `step{k}.mckpt`.
+    #[serde(default)]
+    pub checkpoint_dir: Option<String>,
 }
 
 /// Early-stopping policy: stop when a validation metric has not improved
@@ -97,6 +107,8 @@ impl Default for TrainConfig {
             skip_nonfinite_updates: false,
             overlap_comm: false,
             prefetch_data: false,
+            checkpoint_every: 0,
+            checkpoint_dir: None,
         }
     }
 }
@@ -258,6 +270,13 @@ pub struct Trainer {
     pub config: TrainConfig,
 }
 
+/// Mid-run state handed to [`Trainer::run`] when continuing from a
+/// checkpoint.
+struct Resume {
+    opt: matsciml_opt::AdamWState,
+    progress: crate::checkpoint::TrainProgress,
+}
+
 impl Trainer {
     /// Build a trainer.
     pub fn new(config: TrainConfig) -> Self {
@@ -292,6 +311,62 @@ impl Trainer {
         val_loader: Option<&DataLoader<'_>>,
         obs: &Obs,
     ) -> TrainLog {
+        self.run(model, train_loader, val_loader, obs, None)
+    }
+
+    /// Continue a checkpointed run from where it stopped. The returned
+    /// log covers the resumed steps only (`progress.step..config.steps`),
+    /// and the trajectory — per-step losses, gradient norms, learning
+    /// rates, evaluations, final parameters — is bit-identical to a run
+    /// that was never interrupted (asserted by `tests/restart_bitwise.rs`).
+    ///
+    /// Build the trainer with the *same* config the checkpoint carries
+    /// (`Trainer::new(ckpt.config.clone())`), optionally with a larger
+    /// `steps` budget to extend the run. Records the
+    /// [`crate::checkpoint::CKPT_RESUME_STEP`] counter when `obs` is
+    /// enabled.
+    pub fn resume_observed(
+        &self,
+        ckpt: crate::checkpoint::TrainCheckpoint,
+        train_loader: &DataLoader<'_>,
+        val_loader: Option<&DataLoader<'_>>,
+        obs: &Obs,
+    ) -> (TaskModel, TrainLog) {
+        let crate::checkpoint::TrainCheckpoint {
+            mut model,
+            opt,
+            config: _,
+            progress,
+        } = ckpt;
+        obs.count(crate::checkpoint::CKPT_RESUME_STEP, progress.step);
+        let log = self.run(&mut model, train_loader, val_loader, obs, Some(Resume { opt, progress }));
+        (model, log)
+    }
+
+    /// [`Trainer::resume_observed`] without instrumentation.
+    pub fn resume(
+        &self,
+        ckpt: crate::checkpoint::TrainCheckpoint,
+        train_loader: &DataLoader<'_>,
+        val_loader: Option<&DataLoader<'_>>,
+    ) -> (TaskModel, TrainLog) {
+        self.resume_observed(ckpt, train_loader, val_loader, &Obs::disabled())
+    }
+
+    /// The training loop proper. `resume` rewinds the run to a checkpoint:
+    /// optimizer moments are restored, the step counter starts at the
+    /// checkpointed step, and the data schedule fast-forwards to the same
+    /// (epoch, batch) position the uninterrupted run would occupy — the
+    /// shuffle is a pure function of `(seed, epoch)`, so skipping into an
+    /// epoch replays the identical batch sequence.
+    fn run(
+        &self,
+        model: &mut TaskModel,
+        train_loader: &DataLoader<'_>,
+        val_loader: Option<&DataLoader<'_>>,
+        obs: &Obs,
+        resume: Option<Resume>,
+    ) -> TrainLog {
         let cfg = &self.config;
         assert!(
             train_loader.batches_per_epoch() > 0,
@@ -312,15 +387,39 @@ impl Trainer {
             steps_per_epoch,
             gamma: cfg.gamma,
         };
-        let mut opt = AdamW::new(
-            &model.params,
-            AdamWConfig {
-                lr: cfg.base_lr,
-                eps: cfg.eps,
-                weight_decay: cfg.weight_decay,
-                ..Default::default()
-            },
+        assert!(
+            cfg.checkpoint_every == 0 || cfg.checkpoint_dir.is_some(),
+            "checkpoint_every > 0 requires checkpoint_dir"
         );
+        let (mut opt, start_step, resume_best, resume_evals) = match resume {
+            Some(r) => {
+                assert_eq!(
+                    r.opt.m.len(),
+                    model.params.len(),
+                    "resume: optimizer state does not match the model's parameter layout"
+                );
+                (
+                    AdamW::from_state(r.opt),
+                    r.progress.step,
+                    r.progress.best_metric,
+                    r.progress.evals_without_improvement,
+                )
+            }
+            None => (
+                AdamW::new(
+                    &model.params,
+                    AdamWConfig {
+                        lr: cfg.base_lr,
+                        eps: cfg.eps,
+                        weight_decay: cfg.weight_decay,
+                        ..Default::default()
+                    },
+                ),
+                0,
+                f32::INFINITY,
+                0,
+            ),
+        };
         let ddp = DdpConfig {
             world_size: cfg.world_size,
             per_rank_batch: cfg.per_rank_batch,
@@ -337,11 +436,11 @@ impl Trainer {
         // index list; the cache then skips sample loading AND collation
         // (edge CSR + inv-degree construction) for that batch.
         let mut eval_cache = crate::collate::CollateCache::new(16);
-        let mut records = Vec::with_capacity(cfg.steps as usize);
+        let mut records = Vec::with_capacity(cfg.steps.saturating_sub(start_step) as usize);
         let mut stopped_early = false;
         let mut skipped_updates = 0u64;
-        let mut best_metric = f32::INFINITY;
-        let mut evals_without_improvement = 0u32;
+        let mut best_metric = resume_best;
+        let mut evals_without_improvement = resume_evals;
 
         if obs.enabled() {
             obs.emit(&Event::run_start(RunStartEvent {
@@ -357,7 +456,12 @@ impl Trainer {
         // Per-step comm volume is the counter's delta since the last step.
         let mut comm_seen = obs.counter(COMM_ALLREDUCE_BYTES);
 
-        let mut step = 0u64;
+        let mut step = start_step;
+        // Resume lands mid-epoch: start at the checkpointed step's
+        // (epoch, batch) coordinates and skip the already-trained prefix
+        // of that epoch's schedule (first epoch only).
+        let start_epoch = start_step / steps_per_epoch;
+        let mut first_epoch_skip = (start_step % steps_per_epoch) as usize;
         // The whole step loop runs inside one thread scope so the optional
         // data-prefetch worker (and, per step, the overlap comm worker) can
         // borrow the loader; with both features off the scope is free.
@@ -365,22 +469,26 @@ impl Trainer {
         let mut prefetcher = cfg
             .prefetch_data
             .then(|| train_loader.spawn_prefetcher(scope));
-        let mut sched = train_loader.epoch_batches(0);
-        'outer: for epoch in 0.. {
+        let mut sched = train_loader.epoch_batches(start_epoch);
+        'outer: for epoch in start_epoch.. {
             // The next epoch's schedule is only materialized eagerly when
             // prefetching needs to see across the epoch boundary (the
             // shuffle is a pure function of (seed, epoch) either way).
             let mut next_sched = prefetcher
                 .is_some()
                 .then(|| train_loader.epoch_batches(epoch + 1));
-            for (bi, batch_idx) in sched.iter().enumerate() {
+            // Skipping after enumerate keeps `bi` absolute, so the
+            // prefetch lookahead below indexes the schedule correctly.
+            for (bi, batch_idx) in sched.iter().enumerate().skip(std::mem::take(&mut first_epoch_skip)) {
                 if step >= cfg.steps {
                     break 'outer;
                 }
                 let t_step = obs.timer();
                 let samples = match &mut prefetcher {
                     Some(pf) => {
-                        if step == 0 {
+                        // The very first iteration (fresh or resumed) has
+                        // no in-flight request yet.
+                        if step == start_step {
                             pf.request(batch_idx);
                         }
                         // Queue batch i+1 (or the next epoch's first batch)
@@ -503,6 +611,30 @@ impl Trainer {
                     val,
                 });
                 step += 1;
+
+                if cfg.checkpoint_every > 0 && step.is_multiple_of(cfg.checkpoint_every) {
+                    let dir = cfg.checkpoint_dir.as_deref().expect("validated above");
+                    let path = Path::new(dir).join(format!("step{step}.mckpt"));
+                    let progress = crate::checkpoint::TrainProgress {
+                        step,
+                        best_metric,
+                        evals_without_improvement,
+                    };
+                    // A failed save is an environment fault (disk full,
+                    // permissions) the run cannot meaningfully continue
+                    // past — its whole point was durable progress.
+                    crate::checkpoint::save_checkpoint(
+                        &path,
+                        model,
+                        &opt.export_state(),
+                        cfg,
+                        progress,
+                        obs,
+                    )
+                    .unwrap_or_else(|e| {
+                        panic!("checkpoint save to {} failed: {e}", path.display())
+                    });
+                }
 
                 if let Some(es) = &cfg.early_stop {
                     if evals_without_improvement >= es.patience {
@@ -629,6 +761,8 @@ mod tests {
             skip_nonfinite_updates: false,
             overlap_comm: false,
             prefetch_data: false,
+            checkpoint_every: 0,
+            checkpoint_dir: None,
         }
     }
 

@@ -7,6 +7,7 @@
 #   cargo bench -p matsciml-bench --bench overlap          # BENCH_overlap.json
 #   cargo bench -p matsciml-bench --bench message_passing  # BENCH_msgpass.json
 #   cargo bench -p matsciml-bench --bench simd              # BENCH_simd.json
+#   cargo bench -p matsciml-bench --bench serve             # BENCH_serve.json
 #   ./scripts/bench_report.sh
 #
 # Idempotent: the generated section lives between marker comments and is
@@ -90,6 +91,18 @@ if [[ -f BENCH_simd.json ]]; then
     "$(jq -r '.simd.steps_per_sec | . * 100 | round / 100' BENCH_simd.json)" \
     "$(jq -r '.speedup | . * 100 | round / 100' BENCH_simd.json)x" \
     "$cum_simd"
+fi
+
+if [[ -f BENCH_serve.json ]]; then
+  # Serving measures requests/s, not steps/s, and its baseline (batch-of-
+  # one serving) is not the seed training path — no cumulative column.
+  sat=$(jq '.loads | max_by(.clients)' BENCH_serve.json)
+  add_row "serve ($(jq -r '.single.requests' <<<"$sat") reqs, $(jq -r .workers BENCH_serve.json) workers, $(jq '.clients' <<<"$sat") clients)" \
+    "single → batched (req/s)" \
+    "$(jq -r '.single.throughput_rps * 100 | round / 100' <<<"$sat")" \
+    "$(jq -r '.batched.throughput_rps * 100 | round / 100' <<<"$sat")" \
+    "$(jq -r '.speedup * 100 | round / 100' <<<"$sat")x" \
+    "—"
 fi
 
 [[ -n "$rows" ]] || { echo "bench_report: no BENCH_*.json artifacts found" >&2; exit 1; }

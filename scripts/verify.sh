@@ -38,11 +38,37 @@ while read -r artifact; do
     exit 1
   }
 done < <(grep -o 'BENCH_[A-Za-z0-9_]*\.json' EXPERIMENTS.md | sort -u)
+# The serving bench must stay indexed (its section is the acceptance
+# record for the inference-server PR).
+grep -q 'BENCH_serve\.json' EXPERIMENTS.md || {
+  echo "verify: EXPERIMENTS.md no longer names BENCH_serve.json" >&2
+  exit 1
+}
+
+echo "== doc links: README/ARCHITECTURE and docs/*.md agree =="
+# Every docs/*.md referenced from README.md or docs/ARCHITECTURE.md must
+# exist, and every file in docs/ must be reachable from one of the two —
+# so a renamed or orphaned doc fails the gate instead of rotting.
+while read -r doc; do
+  [[ -f "docs/$doc" || -f "$doc" ]] || {
+    echo "verify: README/ARCHITECTURE reference $doc but it exists neither in docs/ nor at the repo root" >&2
+    exit 1
+  }
+done < <({ grep -o 'docs/[A-Za-z0-9_]*\.md' README.md | sed 's|^docs/||'
+           grep -o '[A-Za-z0-9_]*\.md' docs/ARCHITECTURE.md
+         } | sort -u)
+for doc in docs/*.md; do
+  base=$(basename "$doc")
+  if ! grep -q "$base" README.md && ! grep -q "$base" docs/ARCHITECTURE.md; then
+    echo "verify: $doc is not referenced from README.md or docs/ARCHITECTURE.md" >&2
+    exit 1
+  fi
+done
 
 MATSCIML_CRATES=(
   matsciml-tensor matsciml-autograd matsciml-nn matsciml-opt
   matsciml-graph matsciml-symmetry matsciml-datasets matsciml-models
-  matsciml-obs matsciml-train matsciml-umap matsciml
+  matsciml-obs matsciml-ckpt matsciml-train matsciml-umap matsciml
   matsciml-cli matsciml-bench
 )
 

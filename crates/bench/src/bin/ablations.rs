@@ -96,6 +96,8 @@ fn run_symmetry(
         prefetch_data: false,
         checkpoint_every: 0,
         checkpoint_dir: None,
+        readahead_threads: 0,
+        readahead_depth: 0,
     });
     let log = trainer.train(&mut model, &train_dl, Some(&val_dl));
     let fv = log.final_val().cloned().unwrap_or_default();
@@ -173,6 +175,8 @@ fn run_multitask_norm(name: &str, norm: NormKind, steps: u64, scale: Scale) -> O
         prefetch_data: false,
         checkpoint_every: 0,
         checkpoint_dir: None,
+        readahead_threads: 0,
+        readahead_depth: 0,
     });
     let log = trainer.train(&mut model, &train_dl, Some(&val_dl));
     let fv = log.final_val().cloned().unwrap_or_default();

@@ -54,6 +54,8 @@ fn run(world: usize, base_lr: f32, steps: u64, scale: Scale) -> RunResult {
         prefetch_data: false,
         checkpoint_every: 0,
         checkpoint_dir: None,
+        readahead_threads: 0,
+        readahead_depth: 0,
     });
     let log = trainer.train(&mut model, &train_dl, Some(&val_dl));
     let series = log.val_series("symmetry/sym/ce");

@@ -65,6 +65,8 @@ fn train_run(
         prefetch_data: false,
         checkpoint_every: 0,
         checkpoint_dir: None,
+        readahead_threads: 0,
+        readahead_depth: 0,
     });
     trainer.train(&mut model, &train_dl, Some(&val_dl))
 }

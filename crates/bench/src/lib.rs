@@ -183,6 +183,8 @@ pub fn pretrained_model(scale: Scale) -> (TaskModel, TrainLog) {
         prefetch_data: false,
         checkpoint_every: 0,
         checkpoint_dir: None,
+        readahead_threads: 0,
+        readahead_depth: 0,
     });
     let log = trainer.train(&mut model, &train_dl, Some(&val_dl));
     std::fs::write(&cache, serde_json::to_string(&model.params).unwrap()).ok();

@@ -97,6 +97,64 @@ pub fn cmd_generate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `matsciml shard-write` — convert a synthetic generator or a `.jsonl`
+/// export into a sharded corpus directory (`manifest.json` + `.mshard`
+/// files per `docs/SHARD_FORMAT.md`) that `train --data-dir` streams
+/// without materializing an epoch.
+pub fn cmd_shard_write(args: &Args) -> Result<(), String> {
+    let out = args
+        .get("out")
+        .ok_or("usage: matsciml shard-write --out DIR [--dataset D --size N --seed S | --from FILE.jsonl] [--shard-samples K] [--verify]")?
+        .to_string();
+    let ds_name = args.str_or("dataset", "mp");
+    let size = args.num_or("size", 4096usize)?;
+    let seed = args.num_or("seed", 0u64)?;
+    let from = args.get("from").map(str::to_string);
+    let shard_samples = args.num_or("shard-samples", CorpusWriteOptions::default().shard_samples)?;
+    let verify = args.flag("verify");
+    args.reject_unknown()?;
+    let options = CorpusWriteOptions { shard_samples, verify };
+
+    let manifest = match &from {
+        Some(path) => {
+            // Stream the .jsonl through one shard at a time — the
+            // conversion never holds more than a shard in memory, so
+            // MPtrj-scale exports convert in bounded space.
+            let mut parse_err: Option<String> = None;
+            let samples = JsonlStream::open(path)
+                .map_err(|e| e.to_string())?
+                .map_while(|r| match r {
+                    Ok(s) => Some(s),
+                    Err(e) => {
+                        parse_err = Some(e.to_string());
+                        None
+                    }
+                });
+            let result = write_corpus_iter(samples, &out, options);
+            // A parse failure trumps whatever the truncated write did
+            // (including its "empty corpus" complaint on line-1 errors).
+            if let Some(e) = parse_err {
+                return Err(e);
+            }
+            result.map_err(|e| e.to_string())?
+        }
+        None => {
+            let ds = dataset_by_name(&ds_name, size, seed)?;
+            write_corpus(ds.as_ref(), &out, options).map_err(|e| e.to_string())?
+        }
+    };
+    let bytes: u64 = manifest.shards.iter().map(|s| s.bytes).sum();
+    eprintln!(
+        "wrote {} samples ({} dataset) into {} shard(s), {:.1} MiB total, at {out}{}",
+        manifest.total_samples,
+        manifest.dataset,
+        manifest.shards.len(),
+        bytes as f64 / (1024.0 * 1024.0),
+        if verify { " (CRC-verified)" } else { "" }
+    );
+    Ok(())
+}
+
 /// `matsciml train` — single-task training run.
 pub fn cmd_train(args: &Args) -> Result<(), String> {
     let ds_name = args.str_or("dataset", "mp");
@@ -113,6 +171,17 @@ pub fn cmd_train(args: &Args) -> Result<(), String> {
     let constant_lr = args.flag("constant-lr");
     // --from FILE trains on a JSON-lines dataset exported by `generate`.
     let from = args.get("from").map(str::to_string);
+    // --data-dir DIR streams a sharded corpus written by `shard-write`
+    // (docs/SHARD_FORMAT.md) instead of materializing the dataset.
+    let data_dir = args.get("data-dir").map(str::to_string);
+    // Multi-shard read-ahead: N loader threads decoding --readahead-depth
+    // batches ahead of the optimizer (MATSCIML_READAHEAD=0 falls back to
+    // synchronous loads without changing the trajectory).
+    let readahead = args.num_or("readahead", 0usize)?;
+    let readahead_depth = args.num_or("readahead-depth", 0usize)?;
+    // --shuffle-block B shuffles shard-sized blocks, then within each
+    // block, keeping epoch order deterministic while preserving locality.
+    let shuffle_block = args.num_or("shuffle-block", 0usize)?;
     // --run-dir DIR writes the JSONL run record (docs/RUN_RECORD.md) plus
     // the CSV training log there; --trace prints a phase-timing summary
     // (works alone via the no-op sink, no artifact written).
@@ -128,12 +197,29 @@ pub fn cmd_train(args: &Args) -> Result<(), String> {
     if ckpt_every > 0 && ckpt_dir.is_none() {
         return Err("--ckpt-every needs --ckpt-dir DIR".into());
     }
+    if from.is_some() && data_dir.is_some() {
+        return Err("--from and --data-dir are mutually exclusive".into());
+    }
 
-    let ds: Box<dyn Dataset> = match &from {
-        Some(path) => Box::new(JsonlDataset::open(path).map_err(|e| e.to_string())?),
-        None => dataset_by_name(&ds_name, size, seed)?,
+    let ds: Box<dyn Dataset> = match (&from, &data_dir) {
+        (Some(path), _) => Box::new(JsonlDataset::open(path).map_err(|e| e.to_string())?),
+        (None, Some(dir)) => {
+            let streaming = StreamingDataset::open(dir).map_err(|e| e.to_string())?;
+            eprintln!(
+                "streaming {} samples from {} shard(s) at {dir}",
+                streaming.len(),
+                streaming.num_shards()
+            );
+            Box::new(streaming)
+        }
+        (None, None) => dataset_by_name(&ds_name, size, seed)?,
     };
     let pipeline = Compose::standard(4.5, Some(12));
+    let shuffle = if shuffle_block > 0 {
+        ShuffleMode::Blocked(shuffle_block)
+    } else {
+        ShuffleMode::Global
+    };
 
     if let Some(path) = &resume {
         // Resume branch: model + config + optimizer state all come from
@@ -149,9 +235,14 @@ pub fn cmd_train(args: &Args) -> Result<(), String> {
         cfg.steps = steps;
         cfg.checkpoint_every = ckpt_every;
         cfg.checkpoint_dir = ckpt_dir.clone();
+        // Read-ahead is an execution detail, not part of the trajectory,
+        // so the resumed run may pick its own loader concurrency.
+        cfg.readahead_threads = readahead;
+        cfg.readahead_depth = readahead_depth;
         let batch = cfg.world_size * cfg.per_rank_batch;
         let train_dl =
-            DataLoader::new(ds.as_ref(), Some(&pipeline), Split::Train, 0.2, batch, cfg.seed);
+            DataLoader::new(ds.as_ref(), Some(&pipeline), Split::Train, 0.2, batch, cfg.seed)
+                .with_shuffle_mode(shuffle);
         let val_dl =
             DataLoader::new(ds.as_ref(), Some(&pipeline), Split::Val, 0.2, 32.min(batch), cfg.seed);
         let obs = train_obs(&run_dir, trace)?;
@@ -162,7 +253,8 @@ pub fn cmd_train(args: &Args) -> Result<(), String> {
 
     let target = target_by_name(&target_name)?;
     let batch = world * per_rank;
-    let train_dl = DataLoader::new(ds.as_ref(), Some(&pipeline), Split::Train, 0.2, batch, seed);
+    let train_dl = DataLoader::new(ds.as_ref(), Some(&pipeline), Split::Train, 0.2, batch, seed)
+        .with_shuffle_mode(shuffle);
     let val_dl = DataLoader::new(ds.as_ref(), Some(&pipeline), Split::Val, 0.2, 32.min(batch), seed);
 
     let head = match target {
@@ -194,6 +286,8 @@ pub fn cmd_train(args: &Args) -> Result<(), String> {
         seed,
         checkpoint_every: ckpt_every,
         checkpoint_dir: ckpt_dir.clone(),
+        readahead_threads: readahead,
+        readahead_depth,
         ..Default::default()
     });
     let obs = train_obs(&run_dir, trace)?;
@@ -350,10 +444,18 @@ COMMANDS:
   groups                    list the 32 crystallographic point groups
   generate <dataset>        emit samples as JSON lines
       --size N --seed S --out FILE
+  shard-write               write a sharded streaming corpus (docs/SHARD_FORMAT.md)
+      --out DIR  (required; writes manifest.json + shard-NNNNN.mshard)
+      --dataset D --size N --seed S | --from FILE.jsonl
+      --shard-samples K --verify
   train                     train a single-task model
       --dataset mp|cmd|oc20|oc22|lips|symmetry --target band_gap|fermi|e_form|stability|energy|sym
       --steps N --hidden H --world N --batch B --lr LR --save FILE --constant-lr
       --from FILE.jsonl  (train on a dataset exported by `generate`)
+      --data-dir DIR     (stream a corpus written by `shard-write`)
+      --readahead N --readahead-depth D  (N loader threads decoding D
+                      batches ahead; MATSCIML_READAHEAD=0 disables)
+      --shuffle-block B  (shard-local shuffle: blocks of B, then within)
       --run-dir DIR  (write run.jsonl per docs/RUN_RECORD.md + train.csv)
       --trace        (print per-phase timing quantiles after the run)
       --ckpt-every N --ckpt-dir DIR  (write stepN.mckpt checkpoints,

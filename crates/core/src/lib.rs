@@ -66,10 +66,11 @@ pub use matsciml_umap as umap;
 pub mod prelude {
     pub use matsciml_autograd::{Graph, Var};
     pub use matsciml_datasets::{
-        CenterTransform, Compose, ConcatDataset, DataLoader, Dataset, DatasetId,
-        GaussianNoiseTransform, GraphRecipe, GraphTransform, JsonlDataset, Sample,
-        Split, SymmetryDataset, SyntheticCarolina, SyntheticLips, SyntheticMaterialsProject,
-        SyntheticOc20, SyntheticOc22, Targets, Transform,
+        write_corpus, write_corpus_iter, CenterTransform, Compose, ConcatDataset,
+        CorpusWriteOptions, DataLoader, Dataset, DatasetId, GaussianNoiseTransform, GraphRecipe,
+        GraphTransform, JsonlDataset, JsonlStream, Sample, ShardManifest, ShardReader,
+        ShuffleMode, Split, StreamingDataset, SymmetryDataset, SyntheticCarolina, SyntheticLips,
+        SyntheticMaterialsProject, SyntheticOc20, SyntheticOc22, Targets, Transform,
     };
     pub use matsciml_graph::{
         complete_graph, knn_graph, permute_graph, radius_graph, rcm_order,

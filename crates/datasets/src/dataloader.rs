@@ -1,10 +1,24 @@
-//! Splitting, shuffling, and batched loading — with optional
-//! double-buffered prefetch ([`Prefetcher`]): a background thread
-//! materializes batch *i+1* while batch *i* trains, so sampling +
-//! transform cost moves off the step's critical path.
+//! Splitting, shuffling, and batched loading — with two tiers of
+//! background materialization. [`Prefetcher`] is the original
+//! double-buffer: one thread builds batch *i+1* while batch *i* trains.
+//! [`ReadAhead`] generalizes it for streamed corpora: N worker threads
+//! drain a request queue into a bounded result channel, and the front
+//! end reassembles completed batches into schedule order, so the batch
+//! stream is **bit-identical regardless of worker count** (asserted in
+//! `tests/stream_determinism.rs`).
+//!
+//! Shuffling likewise has two modes ([`ShuffleMode`]): the historical
+//! uniform `Global` permutation, and `Blocked(n)` — shuffle blocks of
+//! `n` consecutive split positions, then shuffle within each block —
+//! which keeps reads clustered so a memory-mapped shard touches pages in
+//! bursts the streaming layer can retire with residency hints. Both
+//! modes see only *split index positions*, never shard boundaries, so
+//! the order for a given `(seed, epoch, mode)` is independent of how
+//! the corpus is sharded.
 
-use std::collections::VecDeque;
-use std::sync::mpsc::{Receiver, Sender};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::mpsc::{Receiver, Sender, SyncSender};
+use std::sync::{Arc, Condvar, Mutex};
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -18,6 +32,44 @@ pub const DATA_PREFETCH_HIT: &str = "data/prefetch_hit";
 /// Counter name for batches that missed the prefetch queue and loaded
 /// synchronously.
 pub const DATA_PREFETCH_MISS: &str = "data/prefetch_miss";
+/// Counter name for batches served from the read-ahead pipeline.
+pub const DATA_READAHEAD_HIT: &str = "data/readahead_hit";
+/// Counter name for batches that bypassed read-ahead (not requested in
+/// order, or read-ahead disabled) and loaded synchronously.
+pub const DATA_READAHEAD_MISS: &str = "data/readahead_miss";
+/// Histogram name for the ready-queue depth observed at each take: how
+/// many completed batches were waiting ahead of need. Persistently 0
+/// means the trainer outruns the readers; persistently at capacity means
+/// the readers outrun the trainer.
+pub const DATA_READAHEAD_DEPTH: &str = "data/readahead_depth";
+
+/// Whether the read-ahead pipeline may spawn worker threads.
+/// `MATSCIML_READAHEAD=0` (or `false`/`off`) forces every take through
+/// the synchronous path — the escape hatch `scripts/verify.sh` pins.
+pub fn readahead_enabled() -> bool {
+    !matches!(
+        std::env::var("MATSCIML_READAHEAD").ok().as_deref(),
+        Some("0") | Some("false") | Some("off")
+    )
+}
+
+/// How an epoch permutation is drawn. Part of the loader's determinism
+/// contract: the order depends only on `(split, seed, epoch, mode)` —
+/// never on shard layout or thread count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShuffleMode {
+    /// One uniform permutation over the whole split (the default, and
+    /// the historical behaviour).
+    Global,
+    /// Partition the split's positions into consecutive blocks of the
+    /// given size, shuffle the block order, then shuffle within each
+    /// block (one RNG stream drives both, so the result is a single
+    /// deterministic permutation). Samples that are near each other on
+    /// disk stay near each other in time — the access pattern that lets
+    /// a memory-mapped [`crate::StreamingDataset`] keep a bounded
+    /// resident set.
+    Blocked(usize),
+}
 
 /// Train/validation split role.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,6 +91,7 @@ pub struct DataLoader<'d> {
     indices: Vec<usize>,
     batch_size: usize,
     seed: u64,
+    shuffle: ShuffleMode,
 }
 
 impl<'d> DataLoader<'d> {
@@ -71,7 +124,17 @@ impl<'d> DataLoader<'d> {
             indices,
             batch_size,
             seed,
+            shuffle: ShuffleMode::Global,
         }
+    }
+
+    /// Replace the shuffle mode (default [`ShuffleMode::Global`]).
+    pub fn with_shuffle_mode(mut self, mode: ShuffleMode) -> Self {
+        if let ShuffleMode::Blocked(b) = mode {
+            assert!(b > 0, "block size must be positive");
+        }
+        self.shuffle = mode;
+        self
     }
 
     /// Number of samples in this split.
@@ -101,9 +164,28 @@ impl<'d> DataLoader<'d> {
 
     /// The shuffled batch schedule for `epoch`: a vector of index-vectors.
     pub fn epoch_batches(&self, epoch: u64) -> Vec<Vec<usize>> {
-        let mut order = self.indices.clone();
         let mut rng = StdRng::seed_from_u64(self.seed ^ epoch.wrapping_mul(0x9E37_79B9));
-        order.shuffle(&mut rng);
+        let order = match self.shuffle {
+            ShuffleMode::Global => {
+                let mut order = self.indices.clone();
+                order.shuffle(&mut rng);
+                order
+            }
+            ShuffleMode::Blocked(block) => {
+                let nblocks = self.indices.len().div_ceil(block);
+                let mut block_order: Vec<usize> = (0..nblocks).collect();
+                block_order.shuffle(&mut rng);
+                let mut order = Vec::with_capacity(self.indices.len());
+                for &b in &block_order {
+                    let start = b * block;
+                    let end = (start + block).min(self.indices.len());
+                    let within = order.len();
+                    order.extend_from_slice(&self.indices[start..end]);
+                    order[within..].shuffle(&mut rng);
+                }
+                order
+            }
+        };
         order
             .chunks_exact(self.batch_size)
             .map(|c| c.to_vec())
@@ -160,6 +242,65 @@ impl<'d> DataLoader<'d> {
         });
         Prefetcher { req_tx, res_rx, queued: VecDeque::new() }
     }
+
+    /// Spawn a multi-worker read-ahead pipeline on `scope`.
+    ///
+    /// `threads` workers drain a shared request queue (each running
+    /// [`Self::load`], so read-ahead samples are identical to synchronous
+    /// loads) into a result channel bounded at `depth` completed batches
+    /// — the backpressure that keeps the pipeline's memory footprint at
+    /// `O(depth + threads)` batches no matter how far the schedule runs
+    /// ahead. The front end reassembles results into request order, so
+    /// delivery is bit-identical for any `threads ≥ 1`.
+    ///
+    /// When [`readahead_enabled`] is false (`MATSCIML_READAHEAD=0`), no
+    /// workers spawn and every take falls back to the synchronous path
+    /// (counted under [`DATA_READAHEAD_MISS`]).
+    pub fn spawn_readahead<'s>(
+        &'s self,
+        scope: &'s std::thread::Scope<'s, '_>,
+        threads: usize,
+        depth: usize,
+    ) -> ReadAhead {
+        assert!(threads > 0, "readahead needs at least one worker");
+        assert!(depth > 0, "readahead needs a positive queue depth");
+        let workers = if readahead_enabled() { threads } else { 0 };
+        let shared = Arc::new(RaQueue::default());
+        let (res_tx, res_rx) = std::sync::mpsc::sync_channel::<RaResult>(depth);
+        for _ in 0..workers {
+            let shared = Arc::clone(&shared);
+            let res_tx: SyncSender<RaResult> = res_tx.clone();
+            scope.spawn(move || loop {
+                let job = {
+                    let mut g = shared.state.lock().expect("readahead queue lock");
+                    loop {
+                        if let Some(job) = g.jobs.pop_front() {
+                            break Some(job);
+                        }
+                        if g.closed {
+                            break None;
+                        }
+                        g = shared.cv.wait(g).expect("readahead queue lock");
+                    }
+                };
+                let Some((seq, batch)) = job else { break };
+                let samples = self.load(&batch);
+                // A dropped front end makes this send fail; the worker
+                // then exits and the scope joins it.
+                if res_tx.send((seq, samples)).is_err() {
+                    break;
+                }
+            });
+        }
+        ReadAhead {
+            shared,
+            res_rx,
+            pending: VecDeque::new(),
+            ready: BTreeMap::new(),
+            next_seq: 0,
+            workers,
+        }
+    }
 }
 
 /// Front end of a [`DataLoader`] prefetch worker
@@ -209,6 +350,123 @@ impl Prefetcher {
             obs.count(DATA_PREFETCH_MISS, 1);
             loader.load_observed(batch, obs)
         }
+    }
+}
+
+/// `(sequence number, materialized samples)` flowing from read-ahead
+/// workers to the front end.
+type RaResult = (u64, Vec<Sample>);
+
+/// Shared request queue between the [`ReadAhead`] front end and its
+/// workers.
+#[derive(Default)]
+struct RaQueue {
+    state: Mutex<RaState>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct RaState {
+    jobs: VecDeque<(u64, Vec<usize>)>,
+    closed: bool,
+}
+
+/// Front end of a multi-worker read-ahead pipeline
+/// (see [`DataLoader::spawn_readahead`]).
+///
+/// Requests carry sequence numbers; workers complete them in whatever
+/// order scheduling allows, and [`ReadAhead::take_observed`] buffers
+/// early arrivals in a reorder map so batches always come back in
+/// request order — the property that makes the training stream
+/// independent of worker count. Dropping the front end closes the
+/// request queue and wakes every worker so the owning scope can join.
+pub struct ReadAhead {
+    shared: Arc<RaQueue>,
+    res_rx: Receiver<RaResult>,
+    /// Outstanding requests, oldest first.
+    pending: VecDeque<(u64, Vec<usize>)>,
+    /// Completed batches that arrived ahead of their turn.
+    ready: BTreeMap<u64, Vec<Sample>>,
+    next_seq: u64,
+    workers: usize,
+}
+
+impl ReadAhead {
+    /// Queue `batch` for background materialization. No-op when
+    /// read-ahead is disabled ([`readahead_enabled`]).
+    pub fn request(&mut self, batch: &[usize]) {
+        if self.workers == 0 {
+            return;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pending.push_back((seq, batch.to_vec()));
+        let mut g = self.shared.state.lock().expect("readahead queue lock");
+        g.jobs.push_back((seq, batch.to_vec()));
+        drop(g);
+        self.shared.cv.notify_one();
+    }
+
+    /// Number of requests issued but not yet taken.
+    pub fn outstanding(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Retrieve `batch`. A *hit* requires it to be the oldest
+    /// outstanding request (the trainer's cadence guarantees this);
+    /// completed batches are claimed from the reorder buffer or awaited
+    /// from the result channel, with only the blocking wait timed under
+    /// [`matsciml_obs::Phase::Data`]. Anything else — including every
+    /// take when read-ahead is disabled — is a *miss* served by a
+    /// synchronous [`DataLoader::load_observed`]. Counts
+    /// [`DATA_READAHEAD_HIT`] / [`DATA_READAHEAD_MISS`], observes the
+    /// ready-queue depth on [`DATA_READAHEAD_DEPTH`], and advances
+    /// `data/samples_loaded`.
+    pub fn take_observed(
+        &mut self,
+        loader: &DataLoader<'_>,
+        batch: &[usize],
+        obs: &matsciml_obs::Obs,
+    ) -> Vec<Sample> {
+        let front_matches = self.pending.front().map(|(_, q)| q[..] == *batch) == Some(true);
+        if self.workers == 0 || !front_matches {
+            obs.count(DATA_READAHEAD_MISS, 1);
+            return loader.load_observed(batch, obs);
+        }
+        let (seq, _) = self.pending.pop_front().expect("front checked above");
+        // Drain whatever has already completed so the depth observation
+        // counts every batch that beat the trainer here.
+        while let Ok((s, samples)) = self.res_rx.try_recv() {
+            self.ready.insert(s, samples);
+        }
+        obs.observe(DATA_READAHEAD_DEPTH, self.ready.len() as f64);
+        let samples = match self.ready.remove(&seq) {
+            Some(samples) => samples,
+            None => {
+                let _span = obs.span(matsciml_obs::Phase::Data);
+                loop {
+                    let (s, samples) = self.res_rx.recv().expect("readahead worker alive");
+                    if s == seq {
+                        break samples;
+                    }
+                    // An earlier-completed later batch: park it.
+                    self.ready.insert(s, samples);
+                }
+            }
+        };
+        obs.count(DATA_READAHEAD_HIT, 1);
+        obs.count("data/samples_loaded", batch.len() as u64);
+        samples
+    }
+}
+
+impl Drop for ReadAhead {
+    fn drop(&mut self) {
+        let mut g = self.shared.state.lock().expect("readahead queue lock");
+        g.closed = true;
+        g.jobs.clear();
+        drop(g);
+        self.shared.cv.notify_all();
     }
 }
 
@@ -319,6 +577,92 @@ mod tests {
         });
         assert_eq!(obs.counter(DATA_PREFETCH_HIT), 1);
         assert_eq!(obs.counter(DATA_PREFETCH_MISS), 1);
+    }
+
+    #[test]
+    fn blocked_shuffle_is_a_permutation_with_locality() {
+        let ds = SyntheticMaterialsProject::new(64, 3);
+        let dl = DataLoader::new(&ds, None, Split::Train, 0.0, 8, 11)
+            .with_shuffle_mode(ShuffleMode::Blocked(16));
+        let a = dl.epoch_batches(2);
+        let b = dl.epoch_batches(2);
+        assert_eq!(a, b, "blocked shuffle must be reproducible");
+        let mut seen: Vec<usize> = a.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..64).collect::<Vec<_>>(), "must be a permutation");
+        // Locality: each 16-index run is one block, i.e. spans < 16 in
+        // index space; a global shuffle of 64 indices almost surely
+        // would not satisfy this for every run.
+        let flat: Vec<usize> = a.iter().flatten().copied().collect();
+        for run in flat.chunks(16) {
+            let lo = *run.iter().min().expect("nonempty");
+            let hi = *run.iter().max().expect("nonempty");
+            assert_eq!(hi - lo, 15, "each run must cover exactly one 16-block");
+        }
+        // And the mode changes the order vs global.
+        let global = DataLoader::new(&ds, None, Split::Train, 0.0, 8, 11).epoch_batches(2);
+        assert_ne!(a, global);
+    }
+
+    #[test]
+    fn blocked_shuffle_handles_ragged_final_block() {
+        let ds = SyntheticMaterialsProject::new(20, 3);
+        let dl = DataLoader::new(&ds, None, Split::Train, 0.0, 4, 7)
+            .with_shuffle_mode(ShuffleMode::Blocked(8)); // blocks 8, 8, 4
+        let mut seen: Vec<usize> = dl.epoch_batches(0).into_iter().flatten().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn readahead_batches_equal_synchronous_loads() {
+        let ds = SyntheticMaterialsProject::new(48, 5);
+        let pipeline = Compose::standard(9.0, Some(12));
+        let dl = DataLoader::new(&ds, Some(&pipeline), Split::Train, 0.0, 4, 7);
+        let schedule = dl.epoch_batches(0);
+        let obs = matsciml_obs::Obs::null();
+        std::thread::scope(|scope| {
+            let mut ra = dl.spawn_readahead(scope, 3, 4);
+            // Request the whole epoch up front: the bounded channel
+            // applies backpressure, delivery is still in order.
+            for batch in &schedule {
+                ra.request(batch);
+            }
+            for batch in &schedule {
+                let got = ra.take_observed(&dl, batch, &obs);
+                let sync = dl.load(batch);
+                for (a, b) in got.iter().zip(&sync) {
+                    assert_eq!(
+                        serde_json::to_string(a).unwrap(),
+                        serde_json::to_string(b).unwrap(),
+                        "read-ahead sample must equal the synchronous load"
+                    );
+                }
+            }
+        });
+        if readahead_enabled() {
+            assert_eq!(obs.counter(DATA_READAHEAD_HIT), schedule.len() as u64);
+            assert_eq!(obs.counter(DATA_READAHEAD_MISS), 0);
+        } else {
+            // MATSCIML_READAHEAD=0: same samples, all via the sync path.
+            assert_eq!(obs.counter(DATA_READAHEAD_MISS), schedule.len() as u64);
+        }
+    }
+
+    #[test]
+    fn readahead_falls_back_on_unrequested_batches() {
+        let ds = SyntheticMaterialsProject::new(16, 2);
+        let dl = DataLoader::new(&ds, None, Split::Train, 0.0, 4, 1);
+        let schedule = dl.epoch_batches(0);
+        let obs = matsciml_obs::Obs::null();
+        std::thread::scope(|scope| {
+            let mut ra = dl.spawn_readahead(scope, 2, 2);
+            // Never requested → synchronous miss, identical samples.
+            let got = ra.take_observed(&dl, &schedule[1], &obs);
+            assert_eq!(got.len(), 4);
+        });
+        assert_eq!(obs.counter(DATA_READAHEAD_MISS), 1);
+        assert_eq!(obs.counter(DATA_READAHEAD_HIT), 0);
     }
 
     #[test]

@@ -2,14 +2,84 @@
 //!
 //! The original toolkit serves datasets from LMDB files; the equivalent
 //! here is a JSON-lines file of [`Sample`]s (one per line, the format the
-//! CLI's `generate` subcommand emits). Samples are parsed eagerly at open
-//! time — the synthetic datasets are small — and served by index like any
-//! other [`Dataset`].
+//! CLI's `generate` subcommand emits). Parsing is *streaming*: a
+//! [`JsonlStream`] validates and decodes one line at a time through a
+//! single reused buffer, so opening never holds more than one line of
+//! text in memory at once and the `shard-write` conversion path can turn
+//! arbitrarily large `.jsonl` files into shards without materializing
+//! them. The first malformed line aborts with its line number *and* byte
+//! offset — the location a corrupt multi-gigabyte export can actually be
+//! inspected at (`dd skip=<offset>`), where a line number alone cannot.
+//! [`JsonlDataset`] itself still collects the decoded samples (it is the
+//! small-file, random-access path); [`crate::StreamingDataset`] is the
+//! at-scale alternative.
 
 use std::io::{BufRead, BufReader};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use crate::sample::{Dataset, DatasetId, Sample};
+
+/// Streaming parser over a `.jsonl` samples file: an iterator of
+/// `io::Result<Sample>` that holds one line in memory at a time. Blank
+/// lines are skipped; the first malformed line yields an
+/// `InvalidData` error formatted `path:line: (byte offset N) message`
+/// and iteration should stop (subsequent lines would be suspect anyway).
+pub struct JsonlStream {
+    reader: BufReader<std::fs::File>,
+    path: PathBuf,
+    buf: String,
+    lineno: u64,
+    /// Byte offset of the next unread line.
+    offset: u64,
+}
+
+impl JsonlStream {
+    /// Open `path` for streaming. I/O errors surface immediately; parse
+    /// errors surface per line during iteration.
+    pub fn open(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = std::fs::File::open(&path)?;
+        Ok(JsonlStream {
+            reader: BufReader::new(file),
+            path,
+            buf: String::new(),
+            lineno: 0,
+            offset: 0,
+        })
+    }
+}
+
+impl Iterator for JsonlStream {
+    type Item = std::io::Result<Sample>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            self.buf.clear();
+            let n = match self.reader.read_line(&mut self.buf) {
+                Ok(0) => return None,
+                Ok(n) => n,
+                Err(e) => return Some(Err(e)),
+            };
+            let line_start = self.offset;
+            self.offset += n as u64;
+            self.lineno += 1;
+            let line = self.buf.trim_end_matches(['\n', '\r']);
+            if line.trim().is_empty() {
+                continue;
+            }
+            return Some(serde_json::from_str::<Sample>(line).map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!(
+                        "{}:{}: (byte offset {line_start}) {e}",
+                        self.path.display(),
+                        self.lineno
+                    ),
+                )
+            }));
+        }
+    }
+}
 
 /// A dataset loaded from a JSON-lines file.
 #[derive(Debug)]
@@ -19,30 +89,19 @@ pub struct JsonlDataset {
 }
 
 impl JsonlDataset {
-    /// Open and parse a `.jsonl` file of samples. The dataset id is taken
-    /// from the first sample (mixed-provenance files report
+    /// Open and parse a `.jsonl` file of samples, validating line by line
+    /// (see [`JsonlStream`] for the error contract). The dataset id is
+    /// taken from the first sample (mixed-provenance files report
     /// [`DatasetId::Mixed`]).
     pub fn open(path: impl AsRef<Path>) -> std::io::Result<Self> {
-        let file = std::fs::File::open(&path)?;
-        let reader = BufReader::new(file);
         let mut samples = Vec::new();
-        for (lineno, line) in reader.lines().enumerate() {
-            let line = line?;
-            if line.trim().is_empty() {
-                continue;
-            }
-            let sample: Sample = serde_json::from_str(&line).map_err(|e| {
-                std::io::Error::new(
-                    std::io::ErrorKind::InvalidData,
-                    format!("{}:{}: {e}", path.as_ref().display(), lineno + 1),
-                )
-            })?;
-            samples.push(sample);
+        for sample in JsonlStream::open(&path)? {
+            samples.push(sample?);
         }
         if samples.is_empty() {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::InvalidData,
-                "empty dataset file",
+                format!("{}: empty dataset file", path.as_ref().display()),
             ));
         }
         let first = samples[0].dataset;
@@ -143,19 +202,54 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_lines_error_with_location() {
+    fn corrupt_lines_error_with_line_and_byte_offset() {
+        let src = SyntheticMaterialsProject::new(2, 3);
+        let good = serde_json::to_string(&src.sample(0)).unwrap();
         let path = tmp("corrupt.jsonl");
-        std::fs::write(&path, "not json\n").unwrap();
+        // Good line, blank line, then garbage: the error must name line 3
+        // and the byte offset where that line starts.
+        let text = format!("{good}\n\n{{\"dataset\": 12 oops\n");
+        let bad_offset = good.len() + 2; // good line + '\n' + blank '\n'
+        std::fs::write(&path, &text).unwrap();
         let err = JsonlDataset::open(&path).unwrap_err();
         std::fs::remove_file(&path).ok();
-        assert!(err.to_string().contains(":1:"), "error should cite the line: {err}");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        let msg = err.to_string();
+        assert!(msg.contains(":3:"), "error should cite line 3: {msg}");
+        assert!(
+            msg.contains(&format!("byte offset {bad_offset}")),
+            "error should cite byte offset {bad_offset}: {msg}"
+        );
     }
 
     #[test]
     fn empty_file_is_an_error() {
         let path = tmp("empty.jsonl");
         std::fs::write(&path, "").unwrap();
+        let err = JsonlDataset::open(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("empty dataset file"), "{err}");
+        // A file of only blank lines is just as empty.
+        std::fs::write(&path, "\n\n\n").unwrap();
         assert!(JsonlDataset::open(&path).is_err());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stream_yields_the_same_samples_as_open() {
+        let src = SyntheticLips::new(5, 4);
+        let path = tmp("stream.jsonl");
+        JsonlDataset::export(&src, &path).unwrap();
+        let eager = JsonlDataset::open(&path).unwrap();
+        let streamed: Vec<Sample> =
+            JsonlStream::open(&path).unwrap().map(|r| r.unwrap()).collect();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(streamed.len(), eager.len());
+        for (i, s) in streamed.iter().enumerate() {
+            assert_eq!(
+                serde_json::to_string(s).unwrap(),
+                serde_json::to_string(&eager.sample(i)).unwrap()
+            );
+        }
     }
 }

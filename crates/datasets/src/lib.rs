@@ -37,11 +37,21 @@ mod file;
 pub mod elements;
 mod prototypes;
 mod sample;
+pub mod shard;
+mod stream;
 mod synthetic;
 mod transform;
 
-pub use dataloader::{DataLoader, Prefetcher, Split, DATA_PREFETCH_HIT, DATA_PREFETCH_MISS};
-pub use file::JsonlDataset;
+pub use dataloader::{
+    readahead_enabled, DataLoader, Prefetcher, ReadAhead, ShuffleMode, Split, DATA_PREFETCH_HIT,
+    DATA_PREFETCH_MISS, DATA_READAHEAD_DEPTH, DATA_READAHEAD_HIT, DATA_READAHEAD_MISS,
+};
+pub use file::{JsonlDataset, JsonlStream};
+pub use shard::{ShardError, ShardFileInfo, ShardReader, ShardWriter};
+pub use stream::{
+    write_corpus, write_corpus_iter, CorpusWriteOptions, ShardEntry, ShardManifest,
+    StreamingDataset, DATA_SHARD_OPEN, DATA_STREAM_BYTES, DEFAULT_ADVISE_EVERY, MANIFEST_FORMAT,
+};
 pub use prototypes::{Prototype, ALL_PROTOTYPES, CUBIC_PROTOTYPES};
 pub use sample::{ConcatDataset, Dataset, DatasetId, Sample, Targets};
 pub use synthetic::{

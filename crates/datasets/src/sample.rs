@@ -38,6 +38,50 @@ impl DatasetId {
             DatasetId::Mixed => "mixed",
         }
     }
+
+    /// Inverse of [`DatasetId::name`] (used by the shard manifest).
+    pub fn from_name(name: &str) -> Option<DatasetId> {
+        Some(match name {
+            "materials-project" => DatasetId::MaterialsProject,
+            "carolina" => DatasetId::Carolina,
+            "oc20" => DatasetId::Oc20,
+            "oc22" => DatasetId::Oc22,
+            "lips" => DatasetId::Lips,
+            "symmetry" => DatasetId::Symmetry,
+            "mixed" => DatasetId::Mixed,
+            _ => return None,
+        })
+    }
+
+    /// Stable one-byte wire code for the on-disk shard record format
+    /// (`docs/SHARD_FORMAT.md`). Codes are append-only: existing values
+    /// never change meaning across format revisions.
+    pub fn code(self) -> u8 {
+        match self {
+            DatasetId::MaterialsProject => 0,
+            DatasetId::Carolina => 1,
+            DatasetId::Oc20 => 2,
+            DatasetId::Oc22 => 3,
+            DatasetId::Lips => 4,
+            DatasetId::Symmetry => 5,
+            DatasetId::Mixed => 6,
+        }
+    }
+
+    /// Inverse of [`DatasetId::code`]; `None` for codes this reader does
+    /// not know (a record written by a newer format revision).
+    pub fn from_code(code: u8) -> Option<DatasetId> {
+        Some(match code {
+            0 => DatasetId::MaterialsProject,
+            1 => DatasetId::Carolina,
+            2 => DatasetId::Oc20,
+            3 => DatasetId::Oc22,
+            4 => DatasetId::Lips,
+            5 => DatasetId::Symmetry,
+            6 => DatasetId::Mixed,
+            _ => return None,
+        })
+    }
 }
 
 /// Round-robin-free concatenation of datasets: indices `0..len_0` map to
@@ -159,6 +203,24 @@ mod tests {
     fn dataset_names_are_stable() {
         assert_eq!(DatasetId::MaterialsProject.name(), "materials-project");
         assert_eq!(DatasetId::Symmetry.name(), "symmetry");
+    }
+
+    #[test]
+    fn dataset_codes_and_names_roundtrip() {
+        for id in [
+            DatasetId::MaterialsProject,
+            DatasetId::Carolina,
+            DatasetId::Oc20,
+            DatasetId::Oc22,
+            DatasetId::Lips,
+            DatasetId::Symmetry,
+            DatasetId::Mixed,
+        ] {
+            assert_eq!(DatasetId::from_code(id.code()), Some(id));
+            assert_eq!(DatasetId::from_name(id.name()), Some(id));
+        }
+        assert_eq!(DatasetId::from_code(200), None);
+        assert_eq!(DatasetId::from_name("lmdb"), None);
     }
 
     #[test]

@@ -1,0 +1,497 @@
+//! Sharded corpus directories and the [`StreamingDataset`] that reads
+//! them without ever materializing an epoch.
+//!
+//! A corpus directory is a `manifest.json` plus one or more `.mshard`
+//! files (see [`crate::shard`] and `docs/SHARD_FORMAT.md`). The writer
+//! streams samples from any source — a generator, a `.jsonl` parse, an
+//! iterator — through one bounded [`ShardWriter`] at a time, so writing a
+//! 10M-structure corpus costs one shard of memory, not ten million
+//! samples. The reader side is a [`Dataset`] implementation over the
+//! shard set: global index → (shard, local index) via binary search,
+//! shards opened lazily and held in a small LRU of memory maps, records
+//! decoded on demand. Every downstream consumer — trainer, collate
+//! cache, serve path — works unchanged.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use serde::{Deserialize, Serialize};
+
+use crate::sample::{Dataset, DatasetId, Sample};
+use crate::shard::{ShardError, ShardReader, ShardWriter};
+
+/// Manifest format identifier (bumped only on incompatible change).
+pub const MANIFEST_FORMAT: &str = "matsciml-shard/v1";
+
+/// Counter name: shard files opened (mapped or buffered).
+pub const DATA_SHARD_OPEN: &str = "data/shard_open";
+
+/// Counter name: encoded record bytes decoded from shard storage.
+pub const DATA_STREAM_BYTES: &str = "data/stream_bytes";
+
+/// One shard file as listed in `manifest.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShardEntry {
+    /// File name relative to the corpus directory.
+    pub file: String,
+    /// Records in the shard.
+    pub samples: u64,
+    /// File size in bytes.
+    pub bytes: u64,
+    /// The shard's trailing whole-file CRC-32.
+    pub crc32: u32,
+}
+
+/// The corpus directory's `manifest.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShardManifest {
+    /// Always [`MANIFEST_FORMAT`].
+    pub format: String,
+    /// Dataset name ([`DatasetId::name`]; `"mixed"` for blended corpora).
+    pub dataset: String,
+    /// Total records across all shards.
+    pub total_samples: u64,
+    /// Target records per shard the writer was configured with (the last
+    /// shard may hold fewer).
+    pub shard_samples: u64,
+    /// The shard files, in global index order.
+    pub shards: Vec<ShardEntry>,
+}
+
+impl ShardManifest {
+    /// Parse `manifest.json` from a corpus directory.
+    pub fn load(dir: impl AsRef<Path>) -> Result<Self, ShardError> {
+        let path = dir.as_ref().join("manifest.json");
+        let text = std::fs::read_to_string(&path)?;
+        let m: ShardManifest = serde_json::from_str(&text)
+            .map_err(|e| ShardError::Malformed(format!("{}: {e}", path.display())))?;
+        if m.format != MANIFEST_FORMAT {
+            return Err(ShardError::Malformed(format!(
+                "{}: manifest format `{}` is not `{MANIFEST_FORMAT}`",
+                path.display(),
+                m.format
+            )));
+        }
+        if m.shards.is_empty() {
+            return Err(ShardError::Malformed(format!(
+                "{}: manifest lists no shards",
+                path.display()
+            )));
+        }
+        let sum: u64 = m.shards.iter().map(|s| s.samples).sum();
+        if sum != m.total_samples {
+            return Err(ShardError::Malformed(format!(
+                "{}: shard sample counts sum to {sum}, manifest claims {}",
+                path.display(),
+                m.total_samples
+            )));
+        }
+        Ok(m)
+    }
+
+    /// Write `manifest.json` into `dir`.
+    pub fn save(&self, dir: impl AsRef<Path>) -> Result<(), ShardError> {
+        let path = dir.as_ref().join("manifest.json");
+        let text = serde_json::to_string_pretty(self)
+            .map_err(|e| ShardError::Malformed(format!("manifest serialization: {e}")))?;
+        std::fs::write(&path, text + "\n")?;
+        Ok(())
+    }
+}
+
+/// Knobs for [`write_corpus`] / [`write_corpus_iter`].
+#[derive(Debug, Clone, Copy)]
+pub struct CorpusWriteOptions {
+    /// Records per shard (the last shard holds the remainder).
+    pub shard_samples: usize,
+    /// Re-open and CRC-verify every shard after writing it.
+    pub verify: bool,
+}
+
+impl Default for CorpusWriteOptions {
+    fn default() -> Self {
+        // 64k LiPS-sized records ≈ 40 MB per shard: large enough that a
+        // million-structure corpus stays in the tens of files, small
+        // enough that the writer's working set is trivial.
+        CorpusWriteOptions { shard_samples: 65_536, verify: false }
+    }
+}
+
+fn shard_file_name(index: usize) -> String {
+    format!("shard-{index:05}.{}", crate::shard::SHARD_EXT)
+}
+
+/// Write `dataset` into `dir` as a sharded corpus (directory created;
+/// an existing `manifest.json` is overwritten). Returns the manifest.
+pub fn write_corpus(
+    dataset: &dyn Dataset,
+    dir: impl AsRef<Path>,
+    options: CorpusWriteOptions,
+) -> Result<ShardManifest, ShardError> {
+    let n = dataset.len();
+    write_corpus_iter((0..n).map(|i| dataset.sample(i)), dir, options)
+}
+
+/// Stream any sample iterator into `dir` as a sharded corpus. Memory is
+/// bounded by one shard regardless of corpus size; the manifest's
+/// dataset id is derived from the samples themselves (`"mixed"` when
+/// provenance varies). Errors on an empty iterator (a corpus must hold
+/// at least one sample).
+pub fn write_corpus_iter(
+    samples: impl IntoIterator<Item = Sample>,
+    dir: impl AsRef<Path>,
+    options: CorpusWriteOptions,
+) -> Result<ShardManifest, ShardError> {
+    assert!(options.shard_samples > 0, "shard_samples must be positive");
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+    let mut shards = Vec::new();
+    let mut corpus_id: Option<DatasetId> = None;
+    let mut writer = ShardWriter::new();
+    let mut flush = |writer: &mut ShardWriter,
+                     shards: &mut Vec<ShardEntry>|
+     -> Result<(), ShardError> {
+        let Some(shard_id) = writer.dataset() else {
+            return Ok(()); // empty writer, nothing to flush
+        };
+        corpus_id = Some(match corpus_id {
+            None => shard_id,
+            Some(d) if d == shard_id => d,
+            Some(_) => DatasetId::Mixed,
+        });
+        let file = shard_file_name(shards.len());
+        let path = dir.join(&file);
+        let info = writer.write(&path)?;
+        if options.verify {
+            ShardReader::open(&path)?.verify()?;
+        }
+        shards.push(ShardEntry {
+            file,
+            samples: info.samples,
+            bytes: info.bytes,
+            crc32: info.crc32,
+        });
+        *writer = ShardWriter::new();
+        Ok(())
+    };
+    for sample in samples {
+        writer.push(&sample);
+        if writer.len() >= options.shard_samples {
+            flush(&mut writer, &mut shards)?;
+        }
+    }
+    flush(&mut writer, &mut shards)?;
+    let Some(corpus_id) = corpus_id else {
+        return Err(ShardError::Malformed(
+            "refusing to write an empty corpus (no samples)".into(),
+        ));
+    };
+    let manifest = ShardManifest {
+        format: MANIFEST_FORMAT.into(),
+        dataset: corpus_id.name().into(),
+        total_samples: shards.iter().map(|s| s.samples).sum(),
+        shard_samples: options.shard_samples as u64,
+        shards,
+    };
+    manifest.save(dir)?;
+    Ok(manifest)
+}
+
+/// How many shards a [`StreamingDataset`] keeps open at once by default.
+/// Each open shard is a memory map (cheap) or a buffered file (one
+/// allocation), so the bound exists to cap file descriptors and buffered
+/// memory, not map count.
+pub const DEFAULT_MAX_OPEN: usize = 8;
+
+/// Default sample interval between `madvise(MADV_DONTNEED)` residency
+/// hints on mapped shards (see [`StreamingDataset::set_advise_every`]).
+pub const DEFAULT_ADVISE_EVERY: u64 = 65_536;
+
+struct OpenShards {
+    /// `readers[i]` is shard `i` when open.
+    readers: Vec<Option<Arc<ShardReader>>>,
+    /// Open shard indices, least recently used first.
+    lru: Vec<usize>,
+}
+
+/// A [`Dataset`] over a sharded corpus directory: random access by global
+/// index, shards opened lazily into a bounded LRU, records decoded on
+/// demand from (usually memory-mapped) storage. Cloning is cheap and the
+/// clone shares the open-shard cache, so reader threads spawned by the
+/// read-ahead pipeline amortize shard opens.
+#[derive(Clone)]
+pub struct StreamingDataset {
+    inner: Arc<StreamingInner>,
+}
+
+struct StreamingInner {
+    dir: PathBuf,
+    manifest: ShardManifest,
+    dataset: DatasetId,
+    /// `starts[i]` = global index of shard `i`'s first record;
+    /// `starts[n]` = total.
+    starts: Vec<u64>,
+    open: Mutex<OpenShards>,
+    max_open: usize,
+    obs: matsciml_obs::Obs,
+    /// Samples decoded since the last residency hint (0 disables hints).
+    advise_every: u64,
+    since_advise: AtomicU64,
+}
+
+impl StreamingDataset {
+    /// Open a corpus directory (validates the manifest; shards open
+    /// lazily on first access, so this is O(manifest)).
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, ShardError> {
+        Self::open_with(dir, DEFAULT_MAX_OPEN, matsciml_obs::Obs::disabled())
+    }
+
+    /// [`StreamingDataset::open`] with an explicit open-shard bound and an
+    /// observability handle for the `data/*` streaming counters.
+    pub fn open_with(
+        dir: impl AsRef<Path>,
+        max_open: usize,
+        obs: matsciml_obs::Obs,
+    ) -> Result<Self, ShardError> {
+        assert!(max_open > 0, "max_open must be positive");
+        let dir = dir.as_ref().to_path_buf();
+        let manifest = ShardManifest::load(&dir)?;
+        let dataset = DatasetId::from_name(&manifest.dataset).ok_or_else(|| {
+            ShardError::Malformed(format!("unknown dataset name `{}`", manifest.dataset))
+        })?;
+        let mut starts = Vec::with_capacity(manifest.shards.len() + 1);
+        let mut acc = 0u64;
+        for s in &manifest.shards {
+            starts.push(acc);
+            acc += s.samples;
+        }
+        starts.push(acc);
+        let nshards = manifest.shards.len();
+        let advise_every = match std::env::var("MATSCIML_STREAM_ADVISE").ok() {
+            Some(v) => v.parse::<u64>().map_err(|_| {
+                ShardError::Malformed(format!("MATSCIML_STREAM_ADVISE=`{v}` is not an integer"))
+            })?,
+            None => DEFAULT_ADVISE_EVERY,
+        };
+        Ok(StreamingDataset {
+            inner: Arc::new(StreamingInner {
+                dir,
+                manifest,
+                dataset,
+                starts,
+                open: Mutex::new(OpenShards {
+                    readers: (0..nshards).map(|_| None).collect(),
+                    lru: Vec::new(),
+                }),
+                max_open,
+                obs,
+                advise_every,
+                since_advise: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    /// The corpus manifest.
+    pub fn manifest(&self) -> &ShardManifest {
+        &self.inner.manifest
+    }
+
+    /// The corpus directory.
+    pub fn dir(&self) -> &Path {
+        &self.inner.dir
+    }
+
+    /// Number of shard files.
+    pub fn num_shards(&self) -> usize {
+        self.inner.manifest.shards.len()
+    }
+
+    /// Override the residency-hint cadence: after every `every` decoded
+    /// samples, the shard that served the sample gets
+    /// [`ShardReader::advise_dontneed`], bounding mapped-page residency
+    /// over long streams. `0` disables hints. The environment variable
+    /// `MATSCIML_STREAM_ADVISE` sets the initial value
+    /// (default [`DEFAULT_ADVISE_EVERY`]).
+    pub fn set_advise_every(&mut self, every: u64) {
+        // Sole-owner mutation; clones made afterwards share the setting.
+        Arc::get_mut(&mut self.inner)
+            .expect("set_advise_every before cloning/sharing")
+            .advise_every = every;
+    }
+
+    /// Map a global index to `(shard, local index)`.
+    fn locate(&self, index: usize) -> (usize, usize) {
+        let starts = &self.inner.starts;
+        let idx = index as u64;
+        assert!(
+            idx < *starts.last().expect("nonempty starts"),
+            "index {index} out of range for {} samples",
+            starts.last().expect("nonempty starts")
+        );
+        let shard = match starts.binary_search(&idx) {
+            Ok(k) => k,
+            Err(k) => k - 1,
+        };
+        (shard, (idx - starts[shard]) as usize)
+    }
+
+    /// Fetch shard `i` from the LRU, opening (and possibly evicting) under
+    /// the lock. Open errors panic: the manifest promised this shard, so a
+    /// failure mid-run is corruption, not a recoverable condition.
+    fn reader(&self, shard: usize) -> Arc<ShardReader> {
+        let inner = &self.inner;
+        let mut open = inner.open.lock().expect("shard cache lock");
+        if let Some(r) = &open.readers[shard] {
+            let r = Arc::clone(r);
+            // Refresh recency.
+            if let Some(pos) = open.lru.iter().position(|&s| s == shard) {
+                open.lru.remove(pos);
+            }
+            open.lru.push(shard);
+            return r;
+        }
+        if open.lru.len() >= inner.max_open {
+            let evict = open.lru.remove(0);
+            open.readers[evict] = None;
+        }
+        let path = inner.dir.join(&inner.manifest.shards[shard].file);
+        let reader = ShardReader::open(&path).unwrap_or_else(|e| {
+            panic!("failed to open shard {}: {e}", path.display());
+        });
+        inner.obs.count(DATA_SHARD_OPEN, 1);
+        let reader = Arc::new(reader);
+        open.readers[shard] = Some(Arc::clone(&reader));
+        open.lru.push(shard);
+        reader
+    }
+
+    /// [`Dataset::sample`] with typed errors instead of panics — the
+    /// probe-friendly path for tools (`shard-write --verify`, tests).
+    pub fn try_sample(&self, index: usize) -> Result<Sample, ShardError> {
+        let (shard, local) = self.locate(index);
+        let reader = self.reader(shard);
+        let bytes = reader.record_bytes(local)?;
+        let n = bytes.len() as u64;
+        let sample = crate::shard::decode_record(bytes)?;
+        let inner = &self.inner;
+        inner.obs.count(DATA_STREAM_BYTES, n);
+        if inner.advise_every > 0 {
+            let prev = inner.since_advise.fetch_add(1, Ordering::Relaxed);
+            if prev + 1 >= inner.advise_every {
+                inner.since_advise.store(0, Ordering::Relaxed);
+                reader.advise_dontneed();
+            }
+        }
+        Ok(sample)
+    }
+}
+
+impl Dataset for StreamingDataset {
+    fn id(&self) -> DatasetId {
+        self.inner.dataset
+    }
+
+    fn len(&self) -> usize {
+        *self.inner.starts.last().expect("nonempty starts") as usize
+    }
+
+    fn sample(&self, index: usize) -> Sample {
+        self.try_sample(index)
+            .unwrap_or_else(|e| panic!("streaming sample {index}: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{SyntheticLips, SyntheticMaterialsProject};
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("matsciml-stream-test-{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn corpus_roundtrips_through_shards() {
+        let dir = tmp("roundtrip");
+        let ds = SyntheticMaterialsProject::new(23, 5);
+        let opts = CorpusWriteOptions { shard_samples: 10, verify: true };
+        let manifest = write_corpus(&ds, &dir, opts).unwrap();
+        assert_eq!(manifest.total_samples, 23);
+        assert_eq!(manifest.shards.len(), 3, "23 samples at 10/shard → 10+10+3");
+        assert_eq!(manifest.shards[2].samples, 3);
+
+        let stream = StreamingDataset::open(&dir).unwrap();
+        assert_eq!(stream.len(), 23);
+        assert_eq!(stream.id(), DatasetId::MaterialsProject);
+        assert_eq!(stream.num_shards(), 3);
+        for i in 0..23 {
+            assert_eq!(
+                serde_json::to_string(&ds.sample(i)).unwrap(),
+                serde_json::to_string(&stream.sample(i)).unwrap(),
+                "streamed sample {i} must equal the generator's"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lru_bounds_open_shards_and_counts_opens() {
+        let dir = tmp("lru");
+        let ds = SyntheticLips::new(12, 9);
+        write_corpus(&ds, &dir, CorpusWriteOptions { shard_samples: 2, verify: false }).unwrap();
+        let obs = matsciml_obs::Obs::null();
+        let stream = StreamingDataset::open_with(&dir, 2, obs.clone()).unwrap();
+        assert_eq!(stream.num_shards(), 6);
+        // Forward sweep touches every shard once: 6 opens.
+        for i in 0..12 {
+            stream.sample(i);
+        }
+        assert_eq!(obs.counter(DATA_SHARD_OPEN), 6);
+        // Re-reading the last two shards hits the LRU: no new opens.
+        stream.sample(11);
+        stream.sample(8);
+        assert_eq!(obs.counter(DATA_SHARD_OPEN), 6);
+        // Reading shard 0 again evicts and reopens: one more.
+        stream.sample(0);
+        assert_eq!(obs.counter(DATA_SHARD_OPEN), 7);
+        assert!(obs.counter(DATA_STREAM_BYTES) > 0, "byte counter advances");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn manifest_validation_rejects_tampering() {
+        let dir = tmp("tamper");
+        let ds = SyntheticMaterialsProject::new(4, 1);
+        write_corpus(&ds, &dir, CorpusWriteOptions { shard_samples: 2, verify: false }).unwrap();
+        let path = dir.join("manifest.json");
+        let good = std::fs::read_to_string(&path).unwrap();
+
+        // Wrong format string.
+        std::fs::write(&path, good.replace(MANIFEST_FORMAT, "matsciml-shard/v9")).unwrap();
+        assert!(matches!(StreamingDataset::open(&dir), Err(ShardError::Malformed(_))));
+
+        // Sample-count sum mismatch.
+        std::fs::write(&path, good.replace("\"total_samples\": 4", "\"total_samples\": 5")).unwrap();
+        assert!(matches!(StreamingDataset::open(&dir), Err(ShardError::Malformed(_))));
+
+        // Missing manifest.
+        std::fs::remove_file(&path).unwrap();
+        assert!(matches!(StreamingDataset::open(&dir), Err(ShardError::Io(_))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn clones_share_the_shard_cache() {
+        let dir = tmp("clone");
+        let ds = SyntheticMaterialsProject::new(6, 2);
+        write_corpus(&ds, &dir, CorpusWriteOptions { shard_samples: 3, verify: false }).unwrap();
+        let obs = matsciml_obs::Obs::null();
+        let a = StreamingDataset::open_with(&dir, 4, obs.clone()).unwrap();
+        let b = a.clone();
+        a.sample(0);
+        b.sample(1); // same shard, opened once
+        assert_eq!(obs.counter(DATA_SHARD_OPEN), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -17,6 +17,9 @@ use matsciml_models::ModelInput;
 pub const DATA_COLLATE_HIT: &str = "data/collate_hit";
 /// Counter: a [`CollateCache`] lookup had to load + collate from scratch.
 pub const DATA_COLLATE_MISS: &str = "data/collate_miss";
+/// Counter: a [`CollateCache`] insert displaced the least-recently-used
+/// batch to stay within capacity.
+pub const DATA_COLLATE_EVICT: &str = "data/collate_evict";
 
 /// A collated batch: the encoder input plus per-graph provenance and
 /// targets (heads build their own masked tensors from these).
@@ -55,11 +58,22 @@ pub fn collate(samples: &[Sample]) -> Batch {
 /// the standard training loop reshuffles per epoch so its hits are rare.
 /// The cache is therefore wired into the evaluation path and the
 /// benchmarks, not the training hot loop.
+///
+/// Eviction is least-recently-used, one entry at a time: a long eval
+/// stream with an ever-changing schedule holds exactly `capacity`
+/// batches resident and recycles the coldest slot per miss, instead of
+/// either growing without bound or dumping the whole working set the
+/// moment it reaches capacity (the two previous behaviours). Recency is
+/// a monotone tick stamped on every touch; the victim is the minimum
+/// tick, an O(capacity) scan — capacities are tens of entries, so a
+/// linked-list LRU would be bookkeeping without a payoff.
 pub struct CollateCache {
-    map: HashMap<Vec<usize>, Batch>,
+    map: HashMap<Vec<usize>, (u64, Batch)>,
     capacity: usize,
+    tick: u64,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 impl CollateCache {
@@ -69,8 +83,10 @@ impl CollateCache {
         CollateCache {
             map: HashMap::new(),
             capacity,
+            tick: 0,
             hits: 0,
             misses: 0,
+            evictions: 0,
         }
     }
 
@@ -97,20 +113,29 @@ impl CollateCache {
         obs: &matsciml_obs::Obs,
         make: impl FnOnce() -> Batch,
     ) -> &Batch {
-        if self.map.contains_key(key) {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(entry) = self.map.get_mut(key) {
+            entry.0 = tick;
             self.hits += 1;
             obs.count(DATA_COLLATE_HIT, 1);
         } else {
             self.misses += 1;
             obs.count(DATA_COLLATE_MISS, 1);
-            // Full eviction at capacity: the schedules this cache serves
-            // are small fixed rotations, so LRU bookkeeping buys nothing.
             if self.map.len() >= self.capacity {
-                self.map.clear();
+                let victim = self
+                    .map
+                    .iter()
+                    .min_by_key(|(_, (t, _))| *t)
+                    .map(|(k, _)| k.clone())
+                    .expect("cache at capacity is nonempty");
+                self.map.remove(&victim);
+                self.evictions += 1;
+                obs.count(DATA_COLLATE_EVICT, 1);
             }
-            self.map.insert(key.to_vec(), make());
+            self.map.insert(key.to_vec(), (tick, make()));
         }
-        &self.map[key]
+        &self.map[key].1
     }
 
     /// Lookups served from the cache so far.
@@ -121,6 +146,11 @@ impl CollateCache {
     /// Lookups that had to collate from scratch.
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Entries displaced by LRU eviction so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     /// Currently cached batch count.
@@ -197,20 +227,50 @@ mod tests {
     }
 
     #[test]
-    fn collate_cache_evicts_at_capacity() {
+    fn collate_cache_evicts_least_recently_used() {
         use matsciml_datasets::{DataLoader, Split};
         let ds = SyntheticMaterialsProject::new(24, 5);
         let dl = DataLoader::new(&ds, None, Split::Train, 0.0, 4, 9);
         let schedule = dl.epoch_batches(0);
-        assert!(schedule.len() >= 3);
-        let obs = matsciml_obs::Obs::disabled();
+        assert!(schedule.len() >= 4);
+        let obs = matsciml_obs::Obs::null();
         let mut cache = CollateCache::new(2);
-        for b in schedule.iter().take(3) {
-            let _ = cache.get_or_collate(&dl, b, &obs);
+
+        // Fill: [0, 1]. Touch 0 so 1 becomes the LRU victim.
+        let _ = cache.get_or_collate(&dl, &schedule[0], &obs);
+        let _ = cache.get_or_collate(&dl, &schedule[1], &obs);
+        let _ = cache.get_or_collate(&dl, &schedule[0], &obs);
+        // Insert 2: evicts 1, keeps 0 — the cache stays full, not cleared.
+        let _ = cache.get_or_collate(&dl, &schedule[2], &obs);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(obs.counter(DATA_COLLATE_EVICT), 1);
+
+        // 0 survived (hit); 1 was the victim (miss, evicting again).
+        let hits_before = cache.hits();
+        let _ = cache.get_or_collate(&dl, &schedule[0], &obs);
+        assert_eq!(cache.hits(), hits_before + 1, "recently used entry survived");
+        let _ = cache.get_or_collate(&dl, &schedule[1], &obs);
+        assert_eq!(cache.evictions(), 2, "victim re-entry is a miss + eviction");
+        assert_eq!(cache.len(), 2, "LRU keeps the cache bounded and full");
+        assert_eq!(cache.misses(), 4);
+    }
+
+    #[test]
+    fn collate_cache_stays_bounded_over_a_long_stream() {
+        use matsciml_datasets::{DataLoader, Split};
+        let ds = SyntheticMaterialsProject::new(64, 5);
+        let dl = DataLoader::new(&ds, None, Split::Train, 0.0, 4, 9);
+        let obs = matsciml_obs::Obs::disabled();
+        let mut cache = CollateCache::new(4);
+        // Two epochs of distinct schedules — the long-eval-stream shape
+        // that previously grew the map without limit.
+        for epoch in 0..2 {
+            for b in dl.epoch_batches(epoch) {
+                let _ = cache.get_or_collate(&dl, &b, &obs);
+            }
         }
-        // Third insert evicted the full map, then repopulated one entry.
-        assert_eq!(cache.len(), 1);
-        assert!(!cache.is_empty());
-        assert_eq!(cache.misses(), 3);
+        assert_eq!(cache.len(), 4, "never exceeds capacity");
+        assert_eq!(cache.misses(), cache.evictions() + 4);
     }
 }

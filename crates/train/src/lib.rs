@@ -42,7 +42,7 @@ pub use checkpoint::{
     save_checkpoint, TrainCheckpoint, TrainProgress, CKPT_BYTES_WRITTEN, CKPT_LOAD_US,
     CKPT_RESUME_STEP, CKPT_SAVES, CKPT_SAVE_US,
 };
-pub use collate::{collate, CollateCache, DATA_COLLATE_HIT, DATA_COLLATE_MISS};
+pub use collate::{collate, CollateCache, DATA_COLLATE_EVICT, DATA_COLLATE_HIT, DATA_COLLATE_MISS};
 pub use forcefield::ForceFieldModel;
 pub use metrics::MetricMap;
 pub use model::{EncoderKind, TaskModel};

@@ -64,6 +64,20 @@ pub struct TrainConfig {
     /// batches are identical to synchronous loads. Off by default.
     #[serde(default)]
     pub prefetch_data: bool,
+    /// Worker threads for the multi-shard read-ahead pipeline
+    /// ([`matsciml_datasets::DataLoader::spawn_readahead`]): the data
+    /// path keeps a window of future batches requested so workers
+    /// materialize them while the current batch trains. Delivery is
+    /// reassembled into schedule order, so the trajectory is
+    /// bit-identical for any thread count (and to the synchronous path).
+    /// 0 disables; mutually exclusive with `prefetch_data`.
+    /// `MATSCIML_READAHEAD=0` forces the synchronous fallback at runtime.
+    #[serde(default)]
+    pub readahead_threads: usize,
+    /// Bound on completed batches queued ahead of the trainer (the
+    /// read-ahead pipeline's memory footprint). 0 means the default of 4.
+    #[serde(default)]
+    pub readahead_depth: usize,
     /// Write a `matsciml-ckpt` checkpoint every this many optimizer steps
     /// (0 = never). Requires `checkpoint_dir`. Checkpoints land *after*
     /// the step's optimizer update, so `step{k}.mckpt` resumes with `k`
@@ -107,6 +121,8 @@ impl Default for TrainConfig {
             skip_nonfinite_updates: false,
             overlap_comm: false,
             prefetch_data: false,
+            readahead_threads: 0,
+            readahead_depth: 0,
             checkpoint_every: 0,
             checkpoint_dir: None,
         }
@@ -391,6 +407,10 @@ impl Trainer {
             cfg.checkpoint_every == 0 || cfg.checkpoint_dir.is_some(),
             "checkpoint_every > 0 requires checkpoint_dir"
         );
+        assert!(
+            !(cfg.prefetch_data && cfg.readahead_threads > 0),
+            "prefetch_data and readahead_threads are mutually exclusive data pipelines"
+        );
         let (mut opt, start_step, resume_best, resume_evals) = match resume {
             Some(r) => {
                 assert_eq!(
@@ -469,14 +489,33 @@ impl Trainer {
         let mut prefetcher = cfg
             .prefetch_data
             .then(|| train_loader.spawn_prefetcher(scope));
+        // Clamp the window to one epoch: the request walk can only see
+        // the current and next schedules, so a deeper window would point
+        // past the horizon and never refill.
+        let ra_depth = (if cfg.readahead_depth > 0 { cfg.readahead_depth } else { 4 })
+            .min(steps_per_epoch as usize);
+        let mut readahead = (cfg.readahead_threads > 0)
+            .then(|| train_loader.spawn_readahead(scope, cfg.readahead_threads, ra_depth));
+        let lookahead = prefetcher.is_some() || readahead.is_some();
         let mut sched = train_loader.epoch_batches(start_epoch);
         'outer: for epoch in start_epoch.. {
             // The next epoch's schedule is only materialized eagerly when
-            // prefetching needs to see across the epoch boundary (the
-            // shuffle is a pure function of (seed, epoch) either way).
-            let mut next_sched = prefetcher
-                .is_some()
-                .then(|| train_loader.epoch_batches(epoch + 1));
+            // a background data pipeline needs to see across the epoch
+            // boundary (the shuffle is a pure function of (seed, epoch)
+            // either way).
+            let mut next_sched = lookahead.then(|| train_loader.epoch_batches(epoch + 1));
+            // Schedule position `p` of this epoch's frame, looking into
+            // the next epoch past the end — the read-ahead window walks
+            // this sequence so requests arrive in exact take order.
+            fn visible<'a>(
+                p: usize,
+                sched: &'a [Vec<usize>],
+                next: &'a Option<Vec<Vec<usize>>>,
+            ) -> Option<&'a Vec<usize>> {
+                sched
+                    .get(p)
+                    .or_else(|| next.as_ref().and_then(|n| n.get(p - sched.len())))
+            }
             // Skipping after enumerate keeps `bi` absolute, so the
             // prefetch lookahead below indexes the schedule correctly.
             for (bi, batch_idx) in sched.iter().enumerate().skip(std::mem::take(&mut first_epoch_skip)) {
@@ -484,24 +523,42 @@ impl Trainer {
                     break 'outer;
                 }
                 let t_step = obs.timer();
-                let samples = match &mut prefetcher {
-                    Some(pf) => {
-                        // The very first iteration (fresh or resumed) has
-                        // no in-flight request yet.
-                        if step == start_step {
-                            pf.request(batch_idx);
-                        }
-                        // Queue batch i+1 (or the next epoch's first batch)
-                        // before blocking on batch i: the double buffer.
-                        let next = sched
-                            .get(bi + 1)
-                            .or_else(|| next_sched.as_ref().and_then(|n| n.first()));
-                        if let Some(nb) = next {
-                            pf.request(nb);
-                        }
-                        pf.take_observed(train_loader, batch_idx, obs)
+                let samples = if let Some(pf) = &mut prefetcher {
+                    // The very first iteration (fresh or resumed) has
+                    // no in-flight request yet.
+                    if step == start_step {
+                        pf.request(batch_idx);
                     }
-                    None => train_loader.load_observed(batch_idx, obs),
+                    // Queue batch i+1 (or the next epoch's first batch)
+                    // before blocking on batch i: the double buffer.
+                    let next = sched
+                        .get(bi + 1)
+                        .or_else(|| next_sched.as_ref().and_then(|n| n.first()));
+                    if let Some(nb) = next {
+                        pf.request(nb);
+                    }
+                    pf.take_observed(train_loader, batch_idx, obs)
+                } else if let Some(ra) = &mut readahead {
+                    // Keep `depth` batches requested ahead of the take
+                    // point. The first iteration seeds the window
+                    // (positions bi..bi+depth); every later one tops it
+                    // up with position bi+depth, so request order tracks
+                    // take order exactly — across epoch boundaries too,
+                    // since positions past this epoch's end resolve into
+                    // `next_sched`, which becomes the next `sched`.
+                    if step == start_step {
+                        for p in bi..bi + ra_depth {
+                            if let Some(b) = visible(p, &sched, &next_sched) {
+                                ra.request(b);
+                            }
+                        }
+                    }
+                    if let Some(b) = visible(bi + ra_depth, &sched, &next_sched) {
+                        ra.request(b);
+                    }
+                    ra.take_observed(train_loader, batch_idx, obs)
+                } else {
+                    train_loader.load_observed(batch_idx, obs)
                 };
                 {
                     let _prep = obs.span(Phase::Optimizer);
@@ -761,6 +818,8 @@ mod tests {
             skip_nonfinite_updates: false,
             overlap_comm: false,
             prefetch_data: false,
+            readahead_threads: 0,
+            readahead_depth: 0,
             checkpoint_every: 0,
             checkpoint_dir: None,
         }

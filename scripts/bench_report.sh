@@ -8,6 +8,7 @@
 #   cargo bench -p matsciml-bench --bench message_passing  # BENCH_msgpass.json
 #   cargo bench -p matsciml-bench --bench simd              # BENCH_simd.json
 #   cargo bench -p matsciml-bench --bench serve             # BENCH_serve.json
+#   cargo bench -p matsciml-bench --bench stream            # BENCH_stream.json
 #   ./scripts/bench_report.sh
 #
 # Idempotent: the generated section lives between marker comments and is
@@ -102,6 +103,19 @@ if [[ -f BENCH_serve.json ]]; then
     "$(jq -r '.single.throughput_rps * 100 | round / 100' <<<"$sat")" \
     "$(jq -r '.batched.throughput_rps * 100 | round / 100' <<<"$sat")" \
     "$(jq -r '.speedup * 100 | round / 100' <<<"$sat")x" \
+    "—"
+fi
+
+if [[ -f BENCH_stream.json ]]; then
+  # Streaming trades nothing for bounded memory: the arms compare the
+  # sharded on-demand pipeline against materializing the whole corpus,
+  # so the headline is the RSS ratio alongside near-parity throughput.
+  rss=$(jq -r '.rss_ratio * 1000 | round / 10' BENCH_stream.json)
+  add_row "stream ($(jq -r .corpus_samples BENCH_stream.json) structures, $(jq -r .shards BENCH_stream.json) shards)" \
+    "in-memory → streamed (samples/s, RSS ${rss}%)" \
+    "$(jq -r '.in_memory.samples_per_sec | round' BENCH_stream.json)" \
+    "$(jq -r '.streamed.samples_per_sec | round' BENCH_stream.json)" \
+    "$(jq -r '.throughput_ratio * 100 | round / 100' BENCH_stream.json)x" \
     "—"
 fi
 

@@ -31,6 +31,15 @@ echo "== tier-1: tests again with the SIMD lane tier disabled =="
 MATSCIML_SIMD=0 cargo test -q
 MATSCIML_SIMD=0 cargo test -q --workspace
 
+echo "== streaming fallbacks: read-ahead off, mmap off =="
+# Synchronous loading (MATSCIML_READAHEAD=0) and buffered shard storage
+# (MATSCIML_SHARD_MMAP=0) are first-class configurations; the data layer
+# and its trainer integration must stay green — and bit-identical — in
+# both (docs/SHARD_FORMAT.md).
+MATSCIML_READAHEAD=0 cargo test -q -p matsciml-datasets
+MATSCIML_READAHEAD=0 cargo test -q -p matsciml-train --test stream_determinism
+MATSCIML_SHARD_MMAP=0 cargo test -q -p matsciml-datasets
+
 echo "== bench artifacts: every BENCH_*.json named in EXPERIMENTS.md exists =="
 while read -r artifact; do
   [[ -f "$artifact" ]] || {
@@ -42,6 +51,12 @@ done < <(grep -o 'BENCH_[A-Za-z0-9_]*\.json' EXPERIMENTS.md | sort -u)
 # record for the inference-server PR).
 grep -q 'BENCH_serve\.json' EXPERIMENTS.md || {
   echo "verify: EXPERIMENTS.md no longer names BENCH_serve.json" >&2
+  exit 1
+}
+# The streaming bench must stay indexed (its section is the acceptance
+# record for the sharded-datasets PR).
+grep -q 'BENCH_stream\.json' EXPERIMENTS.md || {
+  echo "verify: EXPERIMENTS.md no longer names BENCH_stream.json" >&2
   exit 1
 }
 

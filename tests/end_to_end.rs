@@ -26,6 +26,8 @@ fn small_trainer(steps: u64, base_lr: f32) -> Trainer {
         prefetch_data: false,
         checkpoint_every: 0,
         checkpoint_dir: None,
+        readahead_threads: 0,
+        readahead_depth: 0,
     })
 }
 

@@ -104,6 +104,7 @@ fn run_arm(max_batch: usize, clients: usize, singles: &[Vec<f32>], ok: &mut bool
             queue_cap: 2 * MAX_BATCH * LOADS[LOADS.len() - 1],
             head: 0,
             cache_batches: 2 * POOL,
+            ..Default::default()
         },
         Obs::null(),
     );

@@ -167,7 +167,7 @@ fn trajectories_match(dir: &PathBuf) -> bool {
     set_pool_enabled(true);
     set_simd_enabled(true);
     let small = SyntheticLips::new(160, SEED);
-    write_corpus(&small, dir, CorpusWriteOptions { shard_samples: 40, verify: true }).unwrap();
+    write_corpus(&small, dir, CorpusWriteOptions { shard_samples: 40, verify: true, workers: 1 }).unwrap();
     let streaming = StreamingDataset::open(dir).unwrap();
 
     let run = |ds: &dyn Dataset| {
@@ -221,7 +221,7 @@ fn main() {
     let manifest = write_corpus(
         &ds,
         &corpus_dir,
-        CorpusWriteOptions { shard_samples: SHARD_SAMPLES, verify: false },
+        CorpusWriteOptions { shard_samples: SHARD_SAMPLES, verify: false, workers: 1 },
     )
     .unwrap();
     let corpus_bytes: u64 = manifest.shards.iter().map(|s| s.bytes).sum();

@@ -32,7 +32,10 @@ pub mod state;
 pub use format::{
     crc32, ByteReader, ByteWriter, CkptError, CkptReader, CkptWriter, MAGIC, VERSION,
 };
-pub use state::{decode_adamw, decode_params, encode_adamw, encode_params};
+pub use state::{
+    decode_adamw, decode_params, decode_params_half, encode_adamw, encode_params,
+    encode_params_half, HalfParams,
+};
 
 /// Section tags defined by `matsciml-ckpt/v1`. Tags are 1–8 ASCII bytes,
 /// space-padded on disk; unknown tags must be skipped by readers.
@@ -47,4 +50,9 @@ pub mod tags {
     pub const TRAIN_CONFIG: &str = "TRAINCFG";
     /// Trainer progress: completed steps, best metric, early-stop state.
     pub const TRAIN_STATE: &str = "TRAINST";
+    /// Quantized parameter tensors (f16/bf16 packed bits plus a
+    /// per-tensor max-abs-error summary) — the reduced-precision
+    /// inference artifact. Pre-PRMH readers skip it via the v1
+    /// unknown-tag rule.
+    pub const PARAMS_HALF: &str = "PRMH";
 }

@@ -112,8 +112,12 @@ pub fn cmd_shard_write(args: &Args) -> Result<(), String> {
     let from = args.get("from").map(str::to_string);
     let shard_samples = args.num_or("shard-samples", CorpusWriteOptions::default().shard_samples)?;
     let verify = args.flag("verify");
+    let workers = args.num_or("write-workers", 1usize)?;
     args.reject_unknown()?;
-    let options = CorpusWriteOptions { shard_samples, verify };
+    if workers == 0 {
+        return Err("--write-workers must be at least 1".into());
+    }
+    let options = CorpusWriteOptions { shard_samples, verify, workers };
 
     let manifest = match &from {
         Some(path) => {
@@ -151,6 +155,52 @@ pub fn cmd_shard_write(args: &Args) -> Result<(), String> {
         manifest.shards.len(),
         bytes as f64 / (1024.0 * 1024.0),
         if verify { " (CRC-verified)" } else { "" }
+    );
+    Ok(())
+}
+
+/// `matsciml quantize` — convert a checkpoint into a reduced-precision
+/// inference artifact: a `matsciml-ckpt/v1` file whose parameters live
+/// in a `PRMH` section as f16/bf16 bit patterns
+/// (docs/CHECKPOINT_FORMAT.md). The output is what `serve --ckpt`
+/// loads for the reduced-precision tier; it is not resumable for
+/// training.
+pub fn cmd_quantize(args: &Args) -> Result<(), String> {
+    let ckpt_path = args.get("ckpt").map(str::to_string);
+    let model_path = args.get("model").map(str::to_string);
+    let out = args
+        .get("out")
+        .ok_or("usage: matsciml quantize --ckpt IN.mckpt|--model IN.json --out OUT.mckpt [--precision f16|bf16]")?
+        .to_string();
+    let precision_arg = args.str_or("precision", "f16");
+    args.reject_unknown()?;
+    let precision = Precision::parse(&precision_arg)
+        .ok_or_else(|| format!("--precision: unknown precision `{precision_arg}` (f16|bf16)"))?;
+
+    let (model, in_bytes) = match (&ckpt_path, &model_path) {
+        (Some(path), None) => {
+            let loaded = load_infer_model(path).map_err(|e| e.to_string())?;
+            let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+            (loaded.model, bytes)
+        }
+        (None, Some(path)) => {
+            let m = TaskModel::load(path).map_err(|e| e.to_string())?;
+            let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+            (m, bytes)
+        }
+        _ => return Err("pass exactly one of --ckpt FILE.mckpt or --model FILE.json".into()),
+    };
+
+    let out_bytes = save_quantized_checkpoint(&out, &model, precision).map_err(|e| e.to_string())?;
+    // Re-read the artifact: proves round-trip and surfaces the stored
+    // per-tensor quantization errors.
+    let back = load_infer_model(&out).map_err(|e| e.to_string())?;
+    let worst = back.max_abs_errors.iter().cloned().fold(0.0f32, f32::max);
+    eprintln!(
+        "wrote {out}: {} params in {} storage, {out_bytes} bytes (input {in_bytes}), \
+         worst per-scalar quantization error {worst:.3e}",
+        model.params.len(),
+        precision.name(),
     );
     Ok(())
 }
@@ -447,7 +497,7 @@ COMMANDS:
   shard-write               write a sharded streaming corpus (docs/SHARD_FORMAT.md)
       --out DIR  (required; writes manifest.json + shard-NNNNN.mshard)
       --dataset D --size N --seed S | --from FILE.jsonl
-      --shard-samples K --verify
+      --shard-samples K --verify --write-workers N
   train                     train a single-task model
       --dataset mp|cmd|oc20|oc22|lips|symmetry --target band_gap|fermi|e_form|stability|energy|sym
       --steps N --hidden H --world N --batch B --lr LR --save FILE --constant-lr
@@ -464,14 +514,19 @@ COMMANDS:
                       --steps is the new total budget)
   embed                     encoder embeddings as CSV
       --dataset D --count N --hidden H --load CHECKPOINT --out FILE
+  quantize                  write a reduced-precision inference artifact
+      --ckpt IN.mckpt | --model IN.json --out OUT.mckpt
+      --precision f16|bf16  (PRMH section, docs/CHECKPOINT_FORMAT.md)
   serve                     batched property-prediction server (docs/SERVING.md)
-      --ckpt FILE.mckpt | --model FILE.json   (what to serve)
+      --ckpt FILE.mckpt | --model FILE.json   (what to serve; accepts
+                      `quantize` artifacts)
       --addr HOST:PORT --workers N --max-batch B --queue-cap Q --head H
+      --precision f32|f16|bf16  (reduced-precision inference tier)
       --dataset D --size N --seed S  (dataset behind index requests)
       --run-dir DIR  (write serve.jsonl run record)
   query                     client for a running `serve`
       --addr HOST:PORT --index N | --indices A,B,C | --file FILE.jsonl
-      --stats | --shutdown
+      --reload CKPT | --stats | --shutdown
   bench                     quick throughput probe
       --hidden H --batch B"
     );

@@ -20,6 +20,7 @@ fn main() {
         Some("groups") => commands::cmd_groups(&args),
         Some("generate") => commands::cmd_generate(&args),
         Some("shard-write") => commands::cmd_shard_write(&args),
+        Some("quantize") => commands::cmd_quantize(&args),
         Some("train") => commands::cmd_train(&args),
         Some("embed") => commands::cmd_embed(&args),
         Some("serve") => serve::cmd_serve(&args),

@@ -12,7 +12,9 @@
 //!
 //! A connection may send any number of requests; each is answered in
 //! order. `{"cmd":"stats"}` returns the server's counters,
-//! `{"cmd":"shutdown"}` stops the server after draining queued work.
+//! `{"cmd":"reload","path":"new.mckpt"}` hot-swaps the served model
+//! between batches, and `{"cmd":"shutdown"}` stops the server after
+//! draining queued work.
 
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write};
@@ -46,9 +48,12 @@ struct WireRequest {
     /// Predict several client-supplied structures.
     #[serde(default)]
     structures: Option<Vec<Sample>>,
-    /// Control verb: `stats` or `shutdown`.
+    /// Control verb: `stats`, `reload`, or `shutdown`.
     #[serde(default)]
     cmd: Option<String>,
+    /// Checkpoint path for `{"cmd":"reload"}`.
+    #[serde(default)]
+    path: Option<String>,
 }
 
 /// One response line.
@@ -83,6 +88,7 @@ struct ServeSnapshot {
     max_batch: usize,
     queue_cap: usize,
     head: usize,
+    precision: String,
 }
 
 /// `matsciml serve` — load a model, bind a TCP address, serve batched
@@ -99,13 +105,21 @@ pub fn cmd_serve(args: &Args) -> Result<(), String> {
     let size = args.num_or("size", 512usize)?;
     let seed = args.num_or("seed", 0u64)?;
     let run_dir = args.get("run-dir").map(str::to_string);
+    let precision_arg = args.str_or("precision", "f32");
     args.reject_unknown()?;
+    let precision = Precision::parse(&precision_arg)
+        .ok_or_else(|| format!("--precision: unknown precision `{precision_arg}` (f32|f16|bf16)"))?;
 
     let model = match (&ckpt_path, &model_path) {
         (Some(path), None) => {
-            let ckpt = TrainCheckpoint::load(path).map_err(|e| e.to_string())?;
-            eprintln!("loaded training checkpoint {path} (step {})", ckpt.progress.step);
-            ckpt.model
+            // Accepts full training checkpoints and quantized `PRMH`
+            // inference artifacts alike.
+            let loaded = load_infer_model(path).map_err(|e| e.to_string())?;
+            match loaded.stored_precision {
+                Some(p) => eprintln!("loaded quantized checkpoint {path} ({} storage)", p.name()),
+                None => eprintln!("loaded training checkpoint {path}"),
+            }
+            loaded.model
         }
         (None, Some(path)) => {
             let m = TaskModel::load(path).map_err(|e| e.to_string())?;
@@ -139,6 +153,7 @@ pub fn cmd_serve(args: &Args) -> Result<(), String> {
                 max_batch,
                 queue_cap,
                 head,
+                precision: precision.name().to_string(),
             })
             .unwrap_or_else(|_| Json::null()),
         }));
@@ -150,14 +165,15 @@ pub fn cmd_serve(args: &Args) -> Result<(), String> {
         model,
         Compose::standard(4.5, Some(12)),
         Some(dataset),
-        ServeConfig { workers, max_batch, queue_cap, head, ..Default::default() },
+        ServeConfig { workers, max_batch, queue_cap, head, precision, ..Default::default() },
         obs.clone(),
     ));
 
     let listener = TcpListener::bind(&addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
     eprintln!(
-        "serving on {addr} ({workers} workers, max batch {max_batch}, queue cap {queue_cap}) \
-         — stop with `matsciml-cli query --addr {addr} --shutdown`"
+        "serving on {addr} ({workers} workers, max batch {max_batch}, queue cap {queue_cap}, \
+         {} inference) — stop with `matsciml-cli query --addr {addr} --shutdown`",
+        precision.name()
     );
 
     let stop = Arc::new(AtomicBool::new(false));
@@ -249,7 +265,7 @@ fn respond(line: &str, server: &InferenceServer) -> (WireResponse, bool) {
     };
     let id = req.id;
     match req {
-        WireRequest { cmd: Some(cmd), .. } => match cmd.as_str() {
+        WireRequest { cmd: Some(cmd), path, .. } => match cmd.as_str() {
             "stats" => {
                 let counters = server.obs().recorder().map(|r| r.counters()).unwrap_or_default();
                 (
@@ -257,6 +273,16 @@ fn respond(line: &str, server: &InferenceServer) -> (WireResponse, bool) {
                     false,
                 )
             }
+            "reload" => match path {
+                Some(path) => match server.reload(&path) {
+                    Ok(()) => (
+                        WireResponse { id, ok: true, predictions: None, error: None, counters: None },
+                        false,
+                    ),
+                    Err(e) => (WireResponse::err(id, e), false),
+                },
+                None => (WireResponse::err(id, "reload needs a `path`"), false),
+            },
             "shutdown" => (
                 WireResponse { id, ok: true, predictions: None, error: None, counters: None },
                 true,
@@ -294,22 +320,34 @@ pub fn cmd_query(args: &Args) -> Result<(), String> {
     let file = args.get("file").map(str::to_string);
     let stats = args.flag("stats");
     let shutdown = args.flag("shutdown");
+    let reload = args.get("reload").map(str::to_string);
     let id = args.num_or("id", 0u64)?;
     args.reject_unknown()?;
 
+    let blank = WireRequest {
+        id: Some(id),
+        index: None,
+        indices: None,
+        structure: None,
+        structures: None,
+        cmd: None,
+        path: None,
+    };
     let request = if shutdown {
-        WireRequest { id: Some(id), index: None, indices: None, structure: None, structures: None, cmd: Some("shutdown".into()) }
+        WireRequest { cmd: Some("shutdown".into()), ..blank }
     } else if stats {
-        WireRequest { id: Some(id), index: None, indices: None, structure: None, structures: None, cmd: Some("stats".into()) }
+        WireRequest { cmd: Some("stats".into()), ..blank }
+    } else if let Some(path) = reload {
+        WireRequest { cmd: Some("reload".into()), path: Some(path), ..blank }
     } else if let Some(i) = index {
         let i: usize = i.parse().map_err(|_| format!("--index: cannot parse `{i}`"))?;
-        WireRequest { id: Some(id), index: Some(i), indices: None, structure: None, structures: None, cmd: None }
+        WireRequest { index: Some(i), ..blank }
     } else if let Some(list) = indices {
         let ix = list
             .split(',')
             .map(|t| t.trim().parse::<usize>().map_err(|_| format!("--indices: cannot parse `{t}`")))
             .collect::<Result<Vec<_>, _>>()?;
-        WireRequest { id: Some(id), index: None, indices: Some(ix), structure: None, structures: None, cmd: None }
+        WireRequest { indices: Some(ix), ..blank }
     } else if let Some(path) = file {
         // One JSON structure per line, the `generate` output shape.
         let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
@@ -318,9 +356,12 @@ pub fn cmd_query(args: &Args) -> Result<(), String> {
             .filter(|l| !l.trim().is_empty())
             .map(|l| serde_json::from_str::<Sample>(l).map_err(|e| format!("{path}: {e}")))
             .collect::<Result<Vec<_>, _>>()?;
-        WireRequest { id: Some(id), index: None, indices: None, structure: None, structures: Some(structures), cmd: None }
+        WireRequest { structures: Some(structures), ..blank }
     } else {
-        return Err("pass --index N, --indices A,B,C, --file FILE.jsonl, --stats, or --shutdown".into());
+        return Err(
+            "pass --index N, --indices A,B,C, --file FILE.jsonl, --reload CKPT, --stats, or --shutdown"
+                .into(),
+        );
     };
 
     let stream = TcpStream::connect(&addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;

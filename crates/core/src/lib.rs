@@ -91,14 +91,18 @@ pub mod prelude {
         AdamW, AdamWConfig, ConstantLr, InstabilityProbe, LrSchedule, Sgd, WarmupExpDecay,
     };
     pub use matsciml_symmetry::{all_point_groups, group_by_name, PointGroup, SymmetryConfig};
-    pub use matsciml_tensor::{Mat3, Tensor, TensorError, Vec3};
+    pub use matsciml_tensor::{
+        infer_precision, max_rel_error, set_infer_precision, HalfTensor, Mat3, Precision, Tensor,
+        TensorError, Vec3,
+    };
     pub use matsciml_ckpt::{CkptError, CkptReader, CkptWriter};
     pub use matsciml_train::{
-        collate, ddp::ddp_step, ddp::ddp_step_observed, ddp::DdpConfig, sweep::run_sweep,
-        sweep::run_sweep_observed, sweep::SweepGrid, sweep::Trial, target_stats, ForceFieldModel,
-        throughput, EncoderKind, InferenceServer, LossKind, MetricMap, EarlyStop, ServeConfig,
-        ServeError, TargetKind, TaskHead, TaskHeadConfig, TaskModel, TrainCheckpoint, TrainConfig,
-        TrainLog, TrainProgress, TrainRecord, Trainer,
+        collate, ddp::ddp_step, ddp::ddp_step_observed, ddp::DdpConfig, load_infer_model,
+        save_quantized_checkpoint, sweep::run_sweep, sweep::run_sweep_observed, sweep::SweepGrid,
+        sweep::Trial, target_stats, ForceFieldModel, throughput, EncoderKind, InferModel,
+        InferenceServer, LossKind, MetricMap, EarlyStop, ServeConfig, ServeError, TargetKind,
+        TaskHead, TaskHeadConfig, TaskModel, TrainCheckpoint, TrainConfig, TrainLog,
+        TrainProgress, TrainRecord, Trainer,
     };
     pub use matsciml_umap::{
         centroid_separation, exact_knn, silhouette, FittedUmap, Umap, UmapConfig,

@@ -107,6 +107,14 @@ pub struct CorpusWriteOptions {
     pub shard_samples: usize,
     /// Re-open and CRC-verify every shard after writing it.
     pub verify: bool,
+    /// Shard write workers. `1` (the default) writes serially on the
+    /// calling thread. With more, full shards are handed to a bounded
+    /// worker pool that encodes, writes, and verifies them while the
+    /// producer keeps filling the next shard. Output is byte-identical
+    /// to the serial writer — each shard's bytes and file name depend
+    /// only on its own records and position — at the cost of holding up
+    /// to roughly `workers + 2` shards in memory instead of one.
+    pub workers: usize,
 }
 
 impl Default for CorpusWriteOptions {
@@ -114,7 +122,7 @@ impl Default for CorpusWriteOptions {
         // 64k LiPS-sized records ≈ 40 MB per shard: large enough that a
         // million-structure corpus stays in the tens of files, small
         // enough that the writer's working set is trivial.
-        CorpusWriteOptions { shard_samples: 65_536, verify: false }
+        CorpusWriteOptions { shard_samples: 65_536, verify: false, workers: 1 }
     }
 }
 
@@ -146,6 +154,9 @@ pub fn write_corpus_iter(
     assert!(options.shard_samples > 0, "shard_samples must be positive");
     let dir = dir.as_ref();
     std::fs::create_dir_all(dir)?;
+    if options.workers > 1 {
+        return write_corpus_parallel(samples, dir, options);
+    }
     let mut shards = Vec::new();
     let mut corpus_id: Option<DatasetId> = None;
     let mut writer = ShardWriter::new();
@@ -182,6 +193,115 @@ pub fn write_corpus_iter(
         }
     }
     flush(&mut writer, &mut shards)?;
+    let Some(corpus_id) = corpus_id else {
+        return Err(ShardError::Malformed(
+            "refusing to write an empty corpus (no samples)".into(),
+        ));
+    };
+    let manifest = ShardManifest {
+        format: MANIFEST_FORMAT.into(),
+        dataset: corpus_id.name().into(),
+        total_samples: shards.iter().map(|s| s.samples).sum(),
+        shard_samples: options.shard_samples as u64,
+        shards,
+    };
+    manifest.save(dir)?;
+    Ok(manifest)
+}
+
+
+/// The `workers > 1` body of [`write_corpus_iter`]: a producer/pool
+/// pipeline over whole shards. The producer (the calling thread) fills
+/// one [`ShardWriter`] at a time and hands each full shard, tagged with
+/// its index, to the pool; workers encode/write/verify concurrently.
+/// Shard contents are independent and file names are positional, so the
+/// on-disk corpus is byte-identical to the serial writer's.
+fn write_corpus_parallel(
+    samples: impl IntoIterator<Item = Sample>,
+    dir: &Path,
+    options: CorpusWriteOptions,
+) -> Result<ShardManifest, ShardError> {
+    use std::sync::mpsc;
+
+    type ShardResult = Result<(DatasetId, ShardEntry), ShardError>;
+
+    // Capacity 1 keeps memory bounded: at most `workers` shards in
+    // flight plus one queued plus the one being filled.
+    let (job_tx, job_rx) = mpsc::sync_channel::<(usize, ShardWriter)>(1);
+    let job_rx = Arc::new(Mutex::new(job_rx));
+    let (res_tx, res_rx) = mpsc::channel::<(usize, ShardResult)>();
+
+    let (count, mut results) = std::thread::scope(|scope| {
+        for _ in 0..options.workers {
+            let job_rx = Arc::clone(&job_rx);
+            let res_tx = res_tx.clone();
+            scope.spawn(move || loop {
+                let job = job_rx.lock().expect("shard job lock").recv();
+                let Ok((index, writer)) = job else { break };
+                let result = (|| {
+                    let shard_id = writer.dataset().expect("pool only receives non-empty shards");
+                    let file = shard_file_name(index);
+                    let path = dir.join(&file);
+                    let info = writer.write(&path)?;
+                    if options.verify {
+                        ShardReader::open(&path)?.verify()?;
+                    }
+                    Ok((
+                        shard_id,
+                        ShardEntry {
+                            file,
+                            samples: info.samples,
+                            bytes: info.bytes,
+                            crc32: info.crc32,
+                        },
+                    ))
+                })();
+                if res_tx.send((index, result)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(res_tx);
+
+        let mut next = 0usize;
+        let mut writer = ShardWriter::new();
+        for sample in samples {
+            writer.push(&sample);
+            if writer.len() >= options.shard_samples {
+                let full = std::mem::replace(&mut writer, ShardWriter::new());
+                // Send fails only when every worker died; their error
+                // reports are in the result channel.
+                if job_tx.send((next, full)).is_err() {
+                    break;
+                }
+                next += 1;
+            }
+        }
+        if !writer.is_empty() && job_tx.send((next, writer)).is_ok() {
+            next += 1;
+        }
+        drop(job_tx);
+
+        let mut results: Vec<Option<ShardResult>> = (0..next).map(|_| None).collect();
+        for (index, result) in res_rx {
+            results[index] = Some(result);
+        }
+        (next, results)
+    });
+
+    let mut shards = Vec::with_capacity(count);
+    let mut corpus_id: Option<DatasetId> = None;
+    for slot in results.iter_mut() {
+        let (shard_id, entry) = slot
+            .take()
+            .expect("every dispatched shard reports a result")?;
+        corpus_id = Some(match corpus_id {
+            None => shard_id,
+            Some(d) if d == shard_id => d,
+            Some(_) => DatasetId::Mixed,
+        });
+        shards.push(entry);
+    }
     let Some(corpus_id) = corpus_id else {
         return Err(ShardError::Malformed(
             "refusing to write an empty corpus (no samples)".into(),
@@ -415,7 +535,7 @@ mod tests {
     fn corpus_roundtrips_through_shards() {
         let dir = tmp("roundtrip");
         let ds = SyntheticMaterialsProject::new(23, 5);
-        let opts = CorpusWriteOptions { shard_samples: 10, verify: true };
+        let opts = CorpusWriteOptions { shard_samples: 10, verify: true, workers: 1 };
         let manifest = write_corpus(&ds, &dir, opts).unwrap();
         assert_eq!(manifest.total_samples, 23);
         assert_eq!(manifest.shards.len(), 3, "23 samples at 10/shard → 10+10+3");
@@ -439,7 +559,7 @@ mod tests {
     fn lru_bounds_open_shards_and_counts_opens() {
         let dir = tmp("lru");
         let ds = SyntheticLips::new(12, 9);
-        write_corpus(&ds, &dir, CorpusWriteOptions { shard_samples: 2, verify: false }).unwrap();
+        write_corpus(&ds, &dir, CorpusWriteOptions { shard_samples: 2, verify: false, workers: 1 }).unwrap();
         let obs = matsciml_obs::Obs::null();
         let stream = StreamingDataset::open_with(&dir, 2, obs.clone()).unwrap();
         assert_eq!(stream.num_shards(), 6);
@@ -460,10 +580,51 @@ mod tests {
     }
 
     #[test]
+    fn parallel_writer_is_byte_identical_to_serial() {
+        let serial_dir = tmp("par-serial");
+        let parallel_dir = tmp("par-pool");
+        // 23 samples at 4/shard → 6 shards, last one ragged.
+        let ds = SyntheticMaterialsProject::new(23, 11);
+        let serial = write_corpus(
+            &ds,
+            &serial_dir,
+            CorpusWriteOptions { shard_samples: 4, verify: true, workers: 1 },
+        )
+        .unwrap();
+        let parallel = write_corpus(
+            &ds,
+            &parallel_dir,
+            CorpusWriteOptions { shard_samples: 4, verify: true, workers: 3 },
+        )
+        .unwrap();
+        assert_eq!(serial.shards.len(), 6);
+        assert_eq!(
+            serde_json::to_string(&serial).unwrap(),
+            serde_json::to_string(&parallel).unwrap(),
+            "manifests must match field for field"
+        );
+        for entry in &serial.shards {
+            let a = std::fs::read(serial_dir.join(&entry.file)).unwrap();
+            let b = std::fs::read(parallel_dir.join(&entry.file)).unwrap();
+            assert_eq!(a, b, "{}: parallel bytes differ from serial", entry.file);
+        }
+        // And the parallel corpus reads back exactly.
+        let stream = StreamingDataset::open(&parallel_dir).unwrap();
+        for i in 0..23 {
+            assert_eq!(
+                serde_json::to_string(&ds.sample(i)).unwrap(),
+                serde_json::to_string(&stream.sample(i)).unwrap(),
+            );
+        }
+        std::fs::remove_dir_all(&serial_dir).ok();
+        std::fs::remove_dir_all(&parallel_dir).ok();
+    }
+
+    #[test]
     fn manifest_validation_rejects_tampering() {
         let dir = tmp("tamper");
         let ds = SyntheticMaterialsProject::new(4, 1);
-        write_corpus(&ds, &dir, CorpusWriteOptions { shard_samples: 2, verify: false }).unwrap();
+        write_corpus(&ds, &dir, CorpusWriteOptions { shard_samples: 2, verify: false, workers: 1 }).unwrap();
         let path = dir.join("manifest.json");
         let good = std::fs::read_to_string(&path).unwrap();
 
@@ -485,7 +646,7 @@ mod tests {
     fn clones_share_the_shard_cache() {
         let dir = tmp("clone");
         let ds = SyntheticMaterialsProject::new(6, 2);
-        write_corpus(&ds, &dir, CorpusWriteOptions { shard_samples: 3, verify: false }).unwrap();
+        write_corpus(&ds, &dir, CorpusWriteOptions { shard_samples: 3, verify: false, workers: 1 }).unwrap();
         let obs = matsciml_obs::Obs::null();
         let a = StreamingDataset::open_with(&dir, 4, obs.clone()).unwrap();
         let b = a.clone();

@@ -174,15 +174,24 @@ pub fn linear(x: &Tensor, w: &Tensor, bias: Option<&Tensor>, act: Act) -> (Tenso
     let ws = w.as_slice();
     let bs = bias.map(|b| b.as_slice());
     let flops = 2 * m * n * k;
-    let isa = simd::dispatch(m * n * k / 4);
+    // The reduced-precision inference tier (crate::half) takes the
+    // whole forward gemm when armed: FMA strips, unpinned order,
+    // tolerance-checked. Otherwise the exact lane/scalar paths below.
+    let wide = simd::dispatch_wide(m * n * k / 8);
+    let isa = if wide { None } else { simd::dispatch(m * n * k / 4) };
 
     // One lowering point for both the serial and panel-parallel paths:
     // lane-tier body when dispatched, canonical scalar rows otherwise.
-    let rows_kernel =
-        |zc: &mut [f32], yc: Option<&mut [f32]>, r0: usize, rows: usize| match isa {
-            Some(isa) => simd::linear_rows_lanes(a, ws, bs, act, zc, yc, r0, rows, k, n, isa),
-            None => linear_rows(a, ws, bs, act, zc, yc, r0, rows, k, n),
-        };
+    let rows_kernel = |zc: &mut [f32], yc: Option<&mut [f32]>, r0: usize, rows: usize| {
+        if wide {
+            simd::linear_rows_wide(a, ws, bs, act, zc, yc, r0, rows, k, n)
+        } else {
+            match isa {
+                Some(isa) => simd::linear_rows_lanes(a, ws, bs, act, zc, yc, r0, rows, k, n, isa),
+                None => linear_rows(a, ws, bs, act, zc, yc, r0, rows, k, n),
+            }
+        }
+    };
 
     if act == Act::Identity {
         let dst = z.as_mut_slice();

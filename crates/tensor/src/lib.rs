@@ -42,6 +42,7 @@
 pub mod edge;
 mod elementwise;
 pub mod fused;
+pub mod half;
 pub mod kernels;
 mod linalg;
 mod matmul;
@@ -56,6 +57,10 @@ mod tensor;
 
 pub use edge::{edge_stats, reset_edge_stats, EdgeStats};
 pub use fused::Act;
+pub use half::{
+    infer_precision, max_rel_error, quantize_tensor_in_place, set_infer_precision, HalfTensor,
+    Precision,
+};
 pub use linalg::{Mat3, Vec3};
 pub use pool::{pool_enabled, pool_stats, reset_pool_stats, set_pool_enabled, PoolStats};
 pub use simd::{reset_simd_stats, set_simd_enabled, simd_enabled, simd_stats, SimdStats};

@@ -95,6 +95,7 @@ pub fn simd_enabled() -> bool {
 
 static LANE_OPS: AtomicU64 = AtomicU64::new(0);
 static FALLBACK_HITS: AtomicU64 = AtomicU64::new(0);
+static HALF_OPS: AtomicU64 = AtomicU64::new(0);
 
 /// Cumulative SIMD-tier counters (process-wide, relaxed like
 /// [`crate::pool::PoolStats`] / `EdgeStats` — totals are exact once
@@ -107,6 +108,10 @@ pub struct SimdStats {
     /// Kernel entries that took the scalar fallback — because the tier
     /// is disabled or the target has no supported vector unit.
     pub fallback_hits: u64,
+    /// Eight-lane groups dispatched to the reduced-precision wide FMA
+    /// kernels (the inference tier, `crate::half`) — zero whenever the
+    /// tier is off, which is the default.
+    pub half_ops: u64,
 }
 
 impl SimdStats {
@@ -115,6 +120,7 @@ impl SimdStats {
         SimdStats {
             lane_ops: self.lane_ops - earlier.lane_ops,
             fallback_hits: self.fallback_hits - earlier.fallback_hits,
+            half_ops: self.half_ops - earlier.half_ops,
         }
     }
 }
@@ -124,6 +130,7 @@ pub fn simd_stats() -> SimdStats {
     SimdStats {
         lane_ops: LANE_OPS.load(Ordering::Relaxed),
         fallback_hits: FALLBACK_HITS.load(Ordering::Relaxed),
+        half_ops: HALF_OPS.load(Ordering::Relaxed),
     }
 }
 
@@ -131,6 +138,7 @@ pub fn simd_stats() -> SimdStats {
 pub fn reset_simd_stats() {
     LANE_OPS.store(0, Ordering::Relaxed);
     FALLBACK_HITS.store(0, Ordering::Relaxed);
+    HALF_OPS.store(0, Ordering::Relaxed);
 }
 
 // ---------------------------------------------------------------------------
@@ -192,6 +200,43 @@ pub(crate) fn dispatch(lane_groups: usize) -> Option<Isa> {
             FALLBACK_HITS.fetch_add(1, Ordering::Relaxed);
             None
         }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn fma_available() -> bool {
+    use std::sync::OnceLock;
+    static FMA: OnceLock<bool> = OnceLock::new();
+    *FMA.get_or_init(|| {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    })
+}
+
+/// Kernel-entry dispatch for the reduced-precision **wide tier**
+/// (`crate::half`): answers `true` — and records `lane_groups`
+/// (≈ `elements / 8`) against `simd/half_ops` — only when a non-f32
+/// inference precision is armed, the lane tier is enabled, and the CPU
+/// has AVX2 + FMA. Everywhere else (training default, `MATSCIML_SIMD=0`,
+/// non-x86, pre-Haswell hardware) the caller proceeds to the exact
+/// pinned-order path, so the fallback is bit-identical rather than
+/// merely tolerant.
+#[inline]
+pub(crate) fn dispatch_wide(lane_groups: usize) -> bool {
+    if crate::half::infer_precision() == crate::half::Precision::F32 || !simd_enabled() {
+        return false;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        if fma_available() {
+            HALF_OPS.fetch_add(lane_groups as u64, Ordering::Relaxed);
+            return true;
+        }
+        false
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = lane_groups;
+        false
     }
 }
 
@@ -457,6 +502,126 @@ pub(crate) fn linear_rows_lanes(
             }
         }
         i += r;
+    }
+}
+
+/// Wide-FMA body of the forward linear/gemm for output rows
+/// `[r0, r0 + rows)` — the **reduced-precision inference tier's** peer
+/// of [`linear_rows_lanes`]. Same contract (`z` zeroed, `y` optional,
+/// bias added once after the sum, activation reads the final `z`), but
+/// the accumulation order is *unpinned*: 8-wide AVX2 strips with fused
+/// multiply-add, two-way `k` unrolling in the 8-column strip, and no
+/// zero-skip branch. Outputs are tolerance-checked against the exact
+/// path, never bit-compared. Only reached after [`dispatch_wide`]
+/// answered `true` (AVX2 + FMA verified); the non-x86 body is a plain
+/// scalar gemm to stay compilable.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn linear_rows_wide(
+    a: &[f32],
+    w: &[f32],
+    bias: Option<&[f32]>,
+    act: crate::fused::Act,
+    z: &mut [f32],
+    mut y: Option<&mut [f32]>,
+    r0: usize,
+    rows: usize,
+    k: usize,
+    n: usize,
+) {
+    let mut i = 0;
+    while i < rows {
+        let r = MR.min(rows - i);
+        // SAFETY: rows [r0+i, r0+i+r) of `a` are in-bounds ([rows*k] per
+        // caller contract), and z[i*n..(i+r)*n] is in-bounds of `z`.
+        unsafe {
+            gemm_cols_wide(
+                a.as_ptr().add((r0 + i) * k),
+                k,
+                w,
+                &mut z[i * n..(i + r) * n],
+                r,
+                k,
+                n,
+            );
+        }
+        for rr in 0..r {
+            let zrow = &mut z[(i + rr) * n..(i + rr + 1) * n];
+            if let Some(bs) = bias {
+                zrow.iter_mut().zip(bs).for_each(|(zv, &b)| *zv += b);
+            }
+            if let Some(yd) = y.as_deref_mut() {
+                let yrow = &mut yd[(i + rr) * n..(i + rr + 1) * n];
+                act_rows_wide(act, zrow, yrow);
+            }
+        }
+        i += r;
+    }
+}
+
+/// Wide-tier activation row: 8-lane AVX2+FMA fast approximations for
+/// the transcendental activations (`exp` via a degree-6 exp2
+/// polynomial, relative error ~1e-7 — two orders of magnitude below
+/// even the wide gemm's reorder-rounding drift and four below f16
+/// storage rounding), exact vector max / copy for `Relu` / `Identity`.
+/// The scalar tail (`len % 8`) and every non-x86 element use the exact
+/// [`Act::eval`](crate::fused::Act::eval). Only reached from
+/// [`linear_rows_wide`] after [`dispatch_wide`] — the pinned-lane and
+/// scalar paths keep the exact transcendentals, so the training
+/// contract never sees this code.
+pub(crate) fn act_rows_wide(act: crate::fused::Act, z: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(z.len(), y.len());
+    // SAFETY: dispatch_wide verified AVX2 + FMA before the tier ran.
+    #[cfg(target_arch = "x86_64")]
+    let done = unsafe { x86::wide_act_rows(act, z, y) };
+    #[cfg(not(target_arch = "x86_64"))]
+    let done = 0;
+    for j in done..z.len() {
+        y[j] = act.eval(z[j]);
+    }
+}
+
+/// Column-tile dispatcher for the wide-FMA tier: 16- then 8-column
+/// AVX2+FMA strips, scalar remainder (plain mul + add, no zero skip —
+/// the order is unpinned, so the simplest loop is fine). Forward
+/// layout only: `av(rr, p) = *a.add(rr * rs + p)`.
+///
+/// # Safety
+/// `a` must be valid for reads at every `rr < r`, `p < k` under the
+/// stride formula; `w` holds `k * n` elements; `z` holds `r * n`. On
+/// x86-64 the caller must have verified AVX2 + FMA ([`dispatch_wide`]).
+unsafe fn gemm_cols_wide(
+    a: *const f32,
+    rs: usize,
+    w: &[f32],
+    z: &mut [f32],
+    r: usize,
+    k: usize,
+    n: usize,
+) {
+    debug_assert_eq!(w.len(), k * n);
+    debug_assert_eq!(z.len(), r * n);
+    let mut j = 0;
+    #[cfg(target_arch = "x86_64")]
+    {
+        let wp = w.as_ptr();
+        let zp = z.as_mut_ptr();
+        while j + 16 <= n {
+            with_rows!(r, x86::wide_strip16_fma(a, rs, wp.add(j), zp.add(j), n, k));
+            j += 16;
+        }
+        while j + 8 <= n {
+            with_rows!(r, x86::wide_strip8_fma(a, rs, wp.add(j), zp.add(j), n, k));
+            j += 8;
+        }
+    }
+    for jj in j..n {
+        for rr in 0..r {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += *a.add(rr * rs + p) * w[p * n + jj];
+            }
+            z[rr * n + jj] = acc;
+        }
     }
 }
 
@@ -1007,6 +1172,209 @@ mod x86 {
         }
     }
 
+    /// 16-column AVX2 + FMA gemm strip for the reduced-precision wide
+    /// tier: fused multiply-add, no zero-skip branch, accumulation
+    /// order unpinned (tolerance-checked by callers, never
+    /// bit-compared). Forward layout only (`ps = 1` folded away).
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2 + FMA support; all addresses for
+    /// `rr < R`, `p < k`, 16 columns must be in-bounds.
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn wide_strip16_fma<const R: usize>(
+        a: *const f32,
+        rs: usize,
+        w: *const f32,
+        z: *mut f32,
+        n: usize,
+        k: usize,
+    ) {
+        let mut acc0 = [_mm256_setzero_ps(); R];
+        let mut acc1 = [_mm256_setzero_ps(); R];
+        for p in 0..k {
+            let w0 = _mm256_loadu_ps(w.add(p * n));
+            let w1 = _mm256_loadu_ps(w.add(p * n + 8));
+            for rr in 0..R {
+                let avv = _mm256_set1_ps(*a.add(rr * rs + p));
+                acc0[rr] = _mm256_fmadd_ps(avv, w0, acc0[rr]);
+                acc1[rr] = _mm256_fmadd_ps(avv, w1, acc1[rr]);
+            }
+        }
+        for rr in 0..R {
+            _mm256_storeu_ps(z.add(rr * n), acc0[rr]);
+            _mm256_storeu_ps(z.add(rr * n + 8), acc1[rr]);
+        }
+    }
+
+    /// 8-column AVX2 + FMA gemm strip with two-way `k` unrolling (two
+    /// independent accumulator chains per row, folded once at the end
+    /// — legal precisely because the wide tier's reduction order is
+    /// unpinned). See [`wide_strip16_fma`].
+    ///
+    /// # Safety
+    /// As [`wide_strip16_fma`], for 8 columns.
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn wide_strip8_fma<const R: usize>(
+        a: *const f32,
+        rs: usize,
+        w: *const f32,
+        z: *mut f32,
+        n: usize,
+        k: usize,
+    ) {
+        let mut acc_a = [_mm256_setzero_ps(); R];
+        let mut acc_b = [_mm256_setzero_ps(); R];
+        let mut p = 0;
+        while p + 2 <= k {
+            let w0 = _mm256_loadu_ps(w.add(p * n));
+            let w1 = _mm256_loadu_ps(w.add((p + 1) * n));
+            for rr in 0..R {
+                let av = _mm256_set1_ps(*a.add(rr * rs + p));
+                let bv = _mm256_set1_ps(*a.add(rr * rs + p + 1));
+                acc_a[rr] = _mm256_fmadd_ps(av, w0, acc_a[rr]);
+                acc_b[rr] = _mm256_fmadd_ps(bv, w1, acc_b[rr]);
+            }
+            p += 2;
+        }
+        if p < k {
+            let w0 = _mm256_loadu_ps(w.add(p * n));
+            for rr in 0..R {
+                let av = _mm256_set1_ps(*a.add(rr * rs + p));
+                acc_a[rr] = _mm256_fmadd_ps(av, w0, acc_a[rr]);
+            }
+        }
+        for rr in 0..R {
+            _mm256_storeu_ps(z.add(rr * n), _mm256_add_ps(acc_a[rr], acc_b[rr]));
+        }
+    }
+
+    /// 8-lane `exp` for the wide tier: `exp(x) = 2^(x·log2 e)`, integer
+    /// part into the exponent bits, fractional part (∈ [-0.5, 0.5] after
+    /// round-to-nearest) through the degree-6 Taylor of `exp(r·ln 2)`.
+    /// Relative error ≤ ~1.5e-7 over the clamped domain [-87, 88]; the
+    /// clamp keeps both the `2^f` exponent construction and the final
+    /// product finite and normal.
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2 + FMA.
+    #[inline]
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn wide_exp(x: __m256) -> __m256 {
+        let x = _mm256_max_ps(_mm256_min_ps(x, _mm256_set1_ps(88.0)), _mm256_set1_ps(-87.0));
+        let t = _mm256_mul_ps(x, _mm256_set1_ps(std::f32::consts::LOG2_E));
+        // cvtps_epi32 rounds to nearest even, so r = t - f ∈ [-0.5, 0.5].
+        let fi = _mm256_cvtps_epi32(t);
+        let f = _mm256_cvtepi32_ps(fi);
+        let r = _mm256_sub_ps(t, f);
+        // 2^r: Taylor coefficients (ln 2)^i / i!, Horner over FMA.
+        let mut p = _mm256_set1_ps(1.540_353_1e-4);
+        p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(1.333_355_8e-3));
+        p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(9.618_129e-3));
+        p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(5.550_411e-2));
+        p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(2.402_265e-1));
+        p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(std::f32::consts::LN_2));
+        p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(1.0));
+        // 2^f assembled directly in the exponent field (f ∈ [-126, 127]).
+        let scale = _mm256_castsi256_ps(_mm256_slli_epi32::<23>(_mm256_add_epi32(
+            fi,
+            _mm256_set1_epi32(127),
+        )));
+        _mm256_mul_ps(p, scale)
+    }
+
+    /// 8-lane logistic sigmoid on top of [`wide_exp`], using the same
+    /// sign-split as the scalar [`crate::fused::sigmoid`]: `exp` only
+    /// ever sees `-|x|`, so it never overflows, and both branches are
+    /// one blend away.
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2 + FMA.
+    #[inline]
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn wide_sigmoid(x: __m256) -> __m256 {
+        let abs = _mm256_andnot_ps(_mm256_set1_ps(-0.0), x);
+        let e = wide_exp(_mm256_sub_ps(_mm256_setzero_ps(), abs));
+        let one = _mm256_set1_ps(1.0);
+        let denom = _mm256_add_ps(one, e);
+        let pos = _mm256_div_ps(one, denom);
+        let neg = _mm256_div_ps(e, denom);
+        let is_neg = _mm256_cmp_ps::<_CMP_LT_OQ>(x, _mm256_setzero_ps());
+        _mm256_blendv_ps(pos, neg, is_neg)
+    }
+
+    /// Vectorized activation for the wide tier: processes `len & !7`
+    /// elements 8 at a time and returns that count; the caller finishes
+    /// the tail with the exact scalar form. `Relu`/`Identity` are exact
+    /// here too (max / copy); the transcendentals ride [`wide_exp`] /
+    /// [`wide_sigmoid`] (`tanh(x) = 2σ(2x) − 1`).
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2 + FMA; `z` and `y` must be the
+    /// same length.
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn wide_act_rows(act: crate::fused::Act, z: &[f32], y: &mut [f32]) -> usize {
+        use crate::fused::{Act, SELU_ALPHA, SELU_SCALE};
+        let n8 = z.len() & !7;
+        let zp = z.as_ptr();
+        let yp = y.as_mut_ptr();
+        match act {
+            Act::Identity => y[..n8].copy_from_slice(&z[..n8]),
+            Act::Relu => {
+                let zero = _mm256_setzero_ps();
+                let mut i = 0;
+                while i < n8 {
+                    let v = _mm256_loadu_ps(zp.add(i));
+                    _mm256_storeu_ps(yp.add(i), _mm256_max_ps(v, zero));
+                    i += 8;
+                }
+            }
+            Act::Silu => {
+                let mut i = 0;
+                while i < n8 {
+                    let v = _mm256_loadu_ps(zp.add(i));
+                    _mm256_storeu_ps(yp.add(i), _mm256_mul_ps(v, wide_sigmoid(v)));
+                    i += 8;
+                }
+            }
+            Act::Sigmoid => {
+                let mut i = 0;
+                while i < n8 {
+                    let v = _mm256_loadu_ps(zp.add(i));
+                    _mm256_storeu_ps(yp.add(i), wide_sigmoid(v));
+                    i += 8;
+                }
+            }
+            Act::Tanh => {
+                let two = _mm256_set1_ps(2.0);
+                let one = _mm256_set1_ps(1.0);
+                let mut i = 0;
+                while i < n8 {
+                    let v = _mm256_loadu_ps(zp.add(i));
+                    let s = wide_sigmoid(_mm256_mul_ps(two, v));
+                    _mm256_storeu_ps(yp.add(i), _mm256_fmsub_ps(two, s, one));
+                    i += 8;
+                }
+            }
+            Act::Selu => {
+                let scale = _mm256_set1_ps(SELU_SCALE);
+                let scale_alpha = _mm256_set1_ps(SELU_SCALE * SELU_ALPHA);
+                let one = _mm256_set1_ps(1.0);
+                let zero = _mm256_setzero_ps();
+                let mut i = 0;
+                while i < n8 {
+                    let v = _mm256_loadu_ps(zp.add(i));
+                    let pos = _mm256_mul_ps(scale, v);
+                    let neg =
+                        _mm256_mul_ps(scale_alpha, _mm256_sub_ps(wide_exp(v), one));
+                    let is_pos = _mm256_cmp_ps::<_CMP_GT_OQ>(v, zero);
+                    _mm256_storeu_ps(yp.add(i), _mm256_blendv_ps(neg, pos, is_pos));
+                    i += 8;
+                }
+            }
+        }
+        n8
+    }
+
     /// 8-column SSE gemm strip (two xmm per row). See
     /// [`gemm_strip16_avx2`].
     ///
@@ -1169,6 +1537,39 @@ mod x86 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The wide-tier vectorized activations are *approximations* (fast
+    /// `exp`), but they must track the exact scalar forms far inside the
+    /// tier's tolerance story: ~1e-7 relative, which this test bounds at
+    /// 1e-5 absolute-plus-relative over a sweep covering both clamp
+    /// edges, zero, denormal-small inputs, and an odd length that forces
+    /// the scalar tail. `Relu`/`Identity` must be exact.
+    #[test]
+    fn wide_activations_track_exact_eval() {
+        use crate::fused::Act;
+        const ACTS: [Act; 6] =
+            [Act::Identity, Act::Silu, Act::Selu, Act::Relu, Act::Tanh, Act::Sigmoid];
+        let mut z: Vec<f32> = (0..1031).map(|i| (i as f32 - 515.0) * 0.04).collect();
+        z.extend_from_slice(&[0.0, -0.0, 1e-30, -1e-30, 1e3, -1e3, 1e30, -1e30, 87.9, -86.9]);
+        for act in ACTS {
+            let mut y = vec![0.0f32; z.len()];
+            act_rows_wide(act, &z, &mut y);
+            for (&zi, &yi) in z.iter().zip(&y) {
+                let want = act.eval(zi);
+                if matches!(act, Act::Identity | Act::Relu) {
+                    // Numeric equality: IEEE maxNum leaves max(-0.0, 0.0)
+                    // sign unspecified, and scalar `f32::max` and
+                    // `_mm256_max_ps` disagree on it.
+                    assert_eq!(yi, want, "{act:?}({zi}) must be exact");
+                } else {
+                    assert!(
+                        (yi - want).abs() <= 1e-5 + want.abs() * 1e-5,
+                        "{act:?}({zi}): got {yi:e}, want {want:e}"
+                    );
+                }
+            }
+        }
+    }
 
     /// Lane-boundary lengths: everything in 0..=9 (sub-lane and the first
     /// full lane group plus stragglers), and 4k-1 / 4k / 4k+1 brackets at

@@ -19,11 +19,12 @@
 use std::path::Path;
 
 use matsciml_ckpt::{
-    decode_adamw, decode_params, encode_adamw, encode_params, tags, ByteReader, ByteWriter,
-    CkptError, CkptReader, CkptWriter,
+    decode_adamw, decode_params, decode_params_half, encode_adamw, encode_params,
+    encode_params_half, tags, ByteReader, ByteWriter, CkptError, CkptReader, CkptWriter,
 };
 use matsciml_obs::Obs;
 use matsciml_opt::AdamWState;
+use matsciml_tensor::Precision;
 use serde::{Deserialize, Serialize};
 
 use crate::model::{EncoderKind, TaskModel};
@@ -121,6 +122,82 @@ pub fn save_checkpoint(
         obs.observe(CKPT_SAVE_US, (Obs::lap_ns(t0) / 1_000) as f64);
     }
     Ok(bytes)
+}
+
+/// Write a **quantized inference checkpoint**: `MODELJSN` plus a
+/// `PRMH` section holding every parameter in packed f16/bf16 with its
+/// max-abs quantization error. Roughly half the bytes of a `PARAMS`
+/// section; carries no optimizer state, so it serves but cannot resume
+/// training. Old readers skip the `PRMH` tag under the v1
+/// forward-compat rule. Returns bytes written.
+pub fn save_quantized_checkpoint(
+    path: impl AsRef<Path>,
+    model: &TaskModel,
+    precision: Precision,
+) -> Result<u64, CkptError> {
+    if precision == Precision::F32 {
+        return Err(CkptError::Malformed(
+            "quantized checkpoint requires f16 or bf16 (use save_checkpoint for f32)".into(),
+        ));
+    }
+    let arch = ArchJson {
+        encoder: model.encoder.clone(),
+        heads: model.heads.clone(),
+        encoder_param_count: model.encoder_param_count,
+    };
+    let arch_json = serde_json::to_string(&arch)
+        .map_err(|e| CkptError::Malformed(format!("architecture JSON: {e}")))?;
+    let mut w = CkptWriter::new();
+    w.section(tags::MODEL_JSON, arch_json.into_bytes());
+    w.section(tags::PARAMS_HALF, encode_params_half(&model.params, precision));
+    w.write(path)
+}
+
+/// A model loaded for inference, from either a full training
+/// checkpoint (`PARAMS`) or a quantized one (`PRMH`).
+pub struct InferModel {
+    /// The rebuilt model. Quantized sources hold the dequantized f32
+    /// values (each exactly what its packed bits represent).
+    pub model: TaskModel,
+    /// Storage precision of the source: `None` for a full-precision
+    /// `PARAMS` section, otherwise the `PRMH` precision.
+    pub stored_precision: Option<Precision>,
+    /// Per-tensor max-abs quantization errors recorded at save time
+    /// (empty for full-precision sources).
+    pub max_abs_errors: Vec<f32>,
+}
+
+/// Load a model for serving from any checkpoint file: prefers a `PRMH`
+/// section when present (quantized inference artifact), falling back
+/// to `PARAMS` (full training checkpoint).
+pub fn load_infer_model(path: impl AsRef<Path>) -> Result<InferModel, CkptError> {
+    let r = CkptReader::read(path)?;
+    let arch: ArchJson = serde_json::from_slice(r.require(tags::MODEL_JSON)?)
+        .map_err(|e| CkptError::Malformed(format!("architecture JSON: {e}")))?;
+    let (params, stored_precision, max_abs_errors) = match r.section(tags::PARAMS_HALF) {
+        Some(payload) => {
+            let half = decode_params_half(payload)?;
+            (half.params, Some(half.precision), half.max_abs_errors)
+        }
+        None => (decode_params(r.require(tags::PARAMS)?)?, None, Vec::new()),
+    };
+    if arch.encoder_param_count > params.len() {
+        return Err(CkptError::Malformed(format!(
+            "encoder_param_count {} exceeds parameter count {}",
+            arch.encoder_param_count,
+            params.len()
+        )));
+    }
+    Ok(InferModel {
+        model: TaskModel {
+            params,
+            encoder: arch.encoder,
+            heads: arch.heads,
+            encoder_param_count: arch.encoder_param_count,
+        },
+        stored_precision,
+        max_abs_errors,
+    })
 }
 
 impl TrainCheckpoint {
@@ -244,6 +321,89 @@ mod tests {
         use matsciml_datasets::{Dataset, Transform};
         let samples: Vec<_> = (0..2).map(|i| t.apply(mp.sample(i))).collect();
         assert_eq!(model.predict(&samples, 0), back.model.predict(&samples, 0));
+    }
+
+    #[test]
+    fn quantized_checkpoint_roundtrips_and_halves_params() {
+        let model = small_model();
+        let dir = std::env::temp_dir().join("matsciml-ckpt-quantized");
+        for precision in [Precision::F16, Precision::Bf16] {
+            let path = dir.join(format!("model-{}.mckpt", precision.name()));
+            let bytes = save_quantized_checkpoint(&path, &model, precision).unwrap();
+            assert!(bytes > 0);
+            let infer = load_infer_model(&path).unwrap();
+            assert_eq!(infer.stored_precision, Some(precision));
+            assert_eq!(infer.model.params.len(), model.params.len());
+            assert_eq!(infer.max_abs_errors.len(), model.params.len());
+            // Every loaded value is its source rounded through storage.
+            for i in 0..model.params.len() {
+                let id = matsciml_nn::ParamId(i);
+                for (&q, &r) in infer.model.params.value(id).as_slice().iter()
+                    .zip(model.params.value(id).as_slice())
+                {
+                    assert_eq!(q, matsciml_tensor::half::round_through(r, precision));
+                    assert!((q - r).abs() <= infer.max_abs_errors[i]);
+                }
+            }
+            // An inference artifact is not resumable: no PARAMS/OPTADAMW.
+            assert!(TrainCheckpoint::load(&path).is_err());
+            std::fs::remove_file(&path).ok();
+        }
+        // f32 has no packed form.
+        assert!(save_quantized_checkpoint(dir.join("x.mckpt"), &model, Precision::F32).is_err());
+    }
+
+    #[test]
+    fn prmh_section_is_skipped_by_readers_that_ignore_it() {
+        // Forward compatibility: a full training checkpoint that ALSO
+        // carries a PRMH section must load identically through
+        // TrainCheckpoint::load, which never asks for the tag — the v1
+        // container retains-and-skips sections it does not consume.
+        let model = small_model();
+        let opt = AdamW::new(&model.params, AdamWConfig::default()).export_state();
+        let progress = TrainProgress { step: 3, best_metric: 0.5, evals_without_improvement: 1 };
+        let dir = std::env::temp_dir().join("matsciml-ckpt-fwdcompat");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("with-prmh.mckpt");
+
+        let arch = ArchJson {
+            encoder: model.encoder.clone(),
+            heads: model.heads.clone(),
+            encoder_param_count: model.encoder_param_count,
+        };
+        let mut st = ByteWriter::new();
+        st.put_u64(progress.step);
+        st.put_f64(progress.best_metric as f64);
+        st.put_u32(progress.evals_without_improvement);
+        let mut w = CkptWriter::new();
+        w.section(tags::PARAMS, encode_params(&model.params));
+        w.section(tags::OPT_ADAMW, encode_adamw(&opt));
+        w.section(tags::MODEL_JSON, serde_json::to_string(&arch).unwrap().into_bytes());
+        w.section(
+            tags::TRAIN_CONFIG,
+            serde_json::to_string(&TrainConfig::default()).unwrap().into_bytes(),
+        );
+        w.section(tags::TRAIN_STATE, st.into_bytes());
+        w.section(tags::PARAMS_HALF, encode_params_half(&model.params, Precision::F16));
+        w.write(&path).unwrap();
+
+        let r = CkptReader::read(&path).unwrap();
+        assert!(r.tags().iter().any(|t| t == tags::PARAMS_HALF));
+
+        let back = TrainCheckpoint::load(&path).unwrap();
+        assert_eq!(back.progress, progress);
+        for i in 0..model.params.len() {
+            let id = matsciml_nn::ParamId(i);
+            let a: Vec<u32> =
+                back.model.params.value(id).as_slice().iter().map(|v| v.to_bits()).collect();
+            let b: Vec<u32> =
+                model.params.value(id).as_slice().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(a, b, "param {i} drifted through the PRMH-carrying file");
+        }
+        // And the same file serves quantized through the infer loader.
+        let infer = load_infer_model(&path).unwrap();
+        assert_eq!(infer.stored_precision, Some(Precision::F16));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -84,6 +84,10 @@ pub const SIMD_LANE_OPS: &str = "simd/lane_ops";
 /// Counter name for kernel entries that fell back to the scalar path
 /// (tier disabled or ISA unsupported).
 pub const SIMD_FALLBACK_HITS: &str = "simd/fallback_hits";
+/// Counter name for 8-wide FMA groups processed by the reduced-precision
+/// inference tier's wide kernels (recorded by the inference server;
+/// training never uses the wide tier).
+pub const SIMD_HALF_OPS: &str = "simd/half_ops";
 
 /// DDP execution configuration.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]

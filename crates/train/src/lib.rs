@@ -39,8 +39,8 @@ pub mod throughput;
 mod trainer;
 
 pub use checkpoint::{
-    save_checkpoint, TrainCheckpoint, TrainProgress, CKPT_BYTES_WRITTEN, CKPT_LOAD_US,
-    CKPT_RESUME_STEP, CKPT_SAVES, CKPT_SAVE_US,
+    load_infer_model, save_checkpoint, save_quantized_checkpoint, InferModel, TrainCheckpoint,
+    TrainProgress, CKPT_BYTES_WRITTEN, CKPT_LOAD_US, CKPT_RESUME_STEP, CKPT_SAVES, CKPT_SAVE_US,
 };
 pub use collate::{collate, CollateCache, DATA_COLLATE_EVICT, DATA_COLLATE_HIT, DATA_COLLATE_MISS};
 pub use forcefield::ForceFieldModel;
@@ -48,14 +48,15 @@ pub use metrics::MetricMap;
 pub use model::{EncoderKind, TaskModel};
 pub use serve::{
     InferenceServer, ServeConfig, ServeError, SERVE_BATCHES, SERVE_BATCH_SIZE, SERVE_LATENCY_US,
-    SERVE_QUEUE_DEPTH, SERVE_REJECTED, SERVE_REQUESTS,
+    SERVE_QUEUE_DEPTH, SERVE_REJECTED, SERVE_RELOADS, SERVE_REQUESTS,
 };
 pub use task::{target_stats, LossKind, TargetKind, TaskHead, TaskHeadConfig};
 pub use trainer::{EarlyStop, TrainConfig, Trainer, TrainLog, TrainRecord};
 
 pub use ddp::{
     ddp_step, ddp_step_observed, ddp_step_pooled, DdpConfig, DdpTapes, COMM_ALLREDUCE_BYTES,
-    COMM_GRAD_BYTES, EDGE_BYTES_SAVED, EDGE_FUSED_CALLS, SIMD_FALLBACK_HITS, SIMD_LANE_OPS,
+    COMM_GRAD_BYTES, EDGE_BYTES_SAVED, EDGE_FUSED_CALLS, SIMD_FALLBACK_HITS, SIMD_HALF_OPS,
+    SIMD_LANE_OPS,
 };
 pub use overlap::{
     ddp_step_overlapped, BUCKET_CAP_BYTES, DDP_EXPOSED_COMM_MS, DDP_OVERLAPPED_COMM_MS,

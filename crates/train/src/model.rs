@@ -193,6 +193,22 @@ impl TaskModel {
         self.encoder.out_dim()
     }
 
+    /// Round every parameter through the given storage precision in
+    /// place (the reduced-precision inference tier's load-time step).
+    /// Returns the worst per-scalar absolute quantization error across
+    /// all parameter tensors. No-op (returning `0.0`) for
+    /// [`matsciml_tensor::Precision::F32`]. Irreversible — intended for
+    /// models about to serve inference, not for training state.
+    pub fn quantize_params(&mut self, precision: matsciml_tensor::Precision) -> f32 {
+        let mut worst = 0.0f32;
+        for i in 0..self.params.len() {
+            let id = matsciml_nn::ParamId(i);
+            let err = matsciml_tensor::quantize_tensor_in_place(self.params.value_mut(id), precision);
+            worst = worst.max(err);
+        }
+        worst
+    }
+
     /// Checkpoint the full model (architecture + parameters) as JSON.
     pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
         if let Some(dir) = path.as_ref().parent() {

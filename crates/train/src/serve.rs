@@ -25,14 +25,17 @@
 //! schema of the `serve/*` counters.
 
 use std::collections::VecDeque;
+use std::path::Path;
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::Instant;
 
 use matsciml_autograd::Graph;
 use matsciml_datasets::{Compose, Dataset, Sample, Transform};
 use matsciml_obs::Obs;
+use matsciml_tensor::{set_infer_precision, Precision};
 
+use crate::checkpoint::load_infer_model;
 use crate::collate::{collate, Batch, CollateCache};
 use crate::model::TaskModel;
 
@@ -48,6 +51,8 @@ pub const SERVE_BATCH_SIZE: &str = "serve/batch_size";
 pub const SERVE_QUEUE_DEPTH: &str = "serve/queue_depth";
 /// Histogram: request latency (submit → response sent), µs.
 pub const SERVE_LATENCY_US: &str = "serve/latency_us";
+/// Counter: successful hot model reloads ([`InferenceServer::reload`]).
+pub const SERVE_RELOADS: &str = "serve/reloads";
 
 /// Inference-server tuning knobs.
 #[derive(Debug, Clone)]
@@ -63,6 +68,14 @@ pub struct ServeConfig {
     pub head: usize,
     /// Collated batches each worker memoizes (index-keyed requests only).
     pub cache_batches: usize,
+    /// Inference storage precision (the reduced-precision tier). With
+    /// [`Precision::F16`] or [`Precision::Bf16`] the server quantizes
+    /// the model's parameters once at start (and at each reload), arms
+    /// the wide FMA forward kernels process-wide, and serves
+    /// tolerance-checked rather than bit-exact predictions.
+    /// [`Precision::F32`] (the default) keeps serving bit-identical to
+    /// [`TaskModel::predict`].
+    pub precision: Precision,
 }
 
 impl Default for ServeConfig {
@@ -73,6 +86,7 @@ impl Default for ServeConfig {
             queue_cap: 64,
             head: 0,
             cache_batches: 32,
+            precision: Precision::F32,
         }
     }
 }
@@ -132,7 +146,10 @@ struct Queue {
 }
 
 struct Shared {
-    model: TaskModel,
+    /// Swapped wholesale by [`InferenceServer::reload`]; workers clone
+    /// the `Arc` once per batch, so an in-flight batch finishes on the
+    /// model it started with and the next batch sees the new one.
+    model: RwLock<Arc<TaskModel>>,
     transform: Compose,
     dataset: Option<Arc<dyn Dataset>>,
     cfg: ServeConfig,
@@ -181,9 +198,16 @@ impl InferenceServer {
         assert!(cfg.max_batch > 0, "max_batch must be positive");
         assert!(cfg.queue_cap > 0, "queue_cap must be positive");
         assert!(cfg.head < model.heads.len(), "head index out of range");
+        let mut model = model;
+        if cfg.precision != Precision::F32 {
+            model.quantize_params(cfg.precision);
+        }
+        // Arm (or explicitly disarm) the wide-kernel tier for this
+        // process — the serving counterpart of `set_simd_enabled`.
+        set_infer_precision(cfg.precision);
         InferenceServer {
             shared: Arc::new(Shared {
-                model,
+                model: RwLock::new(Arc::new(model)),
                 transform,
                 dataset,
                 cfg,
@@ -276,6 +300,37 @@ impl InferenceServer {
         drop(q);
         self.shared.ready.notify_one();
         Ok(rx)
+    }
+
+    /// Hot-swap the served model from a checkpoint file (full `PARAMS`
+    /// checkpoints, quantized `PRMH` artifacts, or a `.json` model
+    /// file). In-flight batches finish on the old model; every batch
+    /// coalesced after the swap uses the new parameters. The new model
+    /// must keep the configured head valid; on any error the old model
+    /// keeps serving. Records [`SERVE_RELOADS`] on success.
+    pub fn reload(&self, path: impl AsRef<Path>) -> Result<(), String> {
+        let path = path.as_ref();
+        let mut model = if path.extension().is_some_and(|e| e == "json") {
+            TaskModel::load(path).map_err(|e| format!("reload {}: {e}", path.display()))?
+        } else {
+            load_infer_model(path)
+                .map_err(|e| format!("reload {}: {e}", path.display()))?
+                .model
+        };
+        if self.shared.cfg.head >= model.heads.len() {
+            return Err(format!(
+                "reload {}: model has {} heads, server is configured for head {}",
+                path.display(),
+                model.heads.len(),
+                self.shared.cfg.head
+            ));
+        }
+        if self.shared.cfg.precision != Precision::F32 {
+            model.quantize_params(self.shared.cfg.precision);
+        }
+        *self.shared.model.write().unwrap() = Arc::new(model);
+        self.shared.obs.count(SERVE_RELOADS, 1);
+        Ok(())
     }
 
     /// The observability handle the server records into (for transports
@@ -390,7 +445,15 @@ fn serve_batch(shared: &Shared, g: &mut Graph, cache: &mut CollateCache, jobs: V
     };
 
     let total: usize = jobs.iter().map(|j| j.payload.len()).sum();
-    let preds = shared.model.predict_into(g, batch, shared.cfg.head);
+    // One Arc clone per batch: a concurrent reload swaps the slot but
+    // never this batch's model.
+    let model = Arc::clone(&shared.model.read().unwrap());
+    let simd_before = matsciml_tensor::simd_stats();
+    let preds = model.predict_into(g, batch, shared.cfg.head);
+    let half_ops = matsciml_tensor::simd_stats().since(&simd_before).half_ops;
+    if half_ops > 0 {
+        shared.obs.count(crate::ddp::SIMD_HALF_OPS, half_ops);
+    }
     assert_eq!(preds.shape()[0], total, "one prediction row per structure");
     let out_dim = preds.shape()[1];
     let flat = preds.as_slice();
@@ -427,11 +490,29 @@ mod tests {
     const MAXN: Option<usize> = Some(12);
 
     fn model() -> TaskModel {
+        model_seeded(21)
+    }
+
+    fn model_seeded(seed: u64) -> TaskModel {
         TaskModel::egnn(
             EgnnConfig::small(8),
             &[TaskHeadConfig::regression(DatasetId::MaterialsProject, TargetKind::BandGap, 16, 1)],
-            21,
+            seed,
         )
+    }
+
+    /// A model whose predictions are visibly nonzero: fresh heads are
+    /// zero-initialized (they start as the zero function), so reload
+    /// visibility needs deterministic weight surgery on every tensor.
+    fn perturbed(seed: u64) -> TaskModel {
+        let mut m = model_seeded(seed);
+        for i in 0..m.params.len() {
+            let id = matsciml_nn::ParamId(i);
+            for (j, v) in m.params.value_mut(id).as_mut_slice().iter_mut().enumerate() {
+                *v += ((i * 31 + j * 7 + seed as usize) % 13) as f32 * 0.01 - 0.06;
+            }
+        }
+        m
     }
 
     fn server(cfg: ServeConfig, obs: Obs) -> (InferenceServer, Vec<Vec<f32>>) {
@@ -567,5 +648,56 @@ mod tests {
         srv.shutdown();
         assert_eq!(obs.counter(SERVE_REQUESTS), 2);
         assert!(obs.counter(SERVE_BATCHES) >= 1);
+    }
+
+    #[test]
+    fn reload_hot_swaps_the_served_model() {
+        let dir = std::env::temp_dir().join(format!("matsciml-serve-reload-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let obs = Obs::null();
+        let (srv, singles) = server(
+            ServeConfig { workers: 1, ..Default::default() },
+            obs.clone(),
+        );
+        assert_eq!(srv.predict_indices(vec![0]).unwrap()[0], singles[0]);
+
+        // A differently seeded model with the same architecture, via both
+        // reloadable artifact kinds: JSON model files and checkpoint files.
+        let other = perturbed(99);
+        let ds = SyntheticMaterialsProject::new(24, 21);
+        let pipeline = Compose::standard(CUTOFF, MAXN);
+        let others: Vec<Vec<f32>> = (0..24)
+            .map(|i| {
+                let s = pipeline.apply(matsciml_datasets::Dataset::sample(&ds, i));
+                other.predict(&[s], 0).as_slice().to_vec()
+            })
+            .collect();
+        // Some samples land in a dead-ReLU region for both seeds; pick one
+        // where the two models visibly disagree.
+        let idx = (0..24)
+            .find(|&i| others[i] != singles[i])
+            .expect("seeds must disagree somewhere for the swap to be visible");
+        let expect = others[idx].clone();
+
+        let json = dir.join("other.json");
+        other.save(&json).unwrap();
+        srv.reload(&json).unwrap();
+        assert_eq!(srv.predict_indices(vec![idx]).unwrap()[0], expect);
+
+        // Errors leave the old (just-swapped) model serving.
+        assert!(srv.reload(dir.join("missing.ckpt")).is_err());
+        assert_eq!(srv.predict_indices(vec![idx]).unwrap()[0], expect);
+
+        // And back to the original weights through the binary checkpoint path.
+        let orig = model_seeded(21);
+        let ckpt = dir.join("orig.ckpt");
+        crate::checkpoint::save_quantized_checkpoint(&ckpt, &orig, Precision::F16).unwrap();
+        srv.reload(&ckpt).unwrap();
+        let swapped = srv.predict_indices(vec![idx]).unwrap();
+        assert_ne!(swapped[0], expect);
+
+        assert_eq!(obs.counter(SERVE_RELOADS), 2);
+        srv.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

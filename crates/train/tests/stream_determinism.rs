@@ -39,7 +39,7 @@ fn corpus(shard_samples: usize, tag: &str) -> PathBuf {
         .join(format!("matsciml-stream-det-{tag}-{}", std::process::id()));
     std::fs::remove_dir_all(&dir).ok();
     let ds = SyntheticLips::new(SAMPLES, SEED);
-    write_corpus(&ds, &dir, CorpusWriteOptions { shard_samples, verify: true }).unwrap();
+    write_corpus(&ds, &dir, CorpusWriteOptions { shard_samples, verify: true, workers: 1 }).unwrap();
     dir
 }
 

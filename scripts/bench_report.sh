@@ -9,6 +9,7 @@
 #   cargo bench -p matsciml-bench --bench simd              # BENCH_simd.json
 #   cargo bench -p matsciml-bench --bench serve             # BENCH_serve.json
 #   cargo bench -p matsciml-bench --bench stream            # BENCH_stream.json
+#   cargo bench -p matsciml-bench --bench infer             # BENCH_infer.json
 #   ./scripts/bench_report.sh
 #
 # Idempotent: the generated section lives between marker comments and is
@@ -116,6 +117,19 @@ if [[ -f BENCH_stream.json ]]; then
     "$(jq -r '.in_memory.samples_per_sec | round' BENCH_stream.json)" \
     "$(jq -r '.streamed.samples_per_sec | round' BENCH_stream.json)" \
     "$(jq -r '.throughput_ratio * 100 | round / 100' BENCH_stream.json)x" \
+    "—"
+fi
+
+if [[ -f BENCH_infer.json ]]; then
+  # Reduced-precision serving: both arms are the batched server under
+  # identical load; only the precision differs. The f16 arm is the
+  # headline (it carries the 1.4x acceptance gate); tolerance is part of
+  # the bench's own asserts, not re-checked here.
+  add_row "infer ($(jq -r .clients BENCH_infer.json) clients, hidden $(jq -r .hidden BENCH_infer.json), max rel err $(jq -r '.arms[1].worst_rel_error' BENCH_infer.json))" \
+    "f32 → f16 serving (req/s)" \
+    "$(jq -r '.arms[0].median_rps * 100 | round / 100' BENCH_infer.json)" \
+    "$(jq -r '.arms[1].median_rps * 100 | round / 100' BENCH_infer.json)" \
+    "$(jq -r '.f16_speedup * 100 | round / 100' BENCH_infer.json)x" \
     "—"
 fi
 

@@ -31,6 +31,13 @@ echo "== tier-1: tests again with the SIMD lane tier disabled =="
 MATSCIML_SIMD=0 cargo test -q
 MATSCIML_SIMD=0 cargo test -q --workspace
 
+echo "== reduced-precision tier: forced off via env, suite stays exact =="
+# MATSCIML_INFER_PRECISION is the serve-side opt-in for the f16/bf16
+# wide-FMA tier (docs/SERVING.md). Forcing f32 must be a no-op — the
+# tier defaults off and the training contract never routes through it —
+# so the exactness-sensitive crates run green with the pin applied.
+MATSCIML_INFER_PRECISION=f32 cargo test -q -p matsciml-tensor -p matsciml-train
+
 echo "== streaming fallbacks: read-ahead off, mmap off =="
 # Synchronous loading (MATSCIML_READAHEAD=0) and buffered shard storage
 # (MATSCIML_SHARD_MMAP=0) are first-class configurations; the data layer
@@ -59,6 +66,19 @@ grep -q 'BENCH_stream\.json' EXPERIMENTS.md || {
   echo "verify: EXPERIMENTS.md no longer names BENCH_stream.json" >&2
   exit 1
 }
+# The reduced-precision bench must stay indexed (its section is the
+# acceptance record for the f16/bf16 inference-tier PR), and its
+# artifact must carry the gated speedup + tolerance fields.
+grep -q 'BENCH_infer\.json' EXPERIMENTS.md || {
+  echo "verify: EXPERIMENTS.md no longer names BENCH_infer.json" >&2
+  exit 1
+}
+if [[ -f BENCH_infer.json ]] && command -v jq >/dev/null; then
+  jq -e '.f16_speedup and .bf16_speedup and (.arms | length == 3)' BENCH_infer.json >/dev/null || {
+    echo "verify: BENCH_infer.json is missing the gated speedup/arm fields" >&2
+    exit 1
+  }
+fi
 
 echo "== doc links: README/ARCHITECTURE and docs/*.md agree =="
 # Every docs/*.md referenced from README.md or docs/ARCHITECTURE.md must

@@ -101,10 +101,18 @@ pub fn cmd_generate(args: &Args) -> Result<(), String> {
 /// export into a sharded corpus directory (`manifest.json` + `.mshard`
 /// files per `docs/SHARD_FORMAT.md`) that `train --data-dir` streams
 /// without materializing an epoch.
+///
+/// `--precompute-edges` runs the training transform pipeline (center +
+/// radius graph, `--radius`/`--max-neighbors`, defaulting to the values
+/// `train` uses) at corpus-build time: the shards then carry edge arrays
+/// (the format's `F_EDGES` codec flag) and the streaming loader skips
+/// graph construction entirely. With `--verify` on top, a sampled subset
+/// of stored records is cross-checked against a fresh `radius_graph`
+/// rebuild after writing.
 pub fn cmd_shard_write(args: &Args) -> Result<(), String> {
     let out = args
         .get("out")
-        .ok_or("usage: matsciml shard-write --out DIR [--dataset D --size N --seed S | --from FILE.jsonl] [--shard-samples K] [--verify]")?
+        .ok_or("usage: matsciml shard-write --out DIR [--dataset D --size N --seed S | --from FILE.jsonl] [--shard-samples K] [--precompute-edges [--radius R --max-neighbors M]] [--verify]")?
         .to_string();
     let ds_name = args.str_or("dataset", "mp");
     let size = args.num_or("size", 4096usize)?;
@@ -113,11 +121,22 @@ pub fn cmd_shard_write(args: &Args) -> Result<(), String> {
     let shard_samples = args.num_or("shard-samples", CorpusWriteOptions::default().shard_samples)?;
     let verify = args.flag("verify");
     let workers = args.num_or("write-workers", 1usize)?;
+    let precompute = args.flag("precompute-edges");
+    // Defaults match cmd_train's Compose::standard(4.5, Some(12)) so a
+    // flagless precomputed corpus trains bit-identically to a raw one.
+    let radius = args.num_or("radius", 4.5f32)?;
+    let max_neighbors = args.num_or("max-neighbors", 12usize)?;
+    let verify_samples = args.num_or("verify-samples", 64usize)?;
     args.reject_unknown()?;
     if workers == 0 {
         return Err("--write-workers must be at least 1".into());
     }
     let options = CorpusWriteOptions { shard_samples, verify, workers };
+    let pipeline = precompute.then(|| Compose::standard(radius, Some(max_neighbors)));
+    let transform = |s: Sample| match &pipeline {
+        Some(p) => p.apply(s),
+        None => s,
+    };
 
     let manifest = match &from {
         Some(path) => {
@@ -133,7 +152,8 @@ pub fn cmd_shard_write(args: &Args) -> Result<(), String> {
                         parse_err = Some(e.to_string());
                         None
                     }
-                });
+                })
+                .map(transform);
             let result = write_corpus_iter(samples, &out, options);
             // A parse failure trumps whatever the truncated write did
             // (including its "empty corpus" complaint on line-1 errors).
@@ -144,17 +164,39 @@ pub fn cmd_shard_write(args: &Args) -> Result<(), String> {
         }
         None => {
             let ds = dataset_by_name(&ds_name, size, seed)?;
-            write_corpus(ds.as_ref(), &out, options).map_err(|e| e.to_string())?
+            if precompute {
+                let samples = (0..ds.len()).map(|i| transform(ds.sample(i)));
+                write_corpus_iter(samples, &out, options).map_err(|e| e.to_string())?
+            } else {
+                write_corpus(ds.as_ref(), &out, options).map_err(|e| e.to_string())?
+            }
         }
     };
     let bytes: u64 = manifest.shards.iter().map(|s| s.bytes).sum();
+    let mut cross_checked = 0usize;
+    if precompute && verify {
+        // CRC told us the bytes round-trip; this tells us the *edges* in
+        // those bytes are what a fresh graph build would produce.
+        let graph_stage = GraphTransform::radius(radius, Some(max_neighbors));
+        cross_checked = verify_precomputed_edges(&out, &graph_stage, verify_samples)
+            .map_err(|e| e.to_string())?;
+    }
     eprintln!(
-        "wrote {} samples ({} dataset) into {} shard(s), {:.1} MiB total, at {out}{}",
+        "wrote {} samples ({} dataset) into {} shard(s), {:.1} MiB total, at {out}{}{}",
         manifest.total_samples,
         manifest.dataset,
         manifest.shards.len(),
         bytes as f64 / (1024.0 * 1024.0),
-        if verify { " (CRC-verified)" } else { "" }
+        if precompute { " (edges precomputed)" } else { "" },
+        if verify {
+            if cross_checked > 0 {
+                format!(" (CRC-verified; {cross_checked} records edge-checked)")
+            } else {
+                " (CRC-verified)".to_string()
+            }
+        } else {
+            String::new()
+        }
     );
     Ok(())
 }
@@ -498,6 +540,11 @@ COMMANDS:
       --out DIR  (required; writes manifest.json + shard-NNNNN.mshard)
       --dataset D --size N --seed S | --from FILE.jsonl
       --shard-samples K --verify --write-workers N
+      --precompute-edges  (store the training graph in the shards so the
+                      streaming loader skips graph construction;
+                      --radius R --max-neighbors M, defaults 4.5/12 match
+                      `train`; with --verify, --verify-samples records
+                      are cross-checked against a fresh rebuild)
   train                     train a single-task model
       --dataset mp|cmd|oc20|oc22|lips|symmetry --target band_gap|fermi|e_form|stability|energy|sym
       --steps N --hidden H --world N --batch B --lr LR --save FILE --constant-lr

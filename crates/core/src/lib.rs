@@ -66,9 +66,9 @@ pub use matsciml_umap as umap;
 pub mod prelude {
     pub use matsciml_autograd::{Graph, Var};
     pub use matsciml_datasets::{
-        write_corpus, write_corpus_iter, CenterTransform, Compose, ConcatDataset,
-        CorpusWriteOptions, DataLoader, Dataset, DatasetId, GaussianNoiseTransform, GraphRecipe,
-        GraphTransform, JsonlDataset, JsonlStream, Sample, ShardManifest, ShardReader,
+        verify_precomputed_edges, write_corpus, write_corpus_iter, CenterTransform, Compose,
+        ConcatDataset, CorpusWriteOptions, DataLoader, Dataset, DatasetId, GaussianNoiseTransform,
+        GraphRecipe, GraphTransform, JsonlDataset, JsonlStream, Sample, ShardManifest, ShardReader,
         ShuffleMode, Split, StreamingDataset, SymmetryDataset, SyntheticCarolina, SyntheticLips,
         SyntheticMaterialsProject, SyntheticOc20, SyntheticOc22, Targets, Transform,
     };

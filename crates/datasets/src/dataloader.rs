@@ -261,15 +261,39 @@ impl<'d> DataLoader<'d> {
         scope: &'s std::thread::Scope<'s, '_>,
         threads: usize,
         depth: usize,
-    ) -> ReadAhead {
+    ) -> ReadAhead<'s> {
+        fn identity(samples: Vec<Sample>) -> Vec<Sample> {
+            samples
+        }
+        self.spawn_readahead_with(scope, threads, depth, &identity)
+    }
+
+    /// [`Self::spawn_readahead`] with a worker-side post-processing
+    /// stage: each materialized batch is passed through `stage` on the
+    /// worker thread before crossing the result channel, so per-batch
+    /// assembly work (collation, say — the train crate feeds its
+    /// `collate` through here to build `ModelInput`s off the critical
+    /// thread) overlaps with training alongside sample loading.
+    ///
+    /// The delivery contract is unchanged: results come back in request
+    /// order, and a take that misses the pipeline loads synchronously
+    /// and runs the *same* `stage` inline, so the value stream is
+    /// bit-identical for any worker count, including zero.
+    pub fn spawn_readahead_with<'s, T: Send + 's>(
+        &'s self,
+        scope: &'s std::thread::Scope<'s, '_>,
+        threads: usize,
+        depth: usize,
+        stage: &'s (dyn Fn(Vec<Sample>) -> T + Sync),
+    ) -> ReadAhead<'s, T> {
         assert!(threads > 0, "readahead needs at least one worker");
         assert!(depth > 0, "readahead needs a positive queue depth");
         let workers = if readahead_enabled() { threads } else { 0 };
         let shared = Arc::new(RaQueue::default());
-        let (res_tx, res_rx) = std::sync::mpsc::sync_channel::<RaResult>(depth);
+        let (res_tx, res_rx) = std::sync::mpsc::sync_channel::<(u64, T)>(depth);
         for _ in 0..workers {
             let shared = Arc::clone(&shared);
-            let res_tx: SyncSender<RaResult> = res_tx.clone();
+            let res_tx: SyncSender<(u64, T)> = res_tx.clone();
             scope.spawn(move || loop {
                 let job = {
                     let mut g = shared.state.lock().expect("readahead queue lock");
@@ -284,10 +308,10 @@ impl<'d> DataLoader<'d> {
                     }
                 };
                 let Some((seq, batch)) = job else { break };
-                let samples = self.load(&batch);
+                let out = stage(self.load(&batch));
                 // A dropped front end makes this send fail; the worker
                 // then exits and the scope joins it.
-                if res_tx.send((seq, samples)).is_err() {
+                if res_tx.send((seq, out)).is_err() {
                     break;
                 }
             });
@@ -299,6 +323,7 @@ impl<'d> DataLoader<'d> {
             ready: BTreeMap::new(),
             next_seq: 0,
             workers,
+            stage,
         }
     }
 }
@@ -353,10 +378,6 @@ impl Prefetcher {
     }
 }
 
-/// `(sequence number, materialized samples)` flowing from read-ahead
-/// workers to the front end.
-type RaResult = (u64, Vec<Sample>);
-
 /// Shared request queue between the [`ReadAhead`] front end and its
 /// workers.
 #[derive(Default)]
@@ -372,26 +393,31 @@ struct RaState {
 }
 
 /// Front end of a multi-worker read-ahead pipeline
-/// (see [`DataLoader::spawn_readahead`]).
+/// (see [`DataLoader::spawn_readahead`] /
+/// [`DataLoader::spawn_readahead_with`]).
 ///
 /// Requests carry sequence numbers; workers complete them in whatever
 /// order scheduling allows, and [`ReadAhead::take_observed`] buffers
 /// early arrivals in a reorder map so batches always come back in
 /// request order — the property that makes the training stream
-/// independent of worker count. Dropping the front end closes the
-/// request queue and wakes every worker so the owning scope can join.
-pub struct ReadAhead {
+/// independent of worker count. `T` is whatever the worker-side stage
+/// produces per batch (raw samples for [`DataLoader::spawn_readahead`]).
+/// Dropping the front end closes the request queue and wakes every
+/// worker so the owning scope can join.
+pub struct ReadAhead<'s, T = Vec<Sample>> {
     shared: Arc<RaQueue>,
-    res_rx: Receiver<RaResult>,
+    res_rx: Receiver<(u64, T)>,
     /// Outstanding requests, oldest first.
     pending: VecDeque<(u64, Vec<usize>)>,
     /// Completed batches that arrived ahead of their turn.
-    ready: BTreeMap<u64, Vec<Sample>>,
+    ready: BTreeMap<u64, T>,
     next_seq: u64,
     workers: usize,
+    /// Worker-side per-batch stage; also run inline on fallback loads.
+    stage: &'s (dyn Fn(Vec<Sample>) -> T + Sync),
 }
 
-impl ReadAhead {
+impl<T> ReadAhead<'_, T> {
     /// Queue `batch` for background materialization. No-op when
     /// read-ahead is disabled ([`readahead_enabled`]).
     pub fn request(&mut self, batch: &[usize]) {
@@ -418,49 +444,54 @@ impl ReadAhead {
     /// from the result channel, with only the blocking wait timed under
     /// [`matsciml_obs::Phase::Data`]. Anything else — including every
     /// take when read-ahead is disabled — is a *miss* served by a
-    /// synchronous [`DataLoader::load_observed`]. Counts
-    /// [`DATA_READAHEAD_HIT`] / [`DATA_READAHEAD_MISS`], observes the
-    /// ready-queue depth on [`DATA_READAHEAD_DEPTH`], and advances
-    /// `data/samples_loaded`.
+    /// synchronous [`DataLoader::load_observed`] followed by the same
+    /// worker stage run inline (timed under `Phase::Data`), so hit and
+    /// miss produce identical values. Counts [`DATA_READAHEAD_HIT`] /
+    /// [`DATA_READAHEAD_MISS`], observes the ready-queue depth on
+    /// [`DATA_READAHEAD_DEPTH`], and advances `data/samples_loaded`.
     pub fn take_observed(
         &mut self,
         loader: &DataLoader<'_>,
         batch: &[usize],
         obs: &matsciml_obs::Obs,
-    ) -> Vec<Sample> {
+    ) -> T {
         let front_matches = self.pending.front().map(|(_, q)| q[..] == *batch) == Some(true);
         if self.workers == 0 || !front_matches {
             obs.count(DATA_READAHEAD_MISS, 1);
-            return loader.load_observed(batch, obs);
+            let samples = loader.load_observed(batch, obs);
+            let span = obs.span(matsciml_obs::Phase::Data);
+            let out = (self.stage)(samples);
+            drop(span);
+            return out;
         }
         let (seq, _) = self.pending.pop_front().expect("front checked above");
         // Drain whatever has already completed so the depth observation
         // counts every batch that beat the trainer here.
-        while let Ok((s, samples)) = self.res_rx.try_recv() {
-            self.ready.insert(s, samples);
+        while let Ok((s, out)) = self.res_rx.try_recv() {
+            self.ready.insert(s, out);
         }
         obs.observe(DATA_READAHEAD_DEPTH, self.ready.len() as f64);
-        let samples = match self.ready.remove(&seq) {
-            Some(samples) => samples,
+        let out = match self.ready.remove(&seq) {
+            Some(out) => out,
             None => {
                 let _span = obs.span(matsciml_obs::Phase::Data);
                 loop {
-                    let (s, samples) = self.res_rx.recv().expect("readahead worker alive");
+                    let (s, out) = self.res_rx.recv().expect("readahead worker alive");
                     if s == seq {
-                        break samples;
+                        break out;
                     }
                     // An earlier-completed later batch: park it.
-                    self.ready.insert(s, samples);
+                    self.ready.insert(s, out);
                 }
             }
         };
         obs.count(DATA_READAHEAD_HIT, 1);
         obs.count("data/samples_loaded", batch.len() as u64);
-        samples
+        out
     }
 }
 
-impl Drop for ReadAhead {
+impl<T> Drop for ReadAhead<'_, T> {
     fn drop(&mut self) {
         let mut g = self.shared.state.lock().expect("readahead queue lock");
         g.closed = true;
@@ -646,6 +677,35 @@ mod tests {
         } else {
             // MATSCIML_READAHEAD=0: same samples, all via the sync path.
             assert_eq!(obs.counter(DATA_READAHEAD_MISS), schedule.len() as u64);
+        }
+    }
+
+    #[test]
+    fn staged_readahead_matches_inline_stage_on_hit_and_miss() {
+        let ds = SyntheticMaterialsProject::new(24, 4);
+        let dl = DataLoader::new(&ds, None, Split::Train, 0.0, 4, 3);
+        let schedule = dl.epoch_batches(0);
+        let obs = matsciml_obs::Obs::null();
+        let stage = |samples: Vec<Sample>| -> usize {
+            samples.iter().map(|s| s.graph.num_nodes()).sum()
+        };
+        let inline = |batch: &[usize]| stage(dl.load(batch));
+        std::thread::scope(|scope| {
+            let mut ra = dl.spawn_readahead_with(scope, 2, 3, &stage);
+            for batch in &schedule {
+                ra.request(batch);
+            }
+            for batch in &schedule {
+                assert_eq!(ra.take_observed(&dl, batch, &obs), inline(batch));
+            }
+            // Unrequested batch: the fallback must run the same stage.
+            assert_eq!(ra.take_observed(&dl, &schedule[0], &obs), inline(&schedule[0]));
+        });
+        if readahead_enabled() {
+            assert_eq!(obs.counter(DATA_READAHEAD_MISS), 1);
+        } else {
+            // MATSCIML_READAHEAD=0: every take is a synchronous miss.
+            assert_eq!(obs.counter(DATA_READAHEAD_MISS), schedule.len() as u64 + 1);
         }
     }
 

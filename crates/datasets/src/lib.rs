@@ -49,8 +49,9 @@ pub use dataloader::{
 pub use file::{JsonlDataset, JsonlStream};
 pub use shard::{ShardError, ShardFileInfo, ShardReader, ShardWriter};
 pub use stream::{
-    write_corpus, write_corpus_iter, CorpusWriteOptions, ShardEntry, ShardManifest,
-    StreamingDataset, DATA_SHARD_OPEN, DATA_STREAM_BYTES, DEFAULT_ADVISE_EVERY, MANIFEST_FORMAT,
+    verify_precomputed_edges, write_corpus, write_corpus_iter, CorpusWriteOptions, ShardEntry,
+    ShardManifest, StreamingDataset, DATA_SHARD_OPEN, DATA_STREAM_BYTES, DEFAULT_ADVISE_EVERY,
+    MANIFEST_FORMAT,
 };
 pub use prototypes::{Prototype, ALL_PROTOTYPES, CUBIC_PROTOTYPES};
 pub use sample::{ConcatDataset, Dataset, DatasetId, Sample, Targets};

@@ -87,6 +87,20 @@ pub enum ShardError {
     },
     /// Structurally invalid content inside an otherwise intact file.
     Malformed(String),
+    /// A record's stored precomputed edge list disagrees with a fresh
+    /// graph rebuild from the stored positions (see
+    /// `verify_precomputed_edges` in the stream module): either the
+    /// corpus was written with different transform parameters than the
+    /// verifier was given, or the records were corrupted in a way the
+    /// CRC cannot see (e.g. rewritten wholesale).
+    EdgeMismatch {
+        /// Corpus-global index of the offending record.
+        index: usize,
+        /// Directed edge count stored in the record.
+        stored_edges: usize,
+        /// Directed edge count of the fresh rebuild.
+        rebuilt_edges: usize,
+    },
 }
 
 impl fmt::Display for ShardError {
@@ -105,6 +119,15 @@ impl fmt::Display for ShardError {
                 "shard {what} checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
             ),
             ShardError::Malformed(msg) => write!(f, "malformed shard: {msg}"),
+            ShardError::EdgeMismatch {
+                index,
+                stored_edges,
+                rebuilt_edges,
+            } => write!(
+                f,
+                "precomputed edges for record {index} disagree with a fresh rebuild \
+                 ({stored_edges} stored vs {rebuilt_edges} rebuilt edges)"
+            ),
         }
     }
 }

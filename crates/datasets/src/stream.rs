@@ -522,6 +522,52 @@ impl Dataset for StreamingDataset {
     }
 }
 
+/// Cross-check a precomputed-edge corpus against a fresh graph rebuild.
+///
+/// Visits up to `max_checks` records spread evenly across the corpus;
+/// for each, strips the stored edge list, re-runs `graph_stage` (the
+/// same [`crate::GraphTransform`] the corpus was written with) on the
+/// stored positions, and requires the rebuilt `src`/`dst` vectors to
+/// match the stored ones exactly. Returns the number of records
+/// checked; the first disagreement aborts with
+/// [`ShardError::EdgeMismatch`].
+///
+/// Only the graph stage re-runs: stored positions already went through
+/// the full write-time pipeline (centering included), and re-centering
+/// an already-centered cloud shifts positions by f32 rounding, which
+/// would defeat the exact comparison this check exists to make.
+pub fn verify_precomputed_edges(
+    dir: impl AsRef<Path>,
+    graph_stage: &dyn crate::transform::Transform,
+    max_checks: usize,
+) -> Result<usize, ShardError> {
+    let ds = StreamingDataset::open(dir)?;
+    let total = ds.len();
+    if total == 0 || max_checks == 0 {
+        return Ok(0);
+    }
+    let stride = total.div_ceil(max_checks).max(1);
+    let mut checked = 0;
+    let mut index = 0;
+    while index < total {
+        let stored = ds.try_sample(index)?;
+        let mut stripped = stored.clone();
+        stripped.graph.src.clear();
+        stripped.graph.dst.clear();
+        let rebuilt = graph_stage.apply(stripped);
+        if rebuilt.graph.src != stored.graph.src || rebuilt.graph.dst != stored.graph.dst {
+            return Err(ShardError::EdgeMismatch {
+                index,
+                stored_edges: stored.graph.num_edges(),
+                rebuilt_edges: rebuilt.graph.num_edges(),
+            });
+        }
+        checked += 1;
+        index += stride;
+    }
+    Ok(checked)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -639,6 +685,45 @@ mod tests {
         // Missing manifest.
         std::fs::remove_file(&path).unwrap();
         assert!(matches!(StreamingDataset::open(&dir), Err(ShardError::Io(_))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn precomputed_corpus_roundtrips_and_cross_checks() {
+        use crate::transform::{Compose, GraphTransform, Transform};
+        let dir = tmp("precomp");
+        let ds = SyntheticLips::new(14, 7);
+        let pipeline = Compose::standard(9.0, Some(12));
+        let opts = CorpusWriteOptions { shard_samples: 5, verify: true, workers: 1 };
+        let samples = (0..ds.len()).map(|i| pipeline.apply(ds.sample(i)));
+        let manifest = write_corpus_iter(samples, &dir, opts).unwrap();
+        assert_eq!(manifest.total_samples, 14);
+
+        // Stored records carry edges and equal the transform-at-load result.
+        let stream = StreamingDataset::open(&dir).unwrap();
+        for i in 0..14 {
+            let stored = stream.sample(i);
+            assert!(stored.graph.num_edges() > 0, "record {i} must carry edges");
+            let fresh = pipeline.apply(ds.sample(i));
+            assert_eq!(
+                serde_json::to_string(&stored).unwrap(),
+                serde_json::to_string(&fresh).unwrap(),
+                "stored record {i} must equal write-time transform output"
+            );
+        }
+
+        // The cross-check passes against the matching graph stage
+        // (14 records at stride ceil(14/8)=2 → 7 visited)...
+        let graph_stage = GraphTransform::radius(9.0, Some(12));
+        assert_eq!(verify_precomputed_edges(&dir, &graph_stage, 8).unwrap(), 7);
+        // ...checks every record when the cap allows...
+        assert_eq!(verify_precomputed_edges(&dir, &graph_stage, 100).unwrap(), 14);
+        // ...and rejects a corpus written with different parameters.
+        let wrong = GraphTransform::radius(1.0, Some(2));
+        match verify_precomputed_edges(&dir, &wrong, 8) {
+            Err(ShardError::EdgeMismatch { index, .. }) => assert_eq!(index, 0),
+            other => panic!("expected EdgeMismatch, got {other:?}"),
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

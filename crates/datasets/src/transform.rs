@@ -1,8 +1,20 @@
 //! The transform pipeline (the middle block of the paper's Figure 1):
 //! representation conversion and inductive-bias injection applied per
 //! sample as it is retrieved.
+//!
+//! **Precomputed edges.** Raw dataset samples are point clouds — "edge
+//! lists are empty until a [`GraphTransform`] runs" is the [`Sample`]
+//! contract. A sample that *already* carries edges is therefore a
+//! fully-transformed record (written by `shard-write --precompute-edges`
+//! at corpus-build time), and both [`Compose`] and [`GraphTransform`]
+//! pass it through untouched. The whole pipeline must be skipped, not
+//! just the graph stage: re-running [`CenterTransform`] on an
+//! already-centered cloud shifts positions by the f32 rounding of a
+//! near-zero centroid and would break bit-identity with the
+//! transform-at-load path. `shard-write --verify` cross-checks stored
+//! edges against a fresh rebuild to keep this contract honest.
 
-use matsciml_graph::{complete_graph, knn_graph, radius_graph};
+use matsciml_graph::{complete_graph, knn_graph_cached, radius_graph_cached};
 use matsciml_tensor::Vec3;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -74,14 +86,23 @@ impl GraphTransform {
 
 impl Transform for GraphTransform {
     fn apply(&self, mut sample: Sample) -> Sample {
+        if sample.graph.num_edges() > 0 {
+            // Precomputed-edge record: the graph stage already ran at
+            // corpus-build time (see the module docs).
+            return sample;
+        }
         let species = std::mem::take(&mut sample.graph.species);
         let positions = std::mem::take(&mut sample.graph.positions);
+        // Radius/knn construction goes through the cross-epoch graph
+        // cache (bit-identical to a rebuild; `MATSCIML_GRAPH_CACHE=0`
+        // bypasses). Complete graphs are trivial to rebuild and O(n²)
+        // to store, so they are never cached.
         sample.graph = match self.recipe {
             GraphRecipe::Radius {
                 radius,
                 max_neighbors,
-            } => radius_graph(species, positions, radius, max_neighbors),
-            GraphRecipe::Knn { k } => knn_graph(species, positions, k),
+            } => radius_graph_cached(species, positions, radius, max_neighbors),
+            GraphRecipe::Knn { k } => knn_graph_cached(species, positions, k),
             GraphRecipe::Complete => complete_graph(species, positions),
         };
         sample
@@ -180,6 +201,12 @@ impl Compose {
 
 impl Transform for Compose {
     fn apply(&self, sample: Sample) -> Sample {
+        if sample.graph.num_edges() > 0 {
+            // Precomputed-edge record: every stage already ran at
+            // corpus-build time, and re-running any of them (centering
+            // included) would not be bit-identical. See module docs.
+            return sample;
+        }
         self.stages.iter().fold(sample, |s, t| t.apply(s))
     }
 
@@ -252,6 +279,34 @@ mod tests {
         assert_eq!(a.graph.positions, b.graph.positions);
         // And actually moves atoms.
         assert_ne!(a.graph.positions, cloud().graph.positions);
+    }
+
+    #[test]
+    fn precomputed_edges_pass_through_untouched() {
+        let pipeline = Compose::standard(1.5, None);
+        let pre = pipeline.apply(cloud());
+        assert!(pre.graph.num_edges() > 0);
+        // Re-applying the pipeline (or just its graph stage) to an
+        // already-transformed record must be an exact no-op.
+        let replay = pipeline.apply(pre.clone());
+        assert_eq!(replay.graph.positions, pre.graph.positions);
+        assert_eq!(replay.graph.src, pre.graph.src);
+        assert_eq!(replay.graph.dst, pre.graph.dst);
+        let graph_only = GraphTransform::radius(1.5, None).apply(pre.clone());
+        assert_eq!(graph_only.graph.src, pre.graph.src);
+        assert_eq!(graph_only.graph.positions, pre.graph.positions);
+    }
+
+    #[test]
+    fn cached_graph_transform_is_stable_across_repeats() {
+        // Default-on graph cache: the second application of the same
+        // transform to the same cloud is a cache hit and must reproduce
+        // the exact edge list.
+        let t = GraphTransform::radius(1.5, Some(2));
+        let a = t.apply(cloud());
+        let b = t.apply(cloud());
+        assert_eq!(a.graph.src, b.graph.src);
+        assert_eq!(a.graph.dst, b.graph.dst);
     }
 
     #[test]

@@ -1,0 +1,382 @@
+//! Cross-epoch neighbor-list cache.
+//!
+//! Graph construction ([`crate::radius_graph`] / [`crate::knn_graph`]) is
+//! deterministic: bit-identical species, positions, and recipe parameters
+//! always produce bit-identical edge lists. Multi-epoch training rebuilds
+//! the same neighbor lists every epoch, so this module memoizes them in a
+//! process-global LRU keyed by the *exact* input bits — the full species
+//! vector, the f32 bit patterns of every position, and the recipe
+//! parameters. Full-key equality means a hit returns precisely what a
+//! rebuild would, so the cached path is bit-identical by construction
+//! (pinned end to end by the train crate's `pipeline_bitwise` test).
+//!
+//! The cache holds only the edge vectors (`src`/`dst`); the caller keeps
+//! its own species/positions. Entries are evicted least-recently-used
+//! once the byte budget ([`set_graph_cache_budget`], default 256 MiB) is
+//! exceeded.
+//!
+//! Enabled by default; disable with `MATSCIML_GRAPH_CACHE=0` (or `false`
+//! / `off`) or [`set_graph_cache`]. Hits, misses, and evictions are
+//! visible through [`graph_cache_stats`] and surface in training run
+//! records as `data/graph_cache_hit` / `_miss` / `_evict`.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use matsciml_tensor::Vec3;
+
+use crate::build::{knn_graph, radius_graph};
+use crate::material_graph::MaterialGraph;
+
+const MODE_OFF: u8 = 0;
+const MODE_ON: u8 = 1;
+const MODE_UNSET: u8 = 2;
+
+static MODE: AtomicU8 = AtomicU8::new(MODE_UNSET);
+
+/// Default LRU byte budget: 256 MiB of cached edge lists.
+pub const DEFAULT_GRAPH_CACHE_BUDGET: usize = 256 * 1024 * 1024;
+
+static BUDGET: AtomicUsize = AtomicUsize::new(DEFAULT_GRAPH_CACHE_BUDGET);
+
+static GC_HITS: AtomicU64 = AtomicU64::new(0);
+static GC_MISSES: AtomicU64 = AtomicU64::new(0);
+static GC_EVICTIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Force the graph cache on or off, overriding `MATSCIML_GRAPH_CACHE`.
+pub fn set_graph_cache(enabled: bool) {
+    MODE.store(if enabled { MODE_ON } else { MODE_OFF }, Ordering::Relaxed);
+}
+
+/// Whether graph-construction results are being memoized.
+///
+/// Defaults to on; the first query consults `MATSCIML_GRAPH_CACHE`
+/// (`0`/`false`/`off` disable) and latches the answer.
+pub fn graph_cache_enabled() -> bool {
+    match MODE.load(Ordering::Relaxed) {
+        MODE_ON => true,
+        MODE_OFF => false,
+        _ => {
+            let on = !matches!(
+                std::env::var("MATSCIML_GRAPH_CACHE").as_deref(),
+                Ok("0") | Ok("false") | Ok("off")
+            );
+            MODE.store(if on { MODE_ON } else { MODE_OFF }, Ordering::Relaxed);
+            on
+        }
+    }
+}
+
+/// Set the LRU byte budget. Takes effect on the next insertion; lowering
+/// it does not synchronously shrink the cache.
+pub fn set_graph_cache_budget(bytes: usize) {
+    BUDGET.store(bytes, Ordering::Relaxed);
+}
+
+/// Cumulative graph-cache counters (process-global, monotone).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GraphCacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to a fresh graph construction.
+    pub misses: u64,
+    /// Entries dropped to stay within the byte budget.
+    pub evictions: u64,
+}
+
+impl GraphCacheStats {
+    /// Counter deltas accumulated since an earlier snapshot.
+    pub fn since(&self, earlier: &GraphCacheStats) -> GraphCacheStats {
+        GraphCacheStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            evictions: self.evictions - earlier.evictions,
+        }
+    }
+}
+
+/// Snapshot the cumulative cache counters.
+pub fn graph_cache_stats() -> GraphCacheStats {
+    GraphCacheStats {
+        hits: GC_HITS.load(Ordering::Relaxed),
+        misses: GC_MISSES.load(Ordering::Relaxed),
+        evictions: GC_EVICTIONS.load(Ordering::Relaxed),
+    }
+}
+
+/// Zero the counters and drop every cached entry (test/bench isolation).
+pub fn reset_graph_cache() {
+    GC_HITS.store(0, Ordering::Relaxed);
+    GC_MISSES.store(0, Ordering::Relaxed);
+    GC_EVICTIONS.store(0, Ordering::Relaxed);
+    let mut inner = cache().lock().expect("graph cache poisoned");
+    inner.map.clear();
+    inner.lru.clear();
+    inner.bytes = 0;
+}
+
+/// Exact-bits cache key: recipe parameters plus the full structure.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct GraphKey {
+    /// `(tag, param_a, param_b)`: radius = `(1, radius bits, cap)`,
+    /// knn = `(2, k, 0)`. The cap encodes `None` as `u32::MAX`.
+    recipe: [u32; 3],
+    species: Vec<u32>,
+    /// Position f32 bit patterns, x/y/z flattened.
+    pos_bits: Vec<u32>,
+}
+
+impl GraphKey {
+    fn new(recipe: [u32; 3], species: &[u32], positions: &[Vec3]) -> GraphKey {
+        let mut pos_bits = Vec::with_capacity(positions.len() * 3);
+        for p in positions {
+            pos_bits.push(p.x.to_bits());
+            pos_bits.push(p.y.to_bits());
+            pos_bits.push(p.z.to_bits());
+        }
+        GraphKey {
+            recipe,
+            species: species.to_vec(),
+            pos_bits,
+        }
+    }
+
+    /// Approximate heap footprint of a key (for the byte budget).
+    fn bytes(&self) -> usize {
+        self.species.len() * 4 + self.pos_bits.len() * 4
+    }
+}
+
+struct CacheEntry {
+    tick: u64,
+    src: Vec<u32>,
+    dst: Vec<u32>,
+    bytes: usize,
+}
+
+#[derive(Default)]
+struct Inner {
+    map: HashMap<Arc<GraphKey>, CacheEntry>,
+    /// Recency order: unique monotone tick -> key. Oldest tick evicts first.
+    lru: BTreeMap<u64, Arc<GraphKey>>,
+    tick: u64,
+    bytes: usize,
+}
+
+fn cache() -> &'static Mutex<Inner> {
+    static CACHE: OnceLock<Mutex<Inner>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(Inner::default()))
+}
+
+/// Per-entry bookkeeping overhead added to the vector payloads.
+const ENTRY_OVERHEAD: usize = 128;
+
+fn lookup(key: &GraphKey) -> Option<(Vec<u32>, Vec<u32>)> {
+    let mut inner = cache().lock().expect("graph cache poisoned");
+    inner.tick += 1;
+    let tick = inner.tick;
+    let entry = inner.map.get_mut(key)?;
+    let old_tick = entry.tick;
+    entry.tick = tick;
+    let edges = (entry.src.clone(), entry.dst.clone());
+    let arc = inner.lru.remove(&old_tick).expect("lru/map out of sync");
+    inner.lru.insert(tick, arc);
+    Some(edges)
+}
+
+fn insert(key: GraphKey, src: &[u32], dst: &[u32]) {
+    let bytes = key.bytes() + (src.len() + dst.len()) * 4 + ENTRY_OVERHEAD;
+    let budget = BUDGET.load(Ordering::Relaxed);
+    if bytes > budget {
+        return; // a single oversized structure would evict everything else
+    }
+    let mut inner = cache().lock().expect("graph cache poisoned");
+    inner.tick += 1;
+    let tick = inner.tick;
+    let arc = Arc::new(key);
+    let entry = CacheEntry {
+        tick,
+        src: src.to_vec(),
+        dst: dst.to_vec(),
+        bytes,
+    };
+    if let Some(old) = inner.map.insert(Arc::clone(&arc), entry) {
+        inner.bytes -= old.bytes;
+        inner.lru.remove(&old.tick);
+    }
+    inner.lru.insert(tick, arc);
+    inner.bytes += bytes;
+    while inner.bytes > budget {
+        let (_, victim) = inner.lru.pop_first().expect("non-empty over budget");
+        let gone = inner.map.remove(&victim).expect("lru/map out of sync");
+        inner.bytes -= gone.bytes;
+        GC_EVICTIONS.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+fn cached(
+    recipe: [u32; 3],
+    species: Vec<u32>,
+    positions: Vec<Vec3>,
+    build: impl FnOnce(Vec<u32>, Vec<Vec3>) -> MaterialGraph,
+) -> MaterialGraph {
+    if !graph_cache_enabled() {
+        return build(species, positions);
+    }
+    let key = GraphKey::new(recipe, &species, &positions);
+    if let Some((src, dst)) = lookup(&key) {
+        GC_HITS.fetch_add(1, Ordering::Relaxed);
+        return MaterialGraph {
+            species,
+            positions,
+            src,
+            dst,
+        };
+    }
+    GC_MISSES.fetch_add(1, Ordering::Relaxed);
+    let graph = build(species, positions);
+    insert(key, &graph.src, &graph.dst);
+    graph
+}
+
+fn cap_code(max_neighbors: Option<usize>) -> u32 {
+    match max_neighbors {
+        None => u32::MAX,
+        Some(n) => u32::try_from(n).unwrap_or(u32::MAX - 1),
+    }
+}
+
+/// [`radius_graph`] through the cross-epoch cache.
+///
+/// Bit-identical to calling [`radius_graph`] directly: the key is the
+/// exact bit pattern of every input, and construction is deterministic,
+/// so a hit replays precisely the edges a rebuild would produce.
+pub fn radius_graph_cached(
+    species: Vec<u32>,
+    positions: Vec<Vec3>,
+    radius: f32,
+    max_neighbors: Option<usize>,
+) -> MaterialGraph {
+    let recipe = [1, radius.to_bits(), cap_code(max_neighbors)];
+    cached(recipe, species, positions, |s, p| {
+        radius_graph(s, p, radius, max_neighbors)
+    })
+}
+
+/// [`knn_graph`] through the cross-epoch cache (same contract as
+/// [`radius_graph_cached`]).
+pub fn knn_graph_cached(species: Vec<u32>, positions: Vec<Vec3>, k: usize) -> MaterialGraph {
+    let recipe = [2, u32::try_from(k).unwrap_or(u32::MAX), 0];
+    cached(recipe, species, positions, |s, p| knn_graph(s, p, k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The cache, its counters, and the budget are process-global; tests
+    /// that reset them must not interleave.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn structure(n: usize, seed: f32) -> (Vec<u32>, Vec<Vec3>) {
+        let species: Vec<u32> = (0..n as u32).map(|i| i % 5).collect();
+        let positions: Vec<Vec3> = (0..n)
+            .map(|i| {
+                let t = seed + i as f32 * 0.37;
+                Vec3::new(t.sin() * 3.0, t.cos() * 3.0, (i as f32) * 0.21)
+            })
+            .collect();
+        (species, positions)
+    }
+
+    /// Cache hits must replay exactly what a rebuild produces.
+    #[test]
+    fn hit_is_bit_identical_to_rebuild() {
+        let _serial = serial();
+        set_graph_cache(true);
+        reset_graph_cache();
+        let (species, positions) = structure(40, 0.0);
+        let fresh = radius_graph(species.clone(), positions.clone(), 3.5, Some(8));
+        let miss = radius_graph_cached(species.clone(), positions.clone(), 3.5, Some(8));
+        let hit = radius_graph_cached(species, positions, 3.5, Some(8));
+        assert_eq!(fresh.src, miss.src);
+        assert_eq!(fresh.dst, miss.dst);
+        assert_eq!(fresh.src, hit.src);
+        assert_eq!(fresh.dst, hit.dst);
+        let stats = graph_cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    /// Different recipe parameters must not alias to the same entry.
+    #[test]
+    fn recipe_params_are_part_of_the_key() {
+        let _serial = serial();
+        set_graph_cache(true);
+        reset_graph_cache();
+        let (species, positions) = structure(30, 1.0);
+        let a = radius_graph_cached(species.clone(), positions.clone(), 2.0, Some(4));
+        let b = radius_graph_cached(species.clone(), positions.clone(), 4.0, Some(4));
+        let c = radius_graph_cached(species, positions, 4.0, None);
+        assert_eq!(graph_cache_stats().misses, 3);
+        assert!(a.num_edges() <= b.num_edges());
+        assert!(b.num_edges() <= c.num_edges());
+    }
+
+    /// The byte budget bounds residency and evicts oldest-first.
+    #[test]
+    fn budget_evicts_least_recently_used() {
+        let _serial = serial();
+        set_graph_cache(true);
+        reset_graph_cache();
+        // Each 40-atom entry is ~1.6 KiB; a 4 KiB budget holds about two.
+        set_graph_cache_budget(4 * 1024);
+        for i in 0..4 {
+            let (species, positions) = structure(40, i as f32);
+            radius_graph_cached(species, positions, 3.5, Some(8));
+        }
+        let stats = graph_cache_stats();
+        assert_eq!(stats.misses, 4);
+        assert!(stats.evictions >= 2, "expected evictions, got {stats:?}");
+        // The most recent structure should still be resident.
+        let (species, positions) = structure(40, 3.0);
+        radius_graph_cached(species, positions, 3.5, Some(8));
+        assert_eq!(graph_cache_stats().hits, 1);
+        set_graph_cache_budget(DEFAULT_GRAPH_CACHE_BUDGET);
+    }
+
+    /// Disabling the cache bypasses it entirely.
+    #[test]
+    fn disabled_cache_never_records() {
+        let _serial = serial();
+        set_graph_cache(false);
+        reset_graph_cache();
+        let (species, positions) = structure(20, 2.0);
+        let a = radius_graph_cached(species.clone(), positions.clone(), 3.0, Some(6));
+        let b = radius_graph_cached(species.clone(), positions.clone(), 3.0, Some(6));
+        let fresh = radius_graph(species, positions, 3.0, Some(6));
+        assert_eq!(a.src, fresh.src);
+        assert_eq!(b.dst, fresh.dst);
+        assert_eq!(graph_cache_stats(), GraphCacheStats::default());
+        set_graph_cache(true);
+    }
+
+    /// Knn recipes get their own keyspace.
+    #[test]
+    fn knn_cached_matches_rebuild() {
+        let _serial = serial();
+        set_graph_cache(true);
+        reset_graph_cache();
+        let (species, positions) = structure(25, 4.0);
+        let fresh = knn_graph(species.clone(), positions.clone(), 3);
+        knn_graph_cached(species.clone(), positions.clone(), 3);
+        let hit = knn_graph_cached(species, positions, 3);
+        assert_eq!(fresh.src, hit.src);
+        assert_eq!(fresh.dst, hit.dst);
+        assert_eq!(graph_cache_stats().hits, 1);
+    }
+}

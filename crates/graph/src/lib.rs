@@ -29,11 +29,17 @@
 #![warn(missing_docs)]
 
 mod batch;
+mod cache;
 mod csr;
 mod build;
 mod material_graph;
 
 pub use batch::BatchedGraph;
+pub use cache::{
+    graph_cache_enabled, graph_cache_stats, knn_graph_cached, radius_graph_cached,
+    reset_graph_cache, set_graph_cache, set_graph_cache_budget, GraphCacheStats,
+    DEFAULT_GRAPH_CACHE_BUDGET,
+};
 pub use csr::{permute_graph, rcm_order, reorder_for_locality, CsrGraph};
 pub use build::{complete_graph, knn_graph, radius_graph};
 pub use material_graph::MaterialGraph;

@@ -1,11 +1,19 @@
 //! Batch collation: samples → model input + per-sample target/provenance
 //! vectors the task heads extract from.
 //!
+//! Collation lives here rather than in `matsciml-datasets` because its
+//! output is a [`matsciml_models::ModelInput`] (built CSR edge lists,
+//! inv-degree tensors) and the datasets crate sits below the models
+//! crate in the dependency stack. The datasets crate still runs collate
+//! *work* off the critical thread, without knowing the type: the
+//! trainer hands [`collate_ranks`] to
+//! [`matsciml_datasets::DataLoader::spawn_readahead_with`] as an opaque
+//! worker-side stage, so read-ahead workers deliver fully collated
+//! per-rank [`Batch`]es ("worker-side collation"; disable with
+//! `MATSCIML_WORKER_COLLATE=0`).
+//!
 //! [`CollateCache`] memoizes the full sample-load + collate pipeline by
-//! batch index list. It lives here rather than in `matsciml-datasets`
-//! because the cached value is a [`matsciml_models::ModelInput`] (built
-//! CSR edge lists, inv-degree tensors) and the datasets crate sits below
-//! the models crate in the dependency stack.
+//! batch index list.
 
 use std::collections::HashMap;
 
@@ -20,6 +28,33 @@ pub const DATA_COLLATE_MISS: &str = "data/collate_miss";
 /// Counter: a [`CollateCache`] insert displaced the least-recently-used
 /// batch to stay within capacity.
 pub const DATA_COLLATE_EVICT: &str = "data/collate_evict";
+/// Counter: per-rank batches collated by the worker-side collation
+/// stage ([`collate_ranks`] running under read-ahead; the synchronous
+/// fallback runs the same stage inline and counts here too).
+pub const DATA_COLLATE_WORKER: &str = "data/collate_worker";
+/// Counter: per-rank batches collated inline on the training thread
+/// (the classic path — raw samples delivered, [`collate`] inside the
+/// DDP step's forward span).
+pub const DATA_COLLATE_INLINE: &str = "data/collate_inline";
+/// Counter: graph-cache hits (`matsciml_graph::graph_cache_stats`
+/// surfaced into the run record by the training loop).
+pub const DATA_GRAPH_CACHE_HIT: &str = "data/graph_cache_hit";
+/// Counter: graph-cache misses.
+pub const DATA_GRAPH_CACHE_MISS: &str = "data/graph_cache_miss";
+/// Counter: graph-cache LRU evictions.
+pub const DATA_GRAPH_CACHE_EVICT: &str = "data/graph_cache_evict";
+
+/// Whether the trainer may move collation onto read-ahead workers.
+/// `MATSCIML_WORKER_COLLATE=0` (or `false`/`off`) keeps collation on
+/// the training thread — the fallback lane `scripts/verify.sh` pins.
+/// Worker-side collation is bit-identical either way (collate is a
+/// pure function of the sample list); only who pays for it changes.
+pub fn worker_collate_enabled() -> bool {
+    !matches!(
+        std::env::var("MATSCIML_WORKER_COLLATE").ok().as_deref(),
+        Some("0") | Some("false") | Some("off")
+    )
+}
 
 /// A collated batch: the encoder input plus per-graph provenance and
 /// targets (heads build their own masked tensors from these).
@@ -45,6 +80,26 @@ pub fn collate(samples: &[Sample]) -> Batch {
     }
 }
 
+/// Collate a global batch into its per-rank [`Batch`]es: consecutive
+/// `per_rank`-sized chunks, exactly the shards `ddp_step_*` would cut
+/// and [`collate`] itself. This is the worker-side collation stage the
+/// trainer hands to
+/// [`matsciml_datasets::DataLoader::spawn_readahead_with`] — a pure
+/// function of the sample list, so worker-collated batches are
+/// bit-identical to on-thread collation of the same samples.
+///
+/// Panics unless `samples.len()` is a positive multiple of `per_rank`
+/// (the trainer's equal-shard convention).
+pub fn collate_ranks(samples: &[Sample], per_rank: usize) -> Vec<Batch> {
+    assert!(per_rank > 0, "per_rank must be positive");
+    assert!(
+        !samples.is_empty() && samples.len().is_multiple_of(per_rank),
+        "global batch of {} does not cut into per-rank shards of {per_rank}",
+        samples.len()
+    );
+    samples.chunks_exact(per_rank).map(collate).collect()
+}
+
 /// Memoizes load + [`collate`] by batch index list.
 ///
 /// Transforms are deterministic by contract (see
@@ -54,10 +109,14 @@ pub fn collate(samples: &[Sample]) -> Batch {
 /// [`ModelInput`] — is exactly what a fresh collate would produce.
 ///
 /// Hits happen when a schedule revisits an identical index list: fixed-
-/// batch benchmarks and probes hit on every step after the first, while
-/// the standard training loop reshuffles per epoch so its hits are rare.
-/// The cache is therefore wired into the evaluation path and the
-/// benchmarks, not the training hot loop.
+/// batch benchmarks, probes, and the fixed eval schedule hit on every
+/// pass after the first, so this cache backs the evaluation path. The
+/// training loop reshuffles per epoch — identical index lists never
+/// recur there, so its hot path bypasses this cache entirely and
+/// instead amortizes batch assembly structurally: collation moves onto
+/// read-ahead workers ([`collate_ranks`] via worker-side collation) and
+/// repeated neighbor-list builds hit the cross-epoch graph cache in
+/// `matsciml-graph`, which keys by structure rather than index list.
 ///
 /// Eviction is least-recently-used, one entry at a time: a long eval
 /// stream with an ever-changing schedule holds exactly `capacity`
@@ -191,6 +250,32 @@ mod tests {
     #[should_panic(expected = "empty batch")]
     fn empty_batch_panics() {
         let _ = collate(&[]);
+    }
+
+    #[test]
+    fn collate_ranks_matches_per_shard_collate() {
+        let ds = SyntheticMaterialsProject::new(8, 3);
+        let samples: Vec<_> = (0..8).map(|i| ds.sample(i)).collect();
+        let ranks = collate_ranks(&samples, 2);
+        assert_eq!(ranks.len(), 4);
+        for (rank, batch) in ranks.iter().enumerate() {
+            let direct = collate(&samples[rank * 2..rank * 2 + 2]);
+            assert_eq!(batch.input.src, direct.input.src);
+            assert_eq!(batch.input.dst, direct.input.dst);
+            assert_eq!(
+                batch.input.inv_degree.as_slice(),
+                direct.input.inv_degree.as_slice()
+            );
+            assert_eq!(batch.datasets, direct.datasets);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not cut")]
+    fn collate_ranks_rejects_ragged_batches() {
+        let ds = SyntheticMaterialsProject::new(5, 3);
+        let samples: Vec<_> = (0..5).map(|i| ds.sample(i)).collect();
+        let _ = collate_ranks(&samples, 2);
     }
 
     #[test]

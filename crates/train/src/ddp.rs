@@ -55,7 +55,7 @@ use matsciml_tensor::{edge_stats, pool_stats, simd_stats};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
-use crate::collate::collate;
+use crate::collate::{collate, Batch, DATA_COLLATE_INLINE};
 use crate::metrics::MetricMap;
 use crate::model::TaskModel;
 
@@ -120,6 +120,26 @@ pub(crate) fn rank_seed(cfg: &DdpConfig, step: u64, rank: usize) -> u64 {
         .wrapping_add(rank as u64)
 }
 
+/// What a DDP step consumes: either the raw global sample batch (each
+/// rank collates its own chunk inline, inside the Forward span — the
+/// classic path), or per-rank batches already collated elsewhere (the
+/// worker-side collation path). `collate` is a pure function of the
+/// sample list and the rank chunks are identical either way, so the two
+/// variants produce bit-identical steps; only where the collation cost
+/// lands differs.
+pub(crate) enum StepInput<'a> {
+    /// `world_size * per_rank` raw samples; rank `r` collates
+    /// `samples[r*per_rank .. (r+1)*per_rank]`.
+    Samples {
+        /// The global batch.
+        samples: &'a [Sample],
+        /// Samples per rank.
+        per_rank: usize,
+    },
+    /// One pre-collated [`Batch`] per rank.
+    Collated(&'a [Batch]),
+}
+
 /// Run one rank's forward/backward on the slot's reusable tape and fold
 /// its gradients straight into a slot bucket (span index = raw parameter
 /// index). The tape is reset (not freed) when the slot's next rank runs:
@@ -130,9 +150,11 @@ pub(crate) fn rank_seed(cfg: &DdpConfig, step: u64, rank: usize) -> u64 {
 /// The slot's first rank overwrites its spans (`copy_span`) rather than
 /// adding into the zeroed buffer — one less full read pass per slot, and
 /// identical sums (untouched spans keep their zeros).
+#[allow(clippy::too_many_arguments)]
 fn fold_rank(
     model: &TaskModel,
-    shard: &[Sample],
+    input: &StepInput<'_>,
+    rank: usize,
     ctx_seed: u64,
     g: &mut Graph,
     bucket: &mut GradBucket,
@@ -144,9 +166,16 @@ fn fold_rank(
     // caller apportions the thread-sums onto the fold section's wall time
     // so parallel rank execution doesn't inflate the phase split.
     let fwd = acc.map(|a| Span::new(a, Phase::Forward));
-    let batch = collate(shard);
+    let owned;
+    let batch: &Batch = match input {
+        StepInput::Samples { samples, per_rank } => {
+            owned = collate(&samples[rank * per_rank..(rank + 1) * per_rank]);
+            &owned
+        }
+        StepInput::Collated(batches) => &batches[rank],
+    };
     let mut ctx = ForwardCtx::train(ctx_seed);
-    let (loss, metrics) = model.forward_into(g, &batch, &mut ctx);
+    let (loss, metrics) = model.forward_into(g, batch, &mut ctx);
     drop(fwd);
 
     let bwd = acc.map(|a| Span::new(a, Phase::Backward));
@@ -276,8 +305,58 @@ pub fn ddp_step_pooled(
         cfg.effective_batch(),
         samples.len()
     );
+    let input = StepInput::Samples { samples, per_rank: cfg.per_rank_batch };
+    ddp_step_input(model, &input, cfg, step, obs, tapes)
+}
 
-    let shards: Vec<&[Sample]> = samples.chunks(cfg.per_rank_batch).collect();
+/// [`ddp_step_pooled`] over pre-collated per-rank batches — the
+/// worker-side collation entry point. Bit-identical to handing the same
+/// samples to [`ddp_step_pooled`] (collation is a pure function of the
+/// rank's sample chunk; `tests/pipeline_bitwise.rs` pins full
+/// trajectories), but the forward span no longer pays for CSR assembly.
+///
+/// Panics unless `batches.len() == world_size` and every batch holds
+/// `per_rank_batch` graphs — the same equal-shard contract as the
+/// sample path.
+pub fn ddp_step_collated(
+    model: &mut TaskModel,
+    batches: &[Batch],
+    cfg: &DdpConfig,
+    step: u64,
+    obs: &Obs,
+    tapes: &mut DdpTapes,
+) -> MetricMap {
+    assert_collated_shape(batches, cfg);
+    ddp_step_input(model, &StepInput::Collated(batches), cfg, step, obs, tapes)
+}
+
+/// Shared shape check for the pre-collated step entry points.
+pub(crate) fn assert_collated_shape(batches: &[Batch], cfg: &DdpConfig) {
+    assert_eq!(
+        batches.len(),
+        cfg.world_size,
+        "collated DDP step needs one batch per rank ({} ranks, got {})",
+        cfg.world_size,
+        batches.len()
+    );
+    for (rank, b) in batches.iter().enumerate() {
+        assert_eq!(
+            b.input.num_graphs, cfg.per_rank_batch,
+            "rank {rank} batch holds {} graphs, expected per_rank_batch = {}",
+            b.input.num_graphs, cfg.per_rank_batch
+        );
+    }
+}
+
+/// The step body shared by the sample and pre-collated entry points.
+pub(crate) fn ddp_step_input(
+    model: &mut TaskModel,
+    input: &StepInput<'_>,
+    cfg: &DdpConfig,
+    step: u64,
+    obs: &Obs,
+    tapes: &mut DdpTapes,
+) -> MetricMap {
     let seed_of = |rank: usize| rank_seed(cfg, step, rank);
 
     let layout = model.params.bucket_layout();
@@ -309,7 +388,8 @@ pub fn ddp_step_pooled(
         for rank in range {
             metrics.push(fold_rank(
                 shared,
-                shards[rank],
+                input,
+                rank,
                 seed_of(rank),
                 graph,
                 &mut bucket,
@@ -398,6 +478,11 @@ pub fn ddp_step_pooled(
         let simd = simd_stats().since(&simd_before.expect("snapshot taken when enabled"));
         obs.count(SIMD_LANE_OPS, simd.lane_ops);
         obs.count(SIMD_FALLBACK_HITS, simd.fallback_hits);
+        // Per-rank collations done inline on this step (the worker-side
+        // stage counts its own under data/collate_worker).
+        if matches!(input, StepInput::Samples { .. }) {
+            obs.count(DATA_COLLATE_INLINE, cfg.world_size as u64);
+        }
     }
 
     MetricMap::mean_of(&rank_metrics)

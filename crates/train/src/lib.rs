@@ -42,7 +42,11 @@ pub use checkpoint::{
     load_infer_model, save_checkpoint, save_quantized_checkpoint, InferModel, TrainCheckpoint,
     TrainProgress, CKPT_BYTES_WRITTEN, CKPT_LOAD_US, CKPT_RESUME_STEP, CKPT_SAVES, CKPT_SAVE_US,
 };
-pub use collate::{collate, CollateCache, DATA_COLLATE_EVICT, DATA_COLLATE_HIT, DATA_COLLATE_MISS};
+pub use collate::{
+    collate, collate_ranks, worker_collate_enabled, Batch, CollateCache, DATA_COLLATE_EVICT,
+    DATA_COLLATE_HIT, DATA_COLLATE_INLINE, DATA_COLLATE_MISS, DATA_COLLATE_WORKER,
+    DATA_GRAPH_CACHE_EVICT, DATA_GRAPH_CACHE_HIT, DATA_GRAPH_CACHE_MISS,
+};
 pub use forcefield::ForceFieldModel;
 pub use metrics::MetricMap;
 pub use model::{EncoderKind, TaskModel};
@@ -54,12 +58,12 @@ pub use task::{target_stats, LossKind, TargetKind, TaskHead, TaskHeadConfig};
 pub use trainer::{EarlyStop, TrainConfig, Trainer, TrainLog, TrainRecord};
 
 pub use ddp::{
-    ddp_step, ddp_step_observed, ddp_step_pooled, DdpConfig, DdpTapes, COMM_ALLREDUCE_BYTES,
-    COMM_GRAD_BYTES, EDGE_BYTES_SAVED, EDGE_FUSED_CALLS, SIMD_FALLBACK_HITS, SIMD_HALF_OPS,
-    SIMD_LANE_OPS,
+    ddp_step, ddp_step_collated, ddp_step_observed, ddp_step_pooled, DdpConfig, DdpTapes,
+    COMM_ALLREDUCE_BYTES, COMM_GRAD_BYTES, EDGE_BYTES_SAVED, EDGE_FUSED_CALLS, SIMD_FALLBACK_HITS,
+    SIMD_HALF_OPS, SIMD_LANE_OPS,
 };
 pub use overlap::{
-    ddp_step_overlapped, BUCKET_CAP_BYTES, DDP_EXPOSED_COMM_MS, DDP_OVERLAPPED_COMM_MS,
-    DDP_OVERLAP_FRAC,
+    ddp_step_overlapped, ddp_step_overlapped_collated, BUCKET_CAP_BYTES, DDP_EXPOSED_COMM_MS,
+    DDP_OVERLAPPED_COMM_MS, DDP_OVERLAP_FRAC,
 };
 pub use sweep::{run_sweep, run_sweep_observed, SweepGrid, Trial};

@@ -64,12 +64,11 @@ use matsciml_obs::{Obs, Phase, PhaseAcc, Span};
 use matsciml_tensor::{edge_stats, pool_stats, simd_stats};
 use rayon::prelude::*;
 
-use crate::collate::collate;
+use crate::collate::{collate, Batch, DATA_COLLATE_INLINE};
 use crate::ddp::{
-    apportion_wall, rank_seed, DdpConfig, DdpTapes, COMM_ALLREDUCE_BYTES, COMM_GRAD_BYTES,
-    EDGE_BYTES_SAVED, EDGE_FUSED_CALLS, POOL_BYTES_FRESH, POOL_BYTES_RECYCLED, POOL_HITS,
-    SIMD_FALLBACK_HITS, SIMD_LANE_OPS,
-    POOL_MISSES, TAPE_NODES,
+    apportion_wall, assert_collated_shape, rank_seed, DdpConfig, DdpTapes, StepInput,
+    COMM_ALLREDUCE_BYTES, COMM_GRAD_BYTES, EDGE_BYTES_SAVED, EDGE_FUSED_CALLS, POOL_BYTES_FRESH,
+    POOL_BYTES_RECYCLED, POOL_HITS, SIMD_FALLBACK_HITS, SIMD_LANE_OPS, POOL_MISSES, TAPE_NODES,
 };
 use crate::metrics::MetricMap;
 use crate::model::TaskModel;
@@ -166,7 +165,7 @@ fn fold_group_overlapped(
     slots: usize,
     w: &mut OvWork<'_>,
     model: &TaskModel,
-    shards: &[&[Sample]],
+    input: &StepInput<'_>,
     numels: &[usize],
     cfg: &DdpConfig,
     step: u64,
@@ -180,9 +179,16 @@ fn fold_group_overlapped(
 
     for rank in range {
         let fwd = acc.map(|a| Span::new(a, Phase::Forward));
-        let batch = collate(shards[rank]);
+        let owned;
+        let batch: &Batch = match input {
+            StepInput::Samples { samples, per_rank } => {
+                owned = collate(&samples[rank * per_rank..(rank + 1) * per_rank]);
+                &owned
+            }
+            StepInput::Collated(batches) => &batches[rank],
+        };
         let mut ctx = ForwardCtx::train(rank_seed(cfg, step, rank));
-        let (loss, metrics) = model.forward_into(graph, &batch, &mut ctx);
+        let (loss, metrics) = model.forward_into(graph, batch, &mut ctx);
         drop(fwd);
 
         // Every slot derives the identical partition from its first rank's
@@ -277,8 +283,37 @@ pub fn ddp_step_overlapped(
         cfg.effective_batch(),
         samples.len()
     );
+    let input = StepInput::Samples { samples, per_rank: cfg.per_rank_batch };
+    ddp_step_overlapped_input(model, &input, cfg, step, obs, tapes)
+}
 
-    let shards: Vec<&[Sample]> = samples.chunks(cfg.per_rank_batch).collect();
+/// [`ddp_step_overlapped`] over pre-collated per-rank batches — the
+/// worker-side collation entry point for the overlapped scheduler. Same
+/// bit-identity contract as [`crate::ddp::ddp_step_collated`]: collation
+/// is a pure function of the rank's sample chunk, so trajectories match
+/// the sample path exactly (pinned by `tests/pipeline_bitwise.rs`).
+pub fn ddp_step_overlapped_collated(
+    model: &mut TaskModel,
+    batches: &[Batch],
+    cfg: &DdpConfig,
+    step: u64,
+    obs: &Obs,
+    tapes: &mut DdpTapes,
+) -> MetricMap {
+    assert_collated_shape(batches, cfg);
+    ddp_step_overlapped_input(model, &StepInput::Collated(batches), cfg, step, obs, tapes)
+}
+
+/// The overlapped step body shared by the sample and pre-collated entry
+/// points.
+fn ddp_step_overlapped_input(
+    model: &mut TaskModel,
+    input: &StepInput<'_>,
+    cfg: &DdpConfig,
+    step: u64,
+    obs: &Obs,
+    tapes: &mut DdpTapes,
+) -> MetricMap {
     let layout = model.params.bucket_layout();
     let numels: Vec<usize> = (0..layout.num_spans()).map(|i| layout.span(i).1).collect();
     let slots = reduce_slots(cfg.world_size);
@@ -312,7 +347,7 @@ pub fn ddp_step_overlapped(
                 slots,
                 w,
                 shared,
-                &shards,
+                input,
                 &numels,
                 cfg,
                 step,
@@ -386,6 +421,11 @@ pub fn ddp_step_overlapped(
         let simd = simd_stats().since(&simd_before.expect("snapshot taken when enabled"));
         obs.count(SIMD_LANE_OPS, simd.lane_ops);
         obs.count(SIMD_FALLBACK_HITS, simd.fallback_hits);
+        // Per-rank collations done inline on this step (the worker-side
+        // stage counts its own under data/collate_worker).
+        if matches!(input, StepInput::Samples { .. }) {
+            obs.count(DATA_COLLATE_INLINE, cfg.world_size as u64);
+        }
 
         let exposed_ns = wait_ns + scatter_ns;
         let overlapped_ns = busy_ns.saturating_sub(wait_ns);

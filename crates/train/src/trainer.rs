@@ -3,12 +3,17 @@
 
 use std::path::Path;
 
-use matsciml_datasets::DataLoader;
+use matsciml_datasets::{DataLoader, ReadAhead, Sample};
+use matsciml_graph::graph_cache_stats;
 use matsciml_obs::{Event, EvalEvent, Json, Obs, Phase, RunStartEvent, StepEvent, SummaryEvent, SCHEMA};
 use matsciml_opt::{AdamW, AdamWConfig, InstabilityProbe, LrSchedule, WarmupExpDecay};
 use serde::{Deserialize, Serialize};
 
-use crate::ddp::{ddp_step_pooled, DdpConfig, DdpTapes, COMM_ALLREDUCE_BYTES};
+use crate::collate::{
+    collate_ranks, worker_collate_enabled, Batch, DATA_COLLATE_WORKER, DATA_GRAPH_CACHE_EVICT,
+    DATA_GRAPH_CACHE_HIT, DATA_GRAPH_CACHE_MISS,
+};
+use crate::ddp::{ddp_step_collated, ddp_step_pooled, DdpConfig, DdpTapes, COMM_ALLREDUCE_BYTES};
 use crate::metrics::MetricMap;
 use crate::model::TaskModel;
 
@@ -72,6 +77,13 @@ pub struct TrainConfig {
     /// bit-identical for any thread count (and to the synchronous path).
     /// 0 disables; mutually exclusive with `prefetch_data`.
     /// `MATSCIML_READAHEAD=0` forces the synchronous fallback at runtime.
+    ///
+    /// When read-ahead is on, the workers also *collate*: each delivered
+    /// item is the step's per-rank [`Batch`] list, so edge-CSR assembly
+    /// overlaps with training instead of running inline in the forward
+    /// span ([`crate::collate::collate_ranks`] is a pure function of the
+    /// sample list, so trajectories are unchanged).
+    /// `MATSCIML_WORKER_COLLATE=0` keeps the workers sample-only.
     #[serde(default)]
     pub readahead_threads: usize,
     /// Bound on completed batches queued ahead of the trainer (the
@@ -293,6 +305,59 @@ struct Resume {
     progress: crate::checkpoint::TrainProgress,
 }
 
+/// What the data pipeline delivered for one step: raw samples (collated
+/// inside the DDP step, the classic path) or per-rank batches already
+/// collated by the read-ahead workers.
+enum StepData {
+    Samples(Vec<Sample>),
+    Collated(Vec<Batch>),
+}
+
+/// Schedule position `p` of the current epoch's frame, looking into the
+/// next epoch past the end — the read-ahead window walks this sequence so
+/// requests arrive in exact take order.
+fn visible<'a>(
+    p: usize,
+    sched: &'a [Vec<usize>],
+    next: &'a Option<Vec<Vec<usize>>>,
+) -> Option<&'a Vec<usize>> {
+    sched
+        .get(p)
+        .or_else(|| next.as_ref().and_then(|n| n.get(p - sched.len())))
+}
+
+/// Keep `depth` batches requested ahead of the take point, then take the
+/// current batch. The first call of a run seeds the window (positions
+/// `bi..bi+depth`); every later one tops it up with position `bi+depth`,
+/// so request order tracks take order exactly — across epoch boundaries
+/// too, since positions past this epoch's end resolve into `next_sched`,
+/// which becomes the next `sched`. Generic over the worker stage's output
+/// so the sample and worker-collated pipelines share one window walk.
+#[allow(clippy::too_many_arguments)]
+fn drive_readahead<T: Send>(
+    ra: &mut ReadAhead<'_, T>,
+    loader: &DataLoader<'_>,
+    seed_window: bool,
+    bi: usize,
+    depth: usize,
+    sched: &[Vec<usize>],
+    next_sched: &Option<Vec<Vec<usize>>>,
+    batch_idx: &[usize],
+    obs: &Obs,
+) -> T {
+    if seed_window {
+        for p in bi..bi + depth {
+            if let Some(b) = visible(p, sched, next_sched) {
+                ra.request(b);
+            }
+        }
+    }
+    if let Some(b) = visible(bi + depth, sched, next_sched) {
+        ra.request(b);
+    }
+    ra.take_observed(loader, batch_idx, obs)
+}
+
 impl Trainer {
     /// Build a trainer.
     pub fn new(config: TrainConfig) -> Self {
@@ -475,6 +540,24 @@ impl Trainer {
         let t_run = obs.timer();
         // Per-step comm volume is the counter's delta since the last step.
         let mut comm_seen = obs.counter(COMM_ALLREDUCE_BYTES);
+        // Graph-cache traffic is attributed per step the same way: the
+        // cache is process-global, so the run record reports the deltas
+        // its own loads produced.
+        let mut gc_seen = graph_cache_stats();
+
+        // Worker-side collation: with read-ahead on (and unless
+        // MATSCIML_WORKER_COLLATE=0 opts out), the workers run the whole
+        // sample → per-rank-Batch stage so edge-CSR assembly overlaps
+        // with the previous step's compute. Declared ahead of the thread
+        // scope so the scoped workers can borrow it.
+        let worker_collate = cfg.readahead_threads > 0 && worker_collate_enabled();
+        let per_rank = cfg.per_rank_batch;
+        let world = cfg.world_size as u64;
+        let collate_stage = move |samples: Vec<Sample>| -> Vec<Batch> {
+            let batches = collate_ranks(&samples, per_rank);
+            obs.count(DATA_COLLATE_WORKER, world);
+            batches
+        };
 
         let mut step = start_step;
         // Resume lands mid-epoch: start at the checkpointed step's
@@ -494,9 +577,13 @@ impl Trainer {
         // past the horizon and never refill.
         let ra_depth = (if cfg.readahead_depth > 0 { cfg.readahead_depth } else { 4 })
             .min(steps_per_epoch as usize);
-        let mut readahead = (cfg.readahead_threads > 0)
+        let mut readahead = (cfg.readahead_threads > 0 && !worker_collate)
             .then(|| train_loader.spawn_readahead(scope, cfg.readahead_threads, ra_depth));
-        let lookahead = prefetcher.is_some() || readahead.is_some();
+        let mut readahead_collated = worker_collate.then(|| {
+            train_loader.spawn_readahead_with(scope, cfg.readahead_threads, ra_depth, &collate_stage)
+        });
+        let lookahead =
+            prefetcher.is_some() || readahead.is_some() || readahead_collated.is_some();
         let mut sched = train_loader.epoch_batches(start_epoch);
         'outer: for epoch in start_epoch.. {
             // The next epoch's schedule is only materialized eagerly when
@@ -504,18 +591,6 @@ impl Trainer {
             // boundary (the shuffle is a pure function of (seed, epoch)
             // either way).
             let mut next_sched = lookahead.then(|| train_loader.epoch_batches(epoch + 1));
-            // Schedule position `p` of this epoch's frame, looking into
-            // the next epoch past the end — the read-ahead window walks
-            // this sequence so requests arrive in exact take order.
-            fn visible<'a>(
-                p: usize,
-                sched: &'a [Vec<usize>],
-                next: &'a Option<Vec<Vec<usize>>>,
-            ) -> Option<&'a Vec<usize>> {
-                sched
-                    .get(p)
-                    .or_else(|| next.as_ref().and_then(|n| n.get(p - sched.len())))
-            }
             // Skipping after enumerate keeps `bi` absolute, so the
             // prefetch lookahead below indexes the schedule correctly.
             for (bi, batch_idx) in sched.iter().enumerate().skip(std::mem::take(&mut first_epoch_skip)) {
@@ -523,7 +598,7 @@ impl Trainer {
                     break 'outer;
                 }
                 let t_step = obs.timer();
-                let samples = if let Some(pf) = &mut prefetcher {
+                let data = if let Some(pf) = &mut prefetcher {
                     // The very first iteration (fresh or resumed) has
                     // no in-flight request yet.
                     if step == start_step {
@@ -537,37 +612,39 @@ impl Trainer {
                     if let Some(nb) = next {
                         pf.request(nb);
                     }
-                    pf.take_observed(train_loader, batch_idx, obs)
+                    StepData::Samples(pf.take_observed(train_loader, batch_idx, obs))
                 } else if let Some(ra) = &mut readahead {
-                    // Keep `depth` batches requested ahead of the take
-                    // point. The first iteration seeds the window
-                    // (positions bi..bi+depth); every later one tops it
-                    // up with position bi+depth, so request order tracks
-                    // take order exactly — across epoch boundaries too,
-                    // since positions past this epoch's end resolve into
-                    // `next_sched`, which becomes the next `sched`.
-                    if step == start_step {
-                        for p in bi..bi + ra_depth {
-                            if let Some(b) = visible(p, &sched, &next_sched) {
-                                ra.request(b);
-                            }
-                        }
-                    }
-                    if let Some(b) = visible(bi + ra_depth, &sched, &next_sched) {
-                        ra.request(b);
-                    }
-                    ra.take_observed(train_loader, batch_idx, obs)
+                    StepData::Samples(drive_readahead(
+                        ra, train_loader, step == start_step, bi, ra_depth,
+                        &sched, &next_sched, batch_idx, obs,
+                    ))
+                } else if let Some(ra) = &mut readahead_collated {
+                    StepData::Collated(drive_readahead(
+                        ra, train_loader, step == start_step, bi, ra_depth,
+                        &sched, &next_sched, batch_idx, obs,
+                    ))
                 } else {
-                    train_loader.load_observed(batch_idx, obs)
+                    StepData::Samples(train_loader.load_observed(batch_idx, obs))
                 };
                 {
                     let _prep = obs.span(Phase::Optimizer);
                     model.params.zero_grads();
                 }
-                let train_metrics = if cfg.overlap_comm {
-                    crate::overlap::ddp_step_overlapped(model, &samples, &ddp, step, obs, &mut tapes)
-                } else {
-                    ddp_step_pooled(model, &samples, &ddp, step, obs, &mut tapes)
+                let train_metrics = match (&data, cfg.overlap_comm) {
+                    (StepData::Samples(samples), true) => crate::overlap::ddp_step_overlapped(
+                        model, samples, &ddp, step, obs, &mut tapes,
+                    ),
+                    (StepData::Samples(samples), false) => {
+                        ddp_step_pooled(model, samples, &ddp, step, obs, &mut tapes)
+                    }
+                    (StepData::Collated(batches), true) => {
+                        crate::overlap::ddp_step_overlapped_collated(
+                            model, batches, &ddp, step, obs, &mut tapes,
+                        )
+                    }
+                    (StepData::Collated(batches), false) => {
+                        ddp_step_collated(model, batches, &ddp, step, obs, &mut tapes)
+                    }
                 };
                 let opt_span = obs.span(Phase::Optimizer);
                 let loss = train_metrics.get("loss").unwrap_or(f32::NAN);
@@ -598,6 +675,12 @@ impl Trainer {
                     let comm_total = obs.counter(COMM_ALLREDUCE_BYTES);
                     let comm_bytes = comm_total - comm_seen;
                     comm_seen = comm_total;
+                    let gc_total = graph_cache_stats();
+                    let gc = gc_total.since(&gc_seen);
+                    gc_seen = gc_total;
+                    obs.count(DATA_GRAPH_CACHE_HIT, gc.hits);
+                    obs.count(DATA_GRAPH_CACHE_MISS, gc.misses);
+                    obs.count(DATA_GRAPH_CACHE_EVICT, gc.evictions);
                     obs.observe("phase/data_us", data_us as f64);
                     obs.observe("phase/forward_us", forward_us as f64);
                     obs.observe("phase/backward_us", backward_us as f64);

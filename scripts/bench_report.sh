@@ -10,6 +10,7 @@
 #   cargo bench -p matsciml-bench --bench serve             # BENCH_serve.json
 #   cargo bench -p matsciml-bench --bench stream            # BENCH_stream.json
 #   cargo bench -p matsciml-bench --bench infer             # BENCH_infer.json
+#   cargo bench -p matsciml-bench --bench pipeline          # BENCH_pipeline.json
 #   ./scripts/bench_report.sh
 #
 # Idempotent: the generated section lives between marker comments and is
@@ -130,6 +131,18 @@ if [[ -f BENCH_infer.json ]]; then
     "$(jq -r '.arms[0].median_rps * 100 | round / 100' BENCH_infer.json)" \
     "$(jq -r '.arms[1].median_rps * 100 | round / 100' BENCH_infer.json)" \
     "$(jq -r '.f16_speedup * 100 | round / 100' BENCH_infer.json)x" \
+    "—"
+fi
+
+if [[ -f BENCH_pipeline.json ]]; then
+  # The batch pipeline measures data-path delivery (decode + transform +
+  # collate per optimizer-step batch set), not whole training steps — the
+  # compute side is untouched by construction, so no cumulative column.
+  add_row "pipeline ($(jq -r .atoms_per_structure BENCH_pipeline.json)-atom structures, $(jq -r .epochs BENCH_pipeline.json) epochs, cache alone $(jq -r '.speedup_cached * 100 | round / 100' BENCH_pipeline.json)x)" \
+    "all-recompute → precomputed+cached (batch sets/s)" \
+    "$(jq -r '.off_steps_per_sec | round' BENCH_pipeline.json)" \
+    "$(jq -r '.on_steps_per_sec | round' BENCH_pipeline.json)" \
+    "$(jq -r '.speedup * 100 | round / 100' BENCH_pipeline.json)x" \
     "—"
 fi
 

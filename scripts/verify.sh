@@ -47,6 +47,16 @@ MATSCIML_READAHEAD=0 cargo test -q -p matsciml-datasets
 MATSCIML_READAHEAD=0 cargo test -q -p matsciml-train --test stream_determinism
 MATSCIML_SHARD_MMAP=0 cargo test -q -p matsciml-datasets
 
+echo "== batch-pipeline fallbacks: graph cache off, worker collate off =="
+# The cross-epoch graph cache (MATSCIML_GRAPH_CACHE=0) and worker-side
+# collation (MATSCIML_WORKER_COLLATE=0) are opt-outs that must leave
+# every trajectory bit-identical — the pipeline matrix and the data
+# layer run green with each tier forced off (docs/ARCHITECTURE.md,
+# "The zero-recompute batch pipeline").
+MATSCIML_GRAPH_CACHE=0 cargo test -q -p matsciml-graph -p matsciml-datasets
+MATSCIML_GRAPH_CACHE=0 cargo test -q -p matsciml-train --test stream_determinism
+MATSCIML_WORKER_COLLATE=0 cargo test -q -p matsciml-train --test pipeline_bitwise
+
 echo "== bench artifacts: every BENCH_*.json named in EXPERIMENTS.md exists =="
 while read -r artifact; do
   [[ -f "$artifact" ]] || {
@@ -76,6 +86,19 @@ grep -q 'BENCH_infer\.json' EXPERIMENTS.md || {
 if [[ -f BENCH_infer.json ]] && command -v jq >/dev/null; then
   jq -e '.f16_speedup and .bf16_speedup and (.arms | length == 3)' BENCH_infer.json >/dev/null || {
     echo "verify: BENCH_infer.json is missing the gated speedup/arm fields" >&2
+    exit 1
+  }
+fi
+# The batch-pipeline bench must stay indexed (its section is the
+# acceptance record for the zero-recompute pipeline PR), and its
+# artifact must carry the asserted speedup and the bit-identity flag.
+grep -q 'BENCH_pipeline\.json' EXPERIMENTS.md || {
+  echo "verify: EXPERIMENTS.md no longer names BENCH_pipeline.json" >&2
+  exit 1
+}
+if [[ -f BENCH_pipeline.json ]] && command -v jq >/dev/null; then
+  jq -e '.speedup >= 1.25 and .loss_bits_match and .speedup_cached' BENCH_pipeline.json >/dev/null || {
+    echo "verify: BENCH_pipeline.json is missing the asserted speedup/bit-identity fields" >&2
     exit 1
   }
 fi
